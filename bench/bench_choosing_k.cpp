@@ -1,0 +1,83 @@
+// Section 5.2 (choosing the number of factors): performance vs. k rises
+// sharply after 10-20 dimensions, peaks, then "begins to diminish slowly"
+// toward word-based performance as A_k approaches A exactly.
+
+#include <iostream>
+
+#include "baseline/vector_model.hpp"
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.2",
+                "Retrieval performance vs. number of factors k (the "
+                "paper's rise/peak/slow-decline curve).");
+
+  synth::CorpusSpec spec;
+  spec.topics = 10;
+  spec.concepts_per_topic = 12;
+  spec.shared_concepts = 30;
+  spec.docs_per_topic = 25;
+  spec.mean_doc_len = 30;
+  spec.general_prob = 0.4;
+  spec.own_topic_prob = 0.65;
+  spec.query_len = 4;
+  spec.polysemy_prob = 0.1;
+  spec.queries_per_topic = 5;
+  spec.query_offform_prob = 0.7;
+  spec.seed = 800;
+  auto corpus = synth::generate_corpus(spec);
+
+  // Word-based reference (SMART vector model).
+  core::IndexOptions ref_opts;
+  ref_opts.scheme = weighting::kLogEntropy;
+  ref_opts.k = 2;  // irrelevant for the baseline; reuse the weighting
+  auto ref_index = core::LsiIndex::build(corpus.docs, ref_opts);
+  baseline::VectorSpaceModel vsm(ref_index.weighted_matrix());
+  std::vector<double> smart_scores;
+  for (const auto& q : corpus.queries) {
+    std::vector<la::index_t> ranked;
+    for (const auto& r : vsm.rank(ref_index.weighted_term_vector(q.text))) {
+      ranked.push_back(r.doc);
+    }
+    smart_scores.push_back(
+        eval::three_point_average_precision(ranked, q.relevant));
+  }
+  const double smart_ap = eval::mean(smart_scores);
+
+  util::TextTable table({"k", "LSI AP", "vs word-based"});
+  double peak_ap = 0.0;
+  core::index_t peak_k = 0;
+  for (core::index_t k : {2u, 5u, 10u, 20u, 40u, 60u, 80u, 120u, 160u, 200u}) {
+    core::IndexOptions opts;
+    opts.scheme = weighting::kLogEntropy;
+    opts.k = k;
+    auto index = core::LsiIndex::build(corpus.docs, opts);
+    std::vector<double> scores;
+    for (const auto& q : corpus.queries) {
+      std::vector<la::index_t> ranked;
+      for (const auto& r : index.query(q.text)) ranked.push_back(r.doc);
+      scores.push_back(
+          eval::three_point_average_precision(ranked, q.relevant));
+    }
+    const double ap = eval::mean(scores);
+    if (ap > peak_ap) {
+      peak_ap = ap;
+      peak_k = index.space().k();
+    }
+    table.add_row({std::to_string(index.space().k()), util::fmt(ap, 3),
+                   util::fmt_pct(smart_ap > 0 ? ap / smart_ap - 1.0 : 0.0)});
+  }
+  table.print(std::cout, "Average precision vs. k:");
+
+  std::cout << "\nword-based (SMART) AP: " << util::fmt(smart_ap, 3)
+            << "\npeak: AP " << util::fmt(peak_ap, 3) << " at k = " << peak_k
+            << "\nShape to verify: low k underfits, performance peaks at an "
+               "intermediate k,\nthen drifts back toward the word-based "
+               "level as k approaches full rank\n(with k = n, A_k "
+               "reconstructs A exactly).\n";
+  return 0;
+}

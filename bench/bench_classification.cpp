@@ -1,0 +1,85 @@
+// Section 5.7: "Hull and Yang & Chute have used LSI/SVD as the first step
+// in conjunction with statistical classification ... Using the LSI-derived
+// dimensions effectively reduces the number of predictor variables for
+// classification." Nearest-centroid classification on k LSI dimensions vs
+// the full weighted term space, over a k sweep.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/classify.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.7 (LSI + classification)",
+                "Nearest-centroid topic classification: k LSI dimensions "
+                "vs the full term space.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.docs_per_topic = 40;
+  spec.own_topic_prob = 0.65;
+  spec.general_prob = 0.45;
+  spec.polysemy_prob = 0.1;
+  spec.consistent_forms_per_doc = true;
+  spec.seed = 5150;
+  auto corpus = synth::generate_corpus(spec);
+
+  // Full-term-space reference (log x entropy weighted counts).
+  core::IndexOptions ref_opts;
+  ref_opts.k = 2;
+  auto ref_index = core::LsiIndex::build(corpus.docs, ref_opts);
+  const auto dense = ref_index.weighted_matrix().to_dense();
+
+  std::vector<std::size_t> train_y, test_y;
+  std::vector<la::Vector> full_train, full_test;
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    la::Vector full(dense.col(d).begin(), dense.col(d).end());
+    if (d % 2 == 0) {
+      full_train.push_back(std::move(full));
+      train_y.push_back(corpus.doc_topics[d]);
+    } else {
+      full_test.push_back(std::move(full));
+      test_y.push_back(corpus.doc_topics[d]);
+    }
+  }
+  core::CentroidClassifier full_clf(full_train, train_y, spec.topics);
+  const double full_acc =
+      core::classification_accuracy(full_clf, full_test, test_y);
+
+  util::TextTable table({"features", "dimensions", "test accuracy"});
+  table.add_row({"full weighted term space",
+                 std::to_string(ref_index.vocabulary().size()),
+                 util::fmt_pct(full_acc)});
+
+  for (core::index_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    core::IndexOptions opts;
+    opts.k = k;
+    auto index = core::LsiIndex::build(corpus.docs, opts);
+    std::vector<la::Vector> lsi_train, lsi_test;
+    for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+      if (d % 2 == 0) {
+        lsi_train.push_back(index.space().doc_coords(d));
+      } else {
+        lsi_test.push_back(index.space().doc_coords(d));
+      }
+    }
+    core::CentroidClassifier clf(lsi_train, train_y, spec.topics);
+    table.add_row({"LSI dimensions", std::to_string(index.space().k()),
+                   util::fmt_pct(core::classification_accuracy(
+                       clf, lsi_test, test_y))});
+  }
+  table.print(std::cout,
+              std::to_string(spec.topics) + "-way topic classification, " +
+                  std::to_string(train_y.size()) + " train / " +
+                  std::to_string(test_y.size()) + " test documents:");
+
+  std::cout << "\nShape to verify: a few dozen LSI dimensions match (or "
+               "beat, thanks to the\nnoise removal) the full term space "
+               "with orders of magnitude fewer predictor\nvariables — the "
+               "Section 5.7 observation.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Section 5.4 (cross-language retrieval): train on dual-language documents,
+// fold in monolingual documents, and query across languages. Paper
+// (Landauer & Littman): the multilingual space was as effective as first
+// translating queries — and more effective than single-language spaces.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/bilingual.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.4 (cross-language retrieval)",
+                "Dual-language training; queries in language A retrieving "
+                "documents in language B.");
+
+  synth::BilingualSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.docs_per_topic = 24;
+  spec.own_topic_prob = 0.6;  // mixed-topic documents keep the task honest
+  spec.queries_per_topic = 4;
+  spec.query_len = 3;
+  spec.seed = 1001;
+  auto corpus = synth::generate_bilingual_corpus(spec);
+
+  // Multilingual space: trained on concatenated dual-language documents.
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 40;
+  auto dual_index = core::LsiIndex::build(corpus.dual, opts);
+
+  // Monolingual reference space (language B only) for the "translated
+  // query" comparison: queries in B against B documents.
+  auto mono_b_index = core::LsiIndex::build(corpus.mono_b, opts);
+
+  // Cross-language: language-A query against the dual space, where each
+  // document is ranked by its dual (train) representation. Relevance is
+  // topic-based, so this measures whether A-queries find B-content topics.
+  auto mean_ap = [&](const std::vector<synth::BilingualQuery>& queries,
+                     core::LsiIndex& index) {
+    std::vector<double> scores;
+    for (const auto& q : queries) {
+      std::vector<la::index_t> ranked;
+      for (const auto& r : index.query(q.text)) ranked.push_back(r.doc);
+      scores.push_back(
+          eval::three_point_average_precision(ranked, q.relevant));
+    }
+    return eval::mean(scores);
+  };
+
+  const double a_on_dual = mean_ap(corpus.queries_a, dual_index);
+  const double b_on_dual = mean_ap(corpus.queries_b, dual_index);
+  const double b_on_mono = mean_ap(corpus.queries_b, mono_b_index);
+
+  // Fold-in check: fold the monolingual B documents into the dual space and
+  // retrieve them with A queries (the Landauer-Littman deployment mode).
+  auto folded = core::LsiIndex::build(corpus.dual, opts);
+  folded.add_documents(corpus.mono_b, core::AddMethod::kFoldIn);
+  std::vector<double> cross_scores;
+  const std::size_t offset = corpus.dual.size();
+  for (const auto& q : corpus.queries_a) {
+    std::vector<la::index_t> ranked;
+    for (const auto& r : folded.query(q.text)) {
+      if (r.doc >= offset) ranked.push_back(r.doc - offset);  // B copies
+    }
+    cross_scores.push_back(
+        eval::three_point_average_precision(ranked, q.relevant));
+  }
+  const double a_on_folded_b = eval::mean(cross_scores);
+
+  util::TextTable table({"configuration", "mean AP"});
+  table.add_row({"A queries -> dual space", util::fmt(a_on_dual, 3)});
+  table.add_row({"B queries -> dual space", util::fmt(b_on_dual, 3)});
+  table.add_row({"B queries -> B-only space ('translated query' reference)",
+                 util::fmt(b_on_mono, 3)});
+  table.add_row({"A queries -> folded-in monolingual B docs (cross-language)",
+                 util::fmt(a_on_folded_b, 3)});
+  table.print(std::cout, "Cross-language retrieval (k = 40):");
+
+  std::cout << "\nShape to verify: cross-language retrieval (last row) "
+               "approaches the\nwithin-language reference — no query "
+               "translation involved, per the paper.\n";
+  return 0;
+}

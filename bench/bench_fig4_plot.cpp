@@ -1,0 +1,43 @@
+// Figure 4: two-dimensional plot of the 18 terms and 14 documents of the
+// example term-document matrix (k = 2 coordinates).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Figure 4",
+                "Two-dimensional plot of terms and documents for the 18 x "
+                "14 example.");
+
+  auto space = bench::paper_space(2);
+  const auto& terms = data::table3_terms();
+
+  util::TextTable coords({"object", "x = col1 * s1", "y = col2 * s2"});
+  util::AsciiScatter plot(100, 34);
+  for (la::index_t i = 0; i < 18; ++i) {
+    const auto c = space.term_coords(i);
+    coords.add_row({terms[i], util::fmt(c[0]), util::fmt(c[1])});
+    plot.add(c[0], c[1], terms[i]);
+  }
+  for (la::index_t j = 0; j < 14; ++j) {
+    const auto c = space.doc_coords(j);
+    coords.add_row({bench::med_label(j), util::fmt(c[0]), util::fmt(c[1])});
+    plot.add(c[0], c[1], bench::med_label(j));
+  }
+  coords.print(std::cout, "Coordinates (singular-value scaled):");
+  std::cout << '\n' << plot.render() << '\n';
+
+  std::cout << "Paper's description to verify: hormone/behaviour topics "
+               "(M1..M6, terms depressed,\ndischarge, oestrogen, behavior) "
+               "cluster above the x-axis; blood-disease/fasting\ntopics "
+               "(M10..M14, terms fast, rats, pressure) cluster below.\n\n";
+
+  bool ok = true;
+  for (la::index_t j : {2, 3, 4}) ok = ok && space.doc_coords(j)[1] > 0.0;
+  for (la::index_t j : {11, 12, 13}) ok = ok && space.doc_coords(j)[1] < 0.0;
+  std::cout << "cluster check: " << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Figure 7: folding the Table 5 topics (M15, M16) into the existing k = 2
+// space. Existing coordinates stay frozen; the new topics are placed at the
+// weighted sums of their term vectors (Equation 7).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/folding.hpp"
+#include "util/ascii_plot.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Figure 7",
+                "Two-dimensional plot after folding-in topics M15 and M16.");
+
+  auto before = bench::paper_space(2);
+  auto space = bench::paper_space(2);
+  core::fold_in_documents(space, data::update_document_columns());
+
+  util::AsciiScatter plot(100, 32);
+  for (la::index_t i = 0; i < 18; ++i) {
+    const auto c = space.term_coords(i);
+    plot.add(c[0], c[1], data::table3_terms()[i]);
+  }
+  for (la::index_t j = 0; j < 16; ++j) {
+    const auto c = space.doc_coords(j);
+    plot.add(c[0], c[1], bench::med_label(j));
+  }
+  std::cout << plot.render() << '\n';
+
+  util::TextTable table({"doc", "x", "y"});
+  for (la::index_t j = 14; j < 16; ++j) {
+    const auto c = space.doc_coords(j);
+    table.add_row({bench::med_label(j), util::fmt(c[0]), util::fmt(c[1])});
+  }
+  table.print(std::cout, "Folded-in coordinates:");
+
+  double frozen = 0.0;
+  for (la::index_t j = 0; j < 14; ++j) {
+    for (la::index_t i = 0; i < 2; ++i) {
+      frozen = std::max(frozen,
+                        std::abs(space.v(j, i) - before.v(j, i)));
+    }
+  }
+  std::cout << "\nmax movement of the 14 original documents: "
+            << util::fmt(frozen, 6)
+            << "  (folding-in freezes existing structure)\n"
+            << "orthogonality loss ||V^T V - I||_2 after folding: "
+            << util::fmt(core::orthogonality_loss(space.v), 6) << "\n\n"
+            << "Paper's observation (Section 3.4): the folded-in M15 fails "
+               "to join the\n{M13, M14} rats cluster because the old term "
+               "associations cannot move.\n";
+  const double m13_m14 = core::document_similarity(space, 12, 13);
+  const double m15_m13 = core::document_similarity(space, 14, 12);
+  std::cout << "cos(M13, M14) = " << util::fmt(m13_m14, 3)
+            << "   cos(M15, M13) = " << util::fmt(m15_m13, 3)
+            << "  -> cluster NOT formed: "
+            << (m15_m13 < m13_m14 ? "confirmed" : "NOT confirmed") << "\n";
+  return 0;
+}

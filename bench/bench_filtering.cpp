@@ -1,0 +1,129 @@
+// Section 5.3 (information filtering): standing interest profiles matched
+// against a stream of new documents. Paper: Foltz found 12%-23% advantages
+// for LSI over keyword matching on Netnews; profiles built from known
+// relevant documents (relevance-feedback style) work best.
+
+#include <algorithm>
+#include <iostream>
+
+#include "baseline/vector_model.hpp"
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/folding.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.3 (information filtering)",
+                "Standing profiles vs. a stream of new documents: LSI vs. "
+                "keyword matching,\nprofiles from query words vs. from "
+                "known relevant documents.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.shared_concepts = 25;
+  spec.docs_per_topic = 40;
+  spec.mean_doc_len = 30;
+  spec.general_prob = 0.4;
+  spec.own_topic_prob = 0.6;
+  spec.query_len = 4;
+  spec.polysemy_prob = 0.1;
+  spec.queries_per_topic = 3;
+  spec.query_offform_prob = 0.9;
+  spec.seed = 900;
+  auto corpus = synth::generate_corpus(spec);
+
+  // Historical sample: 60% of each topic's documents; the remaining 40% are
+  // the incoming stream to filter.
+  text::Collection train;
+  std::vector<std::size_t> stream;  // doc ids of the stream
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    if (d % 5 < 3) {
+      train.push_back(corpus.docs[d]);
+    } else {
+      stream.push_back(d);
+    }
+  }
+
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 40;
+  auto index = core::LsiIndex::build(train, opts);
+  baseline::VectorSpaceModel vsm(index.weighted_matrix());
+
+  // For each standing interest: rank the stream documents by similarity to
+  // the profile; evaluate AP against the stream's relevant docs.
+  std::vector<double> lsi_query_ap, lsi_doc_ap, kw_ap;
+  for (const auto& q : corpus.queries) {
+    eval::DocSet stream_relevant;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (corpus.doc_topics[stream[i]] == q.topic) stream_relevant.insert(i);
+    }
+
+    // LSI profile from the query words.
+    const la::Vector profile_q = index.project(q.text);
+    // LSI profile from known relevant *training* documents (first 3 of the
+    // topic in the training set).
+    la::Vector profile_d(index.space().k(), 0.0);
+    int used = 0;
+    for (std::size_t t = 0; t < train.size() && used < 3; ++t) {
+      // Training labels map back to original ids via label text.
+      // train was taken in order, so recover topic from the corpus by label.
+      for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+        if (corpus.docs[d].label == train[t].label) {
+          if (corpus.doc_topics[d] == q.topic) {
+            auto p = index.project(train[t].body);
+            for (std::size_t i = 0; i < profile_d.size(); ++i) {
+              profile_d[i] += p[i];
+            }
+            ++used;
+          }
+          break;
+        }
+      }
+    }
+    if (used > 0) {
+      for (double& v : profile_d) v /= used;
+    }
+
+    // Rank stream docs: project each incoming doc (fold-in semantics) and
+    // cosine against the profile; keyword baseline uses full-term cosine.
+    std::vector<std::pair<double, std::size_t>> lsi_q, lsi_d, kw;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto& doc = corpus.docs[stream[i]];
+      const la::Vector d_hat = index.project(doc.body);
+      lsi_q.push_back({-la::cosine(profile_q, d_hat), i});
+      lsi_d.push_back({-la::cosine(profile_d, d_hat), i});
+      const la::Vector wq = index.weighted_term_vector(q.text);
+      const la::Vector wd = index.weighted_term_vector(doc.body);
+      kw.push_back({-la::cosine(wq, wd), i});
+    }
+    auto ap_of = [&](std::vector<std::pair<double, std::size_t>>& scored) {
+      std::stable_sort(scored.begin(), scored.end());
+      std::vector<la::index_t> ranked;
+      for (const auto& [neg, i] : scored) ranked.push_back(i);
+      return eval::three_point_average_precision(ranked, stream_relevant);
+    };
+    lsi_query_ap.push_back(ap_of(lsi_q));
+    lsi_doc_ap.push_back(ap_of(lsi_d));
+    kw_ap.push_back(ap_of(kw));
+  }
+
+  const double kw = eval::mean(kw_ap);
+  const double lq = eval::mean(lsi_query_ap);
+  const double ld = eval::mean(lsi_doc_ap);
+  util::TextTable table({"filtering method", "mean AP", "vs keyword"});
+  table.add_row({"keyword match (word profile)", util::fmt(kw, 3), "-"});
+  table.add_row({"LSI (word profile)", util::fmt(lq, 3),
+                 util::fmt_pct(kw > 0 ? lq / kw - 1.0 : 0.0)});
+  table.add_row({"LSI (profile from 3 relevant docs)", util::fmt(ld, 3),
+                 util::fmt_pct(kw > 0 ? ld / kw - 1.0 : 0.0)});
+  table.print(std::cout, "Filtering a stream of unseen documents:");
+
+  std::cout << "\npaper: LSI 12-23% over keyword matching (Foltz); document-"
+               "derived profiles\n(relevance-feedback style) are the most "
+               "effective (Dumais & Foltz).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Google-benchmark microbenchmarks of the numerical kernels behind the
+// Section 4.2 cost model I*cost(G^T G x) + trp*cost(G x): sparse matvecs,
+// dense rotations (the (2k^2-k)(m+n) term), and the full Lanczos driver.
+
+#include <benchmark/benchmark.h>
+
+#include "la/lanczos.hpp"
+#include "lsi/semantic_space.hpp"
+#include "lsi/update.hpp"
+#include "synth/sparse_random.hpp"
+
+namespace {
+
+using namespace lsi;
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const auto m = static_cast<la::index_t>(state.range(0));
+  const auto n = m / 2;
+  auto a = synth::random_sparse_matrix(m, n, 0.005, 1);
+  la::Vector x(n, 1.0), y(m, 0.0);
+  for (auto _ : state) {
+    a.apply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SparseMatVec)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_SparseMatVecTranspose(benchmark::State& state) {
+  const auto m = static_cast<la::index_t>(state.range(0));
+  const auto n = m / 2;
+  auto a = synth::random_sparse_matrix(m, n, 0.005, 2);
+  la::Vector x(m, 1.0), y(n, 0.0);
+  for (auto _ : state) {
+    a.apply_transpose(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SparseMatVecTranspose)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_LanczosSvd(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  auto a = synth::random_sparse_matrix(2 * n, n, 0.01, 3);
+  la::LanczosOptions opts;
+  opts.k = static_cast<la::index_t>(state.range(1));
+  for (auto _ : state) {
+    auto svd = la::lanczos_svd(a, opts);
+    benchmark::DoNotOptimize(svd.s.data());
+  }
+}
+BENCHMARK(BM_LanczosSvd)
+    ->Args({500, 10})
+    ->Args({1000, 10})
+    ->Args({1000, 25})
+    ->Args({2000, 25});
+
+void BM_DenseRotation(benchmark::State& state) {
+  // The U_k U_F product of Equation (13): m x k times k x k.
+  const auto m = static_cast<la::index_t>(state.range(0));
+  const la::index_t k = 100;
+  la::DenseMatrix u(m, k), f(k, k);
+  for (la::index_t j = 0; j < k; ++j) {
+    for (la::index_t i = 0; i < m; ++i) u(i, j) = 1.0 / double(i + j + 1);
+    for (la::index_t i = 0; i < k; ++i) f(i, j) = 1.0 / double(i + j + 2);
+  }
+  for (auto _ : state) {
+    auto rotated = la::multiply(u, f);
+    benchmark::DoNotOptimize(rotated.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(m) * k * k);
+}
+BENCHMARK(BM_DenseRotation)->Arg(2000)->Arg(8000);
+
+void BM_UpdateDocuments(benchmark::State& state) {
+  const auto n = static_cast<la::index_t>(state.range(0));
+  auto a = synth::random_sparse_matrix(2 * n, n, 0.01, 4);
+  auto base = core::build_semantic_space(a, 30);
+  auto d = synth::random_sparse_matrix(2 * n, 8, 0.01, 5);
+  for (auto _ : state) {
+    auto space = base;
+    core::update_documents(space, d);
+    benchmark::DoNotOptimize(space.sigma.data());
+  }
+}
+BENCHMARK(BM_UpdateDocuments)->Arg(500)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

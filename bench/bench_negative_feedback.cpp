@@ -1,0 +1,102 @@
+// The paper's unexploited idea (Section 5.1): "moving the query away from
+// documents which the user has indicated are irrelevant". Rocchio ablation:
+// no feedback vs positive-only vs positive+negative, on impoverished
+// queries over noisy topics.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "eval/significance.hpp"
+#include "lsi/feedback.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.1 (negative relevance feedback, extension)",
+                "Rocchio with gamma > 0: does pushing away from judged-"
+                "irrelevant documents\nhelp beyond positive feedback? (The "
+                "paper flags this as untried in LSI.)");
+
+  std::vector<double> none_ap, pos_ap, posneg_ap;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    synth::CorpusSpec spec;
+    spec.topics = 8;
+    spec.concepts_per_topic = 10;
+    spec.shared_concepts = 30;
+    spec.general_prob = 0.5;
+    spec.own_topic_prob = 0.6;
+    spec.docs_per_topic = 25;
+    spec.queries_per_topic = 6;
+    spec.query_len = 2;
+    spec.query_offform_prob = 0.8;
+    spec.polysemy_prob = 0.15;
+    spec.seed = 2600 + s;
+    auto corpus = synth::generate_corpus(spec);
+
+    core::IndexOptions opts;
+    opts.k = 40;
+    auto index = core::LsiIndex::build(corpus.docs, opts);
+    const auto& space = index.space();
+
+    for (const auto& q : corpus.queries) {
+      const la::Vector q0 = index.project(q.text);
+      auto initial = core::rank_documents(space, q0);
+
+      // The user judges the top 5: relevant go to R+, irrelevant to R-.
+      std::vector<core::index_t> rel, irr;
+      for (std::size_t i = 0; i < 5 && i < initial.size(); ++i) {
+        if (q.relevant.count(initial[i].doc)) {
+          rel.push_back(initial[i].doc);
+        } else {
+          irr.push_back(initial[i].doc);
+        }
+      }
+      // Residual evaluation over unjudged documents.
+      eval::DocSet residual = q.relevant;
+      for (auto d : rel) residual.erase(d);
+      if (residual.empty()) continue;
+      auto residual_ap = [&](const la::Vector& query) {
+        std::vector<la::index_t> ranked;
+        for (const auto& sd : core::rank_documents(space, query)) {
+          bool judged = false;
+          for (std::size_t i = 0; i < 5 && i < initial.size(); ++i) {
+            judged = judged || initial[i].doc == sd.doc;
+          }
+          if (!judged) ranked.push_back(sd.doc);
+        }
+        return eval::average_precision(ranked, residual);
+      };
+
+      none_ap.push_back(residual_ap(q0));
+      pos_ap.push_back(residual_ap(core::rocchio_feedback(
+          space, q0, rel, {}, {1.0, 0.75, 0.0})));
+      posneg_ap.push_back(residual_ap(core::rocchio_feedback(
+          space, q0, rel, irr, {1.0, 0.75, 0.25})));
+    }
+  }
+
+  const double base = eval::mean(none_ap);
+  util::TextTable table({"feedback", "mean AP", "vs none"});
+  table.add_row({"none", util::fmt(base, 3), "-"});
+  table.add_row({"positive only (beta=.75)", util::fmt(eval::mean(pos_ap), 3),
+                 util::fmt_pct(base > 0 ? eval::mean(pos_ap) / base - 1 : 0)});
+  table.add_row({"positive + negative (gamma=.25)",
+                 util::fmt(eval::mean(posneg_ap), 3),
+                 util::fmt_pct(base > 0 ? eval::mean(posneg_ap) / base - 1
+                                        : 0)});
+  table.print(std::cout, "Residual-collection AP over " +
+                             std::to_string(none_ap.size()) + " queries:");
+
+  const auto cmp = eval::compare_systems(posneg_ap, pos_ap);
+  std::cout << "\nnegative vs positive-only: mean diff "
+            << util::fmt(cmp.mean_difference, 4) << ", randomization p = "
+            << util::fmt(cmp.randomization_p, 4) << " (wins +/-: "
+            << cmp.wins_a << "/" << cmp.wins_b << ")\n"
+            << "Shape to verify: positive feedback gives the big jump (the "
+               "paper's +33%);\nnegative information adds a smaller, "
+               "mostly-nonnegative refinement — evidence\nfor the paper's "
+               "conjecture that it is worth exploiting.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Section 5.4 (noisy input): retrieval from corrupted documents. Paper
+// (Nielsen et al.): with 8.8% word-level recognition errors, LSI retrieval
+// was "not disrupted (compared with the same uncorrupted texts)".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+#include "synth/noise.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.4 (noisy/OCR input)",
+                "Retrieval quality vs. word-level corruption of the "
+                "indexed documents.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.shared_concepts = 20;
+  spec.docs_per_topic = 25;
+  spec.mean_doc_len = 45;
+  spec.own_topic_prob = 0.6;
+  spec.polysemy_prob = 0.1;
+  spec.queries_per_topic = 4;
+  spec.query_len = 3;
+  spec.query_offform_prob = 0.3;
+  spec.seed = 1200;
+  auto corpus = synth::generate_corpus(spec);
+
+  util::TextTable table({"word error rate", "measured rate", "LSI AP",
+                         "vs clean"});
+  double clean_ap = 0.0;
+  for (double rate : {0.0, 0.044, 0.088, 0.30, 0.60, 0.90}) {
+    util::Rng rng(55);
+    synth::NoiseSpec noise;
+    noise.word_error_rate = rate;
+    text::Collection corrupted = corpus.docs;
+    double measured = 0.0;
+    for (auto& d : corrupted) {
+      const std::string original = d.body;
+      d.body = synth::corrupt_text(original, noise, rng);
+      measured += synth::word_error_fraction(original, d.body);
+    }
+    measured /= static_cast<double>(corrupted.size());
+
+    core::IndexOptions opts;
+    opts.scheme = weighting::kLogEntropy;
+    opts.k = 40;
+    auto index = core::LsiIndex::build(corrupted, opts);
+    std::vector<double> scores;
+    for (const auto& q : corpus.queries) {
+      std::vector<la::index_t> ranked;
+      for (const auto& r : index.query(q.text)) ranked.push_back(r.doc);
+      scores.push_back(
+          eval::three_point_average_precision(ranked, q.relevant));
+    }
+    const double ap = eval::mean(scores);
+    if (rate == 0.0) clean_ap = ap;
+    table.add_row({util::fmt_pct(rate), util::fmt_pct(measured),
+                   util::fmt(ap, 3),
+                   util::fmt_pct(clean_ap > 0 ? ap / clean_ap - 1.0 : 0.0)});
+  }
+  table.print(std::cout,
+              "Documents corrupted before indexing (queries clean, k = 40):");
+
+  std::cout << "\npaper: at 8.8% word errors, retrieval was not disrupted.\n"
+               "Shape to verify: negligible loss at ~9%, graceful "
+               "degradation beyond it\n(correctly-spelled context words "
+               "keep corrupted documents well-placed in k-space).\n";
+  return 0;
+}

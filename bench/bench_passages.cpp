@@ -1,0 +1,108 @@
+// Section 5.4: "smaller, more topically coherent units of text (e.g.,
+// paragraphs, sections) could be represented as well". Ablation: index
+// whole documents vs their passages (best-passage aggregation) on a corpus
+// of long, mixed-topic documents.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+#include "text/passages.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.4 (passage-level indexing)",
+                "Whole-document vs passage indexing on long mixed-topic "
+                "documents.");
+
+  // Build long documents by concatenating 3 topical sections from
+  // *different* topics; a document is relevant to a query if any section
+  // is on the query's topic.
+  synth::CorpusSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.shared_concepts = 20;
+  spec.docs_per_topic = 36;  // sections, combined 3 per document below
+  spec.mean_doc_len = 35;
+  spec.own_topic_prob = 0.85;
+  spec.queries_per_topic = 4;
+  spec.query_len = 4;
+  spec.query_offform_prob = 0.5;
+  spec.seed = 2700;
+  auto sections = synth::generate_corpus(spec);
+
+  text::Collection long_docs;
+  std::vector<std::vector<std::size_t>> doc_topics;  // topics per document
+  for (std::size_t s = 0; s + 2 < sections.docs.size(); s += 3) {
+    // Stride so the three sections come from different topics.
+    const std::size_t a = s;
+    const std::size_t b = (s + spec.docs_per_topic) % sections.docs.size();
+    const std::size_t c =
+        (s + 2 * spec.docs_per_topic) % sections.docs.size();
+    long_docs.push_back({"L" + std::to_string(long_docs.size()),
+                         sections.docs[a].body + "\n\n" +
+                             sections.docs[b].body + "\n\n" +
+                             sections.docs[c].body});
+    doc_topics.push_back({sections.doc_topics[a], sections.doc_topics[b],
+                          sections.doc_topics[c]});
+  }
+
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 40;
+  auto whole_index = core::LsiIndex::build(long_docs, opts);
+
+  auto pc = text::split_into_passages(long_docs);
+  auto passage_index = core::LsiIndex::build(pc.passages, opts);
+
+  std::vector<double> whole_ap, passage_ap;
+  for (const auto& q : sections.queries) {
+    eval::DocSet relevant;
+    for (std::size_t d = 0; d < long_docs.size(); ++d) {
+      for (std::size_t t : doc_topics[d]) {
+        if (t == q.topic) relevant.insert(d);
+      }
+    }
+    if (relevant.empty()) continue;
+
+    std::vector<la::index_t> whole_ranked;
+    for (const auto& r : whole_index.query(q.text)) {
+      whole_ranked.push_back(r.doc);
+    }
+    whole_ap.push_back(
+        eval::three_point_average_precision(whole_ranked, relevant));
+
+    std::vector<std::pair<std::size_t, double>> passage_scores;
+    for (const auto& r : passage_index.query(q.text)) {
+      passage_scores.push_back({r.doc, r.cosine});
+    }
+    std::vector<la::index_t> agg_ranked;
+    for (const auto& ps : text::aggregate_to_parents(pc, passage_scores)) {
+      agg_ranked.push_back(ps.document);
+    }
+    passage_ap.push_back(
+        eval::three_point_average_precision(agg_ranked, relevant));
+  }
+
+  const double whole = eval::mean(whole_ap);
+  const double passage = eval::mean(passage_ap);
+  util::TextTable table({"indexing unit", "units indexed", "mean AP"});
+  table.add_row({"whole documents", std::to_string(long_docs.size()),
+                 util::fmt(whole, 3)});
+  table.add_row({"passages (best-passage aggregation)",
+                 std::to_string(pc.passages.size()), util::fmt(passage, 3)});
+  table.print(std::cout,
+              std::to_string(long_docs.size()) +
+                  " three-topic documents, " +
+                  std::to_string(sections.queries.size()) + " queries:");
+
+  std::cout << "\npassage vs whole-document: "
+            << util::fmt_pct(whole > 0 ? passage / whole - 1.0 : 0.0)
+            << "\nShape to verify: passage indexing wins on mixed-topic "
+               "documents because a\ndocument's relevant section is no "
+               "longer averaged away — the paper's point\nabout topically "
+               "coherent units.\n";
+  return 0;
+}

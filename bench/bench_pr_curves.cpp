@@ -1,0 +1,86 @@
+// Section 5.1, the underlying evaluation protocol: full precision-recall
+// curves for LSI vs. the SMART keyword vector model, with paired
+// significance tests on the per-query average precision — "LSI performs
+// best relative to standard vector methods ... at high levels of recall".
+
+#include <iostream>
+
+#include "baseline/vector_model.hpp"
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "eval/significance.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.1 (precision-recall curves)",
+                "11-point interpolated PR curves, LSI vs SMART, with a "
+                "paired randomization\ntest on per-query average "
+                "precision.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 8;
+  spec.concepts_per_topic = 10;
+  spec.shared_concepts = 20;
+  spec.docs_per_topic = 25;
+  spec.mean_doc_len = 30;
+  spec.general_prob = 0.4;
+  spec.own_topic_prob = 0.7;
+  spec.query_len = 4;
+  spec.polysemy_prob = 0.1;
+  spec.queries_per_topic = 8;
+  spec.query_offform_prob = 0.6;
+  spec.seed = 2500;
+  auto corpus = synth::generate_corpus(spec);
+
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 50;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+  baseline::VectorSpaceModel vsm(index.weighted_matrix());
+
+  std::vector<std::vector<double>> lsi_curves, smart_curves;
+  std::vector<double> lsi_ap, smart_ap;
+  for (const auto& q : corpus.queries) {
+    std::vector<la::index_t> lsi_ranked, smart_ranked;
+    for (const auto& r : index.query(q.text)) lsi_ranked.push_back(r.doc);
+    for (const auto& r : vsm.rank(index.weighted_term_vector(q.text))) {
+      smart_ranked.push_back(r.doc);
+    }
+    lsi_curves.push_back(eval::precision_recall_curve(lsi_ranked, q.relevant));
+    smart_curves.push_back(
+        eval::precision_recall_curve(smart_ranked, q.relevant));
+    lsi_ap.push_back(eval::average_precision(lsi_ranked, q.relevant));
+    smart_ap.push_back(eval::average_precision(smart_ranked, q.relevant));
+  }
+  const auto lsi_curve = eval::mean_curve(lsi_curves);
+  const auto smart_curve = eval::mean_curve(smart_curves);
+
+  util::TextTable table({"recall", "SMART precision", "LSI precision",
+                         "LSI advantage"});
+  for (int level = 0; level <= 10; ++level) {
+    const double s = smart_curve[level];
+    const double l = lsi_curve[level];
+    table.add_row({util::fmt(level / 10.0, 1), util::fmt(s, 3),
+                   util::fmt(l, 3),
+                   util::fmt_pct(s > 0 ? l / s - 1.0 : 0.0)});
+  }
+  table.print(std::cout,
+              "Mean 11-point interpolated precision over " +
+                  std::to_string(corpus.queries.size()) + " queries:");
+
+  const auto cmp = eval::compare_systems(lsi_ap, smart_ap);
+  std::cout << "\nmean AP: LSI " << util::fmt(cmp.mean_a, 3) << "  SMART "
+            << util::fmt(cmp.mean_b, 3) << "  (difference "
+            << util::fmt(cmp.mean_difference, 3) << ")\n"
+            << "per-query wins: LSI " << cmp.wins_a << " / SMART "
+            << cmp.wins_b << " / ties " << cmp.ties << "\n"
+            << "paired randomization p = "
+            << util::fmt(cmp.randomization_p, 4)
+            << ", sign test p = " << util::fmt(cmp.sign_test_p, 4) << "\n\n"
+            << "Shape to verify: LSI's advantage widens toward the "
+               "high-recall end of the\ncurve (the paper's claim), and the "
+               "AP difference is statistically solid.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Section 5.6 (second open problem): "perform SVD-updating in real-time
+// for databases that change frequently". Compares ingestion policies on a
+// document stream: pure folding, SVD-update per batch (consolidation), and
+// SVD-update per document — per-arrival latency vs final basis quality.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/incremental.hpp"
+#include "synth/corpus.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.6 (real-time updating)",
+                "Ingestion policies on a live stream: immediate fold-in "
+                "with periodic\nSVD-update consolidation bounds both "
+                "latency and distortion.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 6;
+  spec.concepts_per_topic = 10;
+  spec.docs_per_topic = 60;
+  spec.own_topic_prob = 0.7;
+  spec.seed = 4711;
+  auto corpus = synth::generate_corpus(spec);
+
+  // Interleaved train/stream split.
+  text::Collection train;
+  std::vector<std::size_t> stream_ids;
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    if (d % 2 == 0) {
+      train.push_back(corpus.docs[d]);
+    } else {
+      stream_ids.push_back(d);
+    }
+  }
+  core::IndexOptions iopts;
+  iopts.k = 30;
+
+  struct Policy {
+    const char* name;
+    std::size_t consolidate_every;
+    bool exact;
+  };
+  const Policy policies[] = {
+      {"fold only (never consolidate)", 0, false},
+      {"consolidate every 16 docs", 16, false},
+      {"consolidate every 64 docs", 64, false},
+      {"exact update every 16 docs", 16, true},
+      {"SVD-update every doc", 1, false},
+  };
+
+  util::TextTable table({"policy", "mean ms/doc", "max ms/doc",
+                         "consolidations", "final ||V^T V - I||_2"});
+  for (const auto& policy : policies) {
+    core::IncrementalOptions opts;
+    opts.consolidate_every = policy.consolidate_every;
+    opts.exact_update = policy.exact;
+    core::IncrementalIndexer indexer(core::LsiIndex::build(train, iopts),
+                                     opts);
+    double total_ms = 0.0, max_ms = 0.0;
+    for (std::size_t id : stream_ids) {
+      util::WallTimer t;
+      indexer.add(corpus.docs[id]);
+      const double ms = t.millis();
+      total_ms += ms;
+      max_ms = std::max(max_ms, ms);
+    }
+    table.add_row(
+        {policy.name, util::fmt(total_ms / stream_ids.size(), 3),
+         util::fmt(max_ms, 2), std::to_string(indexer.consolidations()),
+         util::fmt(core::orthogonality_loss(indexer.index().space().v), 6)});
+  }
+  table.print(std::cout,
+              "Streaming " + std::to_string(stream_ids.size()) +
+                  " documents into a k = 30 index of " +
+                  std::to_string(train.size()) + " documents:");
+
+  std::cout << "\nShape to verify: pure folding is fastest but its basis "
+               "distortion grows\nunboundedly; per-document SVD-updating "
+               "keeps the basis exact at much higher\nper-arrival cost; "
+               "periodic consolidation gets fold-in's mean latency with\n"
+               "bounded distortion — the practical answer to the paper's "
+               "open problem.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Section 5.1: LSI vs. the standard SMART keyword vector method across
+// several test collections. Paper: "the average precision using LSI ranged
+// from comparable to 30% better", with the largest advantage when queries
+// and relevant documents share few words and at high recall.
+
+#include <iostream>
+
+#include "baseline/vector_model.hpp"
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+struct CollectionResult {
+  double lsi_ap = 0.0;
+  double smart_ap = 0.0;
+  double lsi_p_high_recall = 0.0;    // interpolated precision at recall .75
+  double smart_p_high_recall = 0.0;
+};
+
+CollectionResult run_collection(const synth::SyntheticCorpus& corpus,
+                                core::index_t k) {
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = k;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+  baseline::VectorSpaceModel vsm(index.weighted_matrix());
+
+  CollectionResult out;
+  std::vector<double> l_ap, s_ap, l_hr, s_hr;
+  for (const auto& q : corpus.queries) {
+    std::vector<la::index_t> lsi_ranked, smart_ranked;
+    for (const auto& r : index.query(q.text)) lsi_ranked.push_back(r.doc);
+    for (const auto& r : vsm.rank(index.weighted_term_vector(q.text))) {
+      smart_ranked.push_back(r.doc);
+    }
+    l_ap.push_back(
+        eval::three_point_average_precision(lsi_ranked, q.relevant));
+    s_ap.push_back(
+        eval::three_point_average_precision(smart_ranked, q.relevant));
+    l_hr.push_back(eval::interpolated_precision(lsi_ranked, q.relevant, 0.75));
+    s_hr.push_back(
+        eval::interpolated_precision(smart_ranked, q.relevant, 0.75));
+  }
+  out.lsi_ap = eval::mean(l_ap);
+  out.smart_ap = eval::mean(s_ap);
+  out.lsi_p_high_recall = eval::mean(l_hr);
+  out.smart_p_high_recall = eval::mean(s_hr);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 5.1 (retrieval)",
+                "LSI vs. SMART keyword vector method over 5 synthetic "
+                "collections\n(3-pt average precision; paper: comparable to "
+                "30% better, best at high recall).");
+
+  // Five collections of varying synonymy stress (the knob controlling how
+  // many words queries share with relevant documents).
+  struct Spec {
+    const char* name;
+    double offform;
+    std::uint64_t seed;
+  };
+  const Spec specs[] = {
+      {"C1 (low synonymy)", 0.10, 101},  {"C2", 0.30, 102},
+      {"C3 (medium)", 0.50, 103},        {"C4", 0.70, 104},
+      {"C5 (high synonymy)", 0.90, 105},
+  };
+  // Topic mixing (own_topic_prob < 1) keeps the task honest: documents of
+  // different topics share vocabulary, so neither method saturates.
+
+  util::TextTable table({"collection", "SMART AP", "LSI AP", "LSI advantage",
+                         "SMART P@R.75", "LSI P@R.75"});
+  double total_adv = 0.0;
+  for (const auto& s : specs) {
+    synth::CorpusSpec spec;
+    spec.topics = 8;
+    spec.concepts_per_topic = 10;
+    spec.shared_concepts = 20;
+    spec.docs_per_topic = 25;
+    spec.queries_per_topic = 5;
+    spec.mean_doc_len = 30;
+    spec.general_prob = 0.4;
+    spec.own_topic_prob = 0.75;
+    spec.query_len = 4;
+    spec.polysemy_prob = 0.1;
+    spec.query_offform_prob = s.offform;
+    spec.seed = s.seed;
+    auto result = run_collection(synth::generate_corpus(spec), 50);
+    const double adv = result.smart_ap > 0
+                           ? (result.lsi_ap / result.smart_ap - 1.0)
+                           : 0.0;
+    total_adv += adv;
+    table.add_row({s.name, util::fmt(result.smart_ap, 3),
+                   util::fmt(result.lsi_ap, 3), util::fmt_pct(adv),
+                   util::fmt(result.smart_p_high_recall, 3),
+                   util::fmt(result.lsi_p_high_recall, 3)});
+  }
+  table.print(std::cout, "Per-collection results (k = 50):");
+  std::cout << "\nmean LSI advantage: " << util::fmt_pct(total_adv / 5)
+            << "   (paper: 0%..30% across its 5 collections)\n"
+            << "Shape to verify: advantage grows with synonymy stress and "
+               "is largest in the\nhigh-recall precision column.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Section 5.4 (spelling correction, after Kukich): rows are character
+// n-grams, columns are correctly spelled words; a (possibly misspelled)
+// input is projected from its n-grams and the nearest lexicon word in LSI
+// space is the suggested correction.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "synth/noise.hpp"
+#include "synth/spelling.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.4 (spelling correction)",
+                "n-gram x word LSI space; corrupted words corrected to the "
+                "nearest lexicon word.");
+
+  // A lexicon in the flavor of the paper's own vocabulary.
+  const std::vector<std::string> lexicon = {
+      "abnormalities", "analysis",   "behavior",   "blood",     "close",
+      "computation",   "culture",    "database",   "depressed", "discharge",
+      "disease",       "document",   "factor",     "fast",      "filtering",
+      "generation",    "indexing",   "information","lanczos",   "latent",
+      "matrix",        "oestrogen",  "orthogonal", "patients",  "pressure",
+      "precision",     "query",      "rats",       "recall",    "retrieval",
+      "semantic",      "singular",   "sparse",     "study",     "updating",
+      "vector",        "weighting",  "workstation"};
+
+  util::TextTable sample({"input (corrupted)", "suggestion", "cosine",
+                          "expected"});
+  int correct_at_1 = 0, correct_at_3 = 0, trials = 0;
+  util::Rng rng(99);
+  synth::NoiseSpec noise;
+  noise.word_error_rate = 1.0;  // corrupt every probe word once
+
+  for (int k : {24}) {
+    auto model = synth::build_spelling_model(lexicon, k);
+    for (int round = 0; round < 5; ++round) {
+      for (const auto& word : lexicon) {
+        const std::string corrupted =
+            synth::corrupt_text(word, noise, rng);
+        if (corrupted == word) continue;
+        auto suggestions = synth::suggest_corrections(model, corrupted, 3);
+        if (suggestions.empty()) continue;
+        ++trials;
+        if (suggestions[0].word == word) ++correct_at_1;
+        for (const auto& s : suggestions) {
+          if (s.word == word) {
+            ++correct_at_3;
+            break;
+          }
+        }
+        if (trials <= 10) {
+          sample.add_row({corrupted, suggestions[0].word,
+                          util::fmt(suggestions[0].cosine, 3), word});
+        }
+      }
+    }
+  }
+  sample.print(std::cout, "Sample corrections (k = 24):");
+
+  std::cout << "\naccuracy@1: "
+            << util::fmt_pct(trials ? double(correct_at_1) / trials : 0)
+            << "   accuracy@3: "
+            << util::fmt_pct(trials ? double(correct_at_3) / trials : 0)
+            << "   (" << trials << " corrupted probes)\n"
+            << "Shape to verify: single-edit corruptions resolve to the "
+               "intended word in the\nlarge majority of cases — the "
+               "mechanism Kukich exploited.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Stemming ablation (Section 5.4): the paper runs LSI *without* stemming
+// and argues it is unnecessary — "if words with the same stem are used in
+// similar documents they will have similar vectors in the truncated SVD".
+// We measure what Porter stemming buys the keyword vector model vs what it
+// buys LSI, on corpora whose synonym groups are morphological variants.
+
+#include <iostream>
+
+#include "baseline/vector_model.hpp"
+#include "bench_common.hpp"
+#include "eval/metrics.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+struct Result {
+  double keyword = 0.0;
+  double lsi = 0.0;
+};
+
+Result evaluate(const synth::SyntheticCorpus& corpus, bool stem) {
+  core::IndexOptions opts;
+  opts.parser.stem = stem;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 40;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+  baseline::VectorSpaceModel vsm(index.weighted_matrix());
+
+  std::vector<double> kw, li;
+  for (const auto& q : corpus.queries) {
+    std::vector<la::index_t> kranked, lranked;
+    for (const auto& r : vsm.rank(index.weighted_term_vector(q.text))) {
+      kranked.push_back(r.doc);
+    }
+    for (const auto& r : index.query(q.text)) lranked.push_back(r.doc);
+    kw.push_back(eval::three_point_average_precision(kranked, q.relevant));
+    li.push_back(eval::three_point_average_precision(lranked, q.relevant));
+  }
+  return {eval::mean(kw), eval::mean(li)};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Stemming ablation (Section 5.4)",
+                "Porter stemming on/off for the keyword vector model and "
+                "for LSI, on corpora\nwhose synonyms are morphological "
+                "variants ('zbecos' ~ 'zbecosed' ~ ...).");
+
+  double kw_gain_total = 0.0, lsi_gain_total = 0.0;
+  util::TextTable table({"collection", "keyword", "keyword+stem", "gain",
+                         "LSI", "LSI+stem", "gain"});
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    synth::CorpusSpec spec;
+    spec.topics = 8;
+    spec.concepts_per_topic = 10;
+    spec.shared_concepts = 20;
+    spec.forms_per_concept = 4;       // root, -s, -ed, -ing
+    spec.morphological_forms = true;  // stemmable synonym groups
+    spec.consistent_forms_per_doc = true;
+    spec.docs_per_topic = 25;
+    spec.mean_doc_len = 30;
+    spec.own_topic_prob = 0.7;
+    spec.general_prob = 0.4;
+    spec.queries_per_topic = 5;
+    spec.query_len = 4;
+    spec.query_offform_prob = 0.7;  // queries favour inflected variants
+    spec.seed = 2300 + s;
+    auto corpus = synth::generate_corpus(spec);
+
+    const Result plain = evaluate(corpus, /*stem=*/false);
+    const Result stemmed = evaluate(corpus, /*stem=*/true);
+    const double kw_gain =
+        plain.keyword > 0 ? stemmed.keyword / plain.keyword - 1.0 : 0.0;
+    const double lsi_gain =
+        plain.lsi > 0 ? stemmed.lsi / plain.lsi - 1.0 : 0.0;
+    kw_gain_total += kw_gain;
+    lsi_gain_total += lsi_gain;
+    table.add_row({"C" + std::to_string(s + 1), util::fmt(plain.keyword, 3),
+                   util::fmt(stemmed.keyword, 3), util::fmt_pct(kw_gain),
+                   util::fmt(plain.lsi, 3), util::fmt(stemmed.lsi, 3),
+                   util::fmt_pct(lsi_gain)});
+  }
+  table.print(std::cout, "3-pt average precision (k = 40):");
+
+  std::cout << "\nmean stemming gain: keyword " << util::fmt_pct(
+                   kw_gain_total / 4)
+            << "   LSI " << util::fmt_pct(lsi_gain_total / 4) << "\n"
+            << "Shape to verify: stemming substantially helps literal "
+               "matching but adds much\nless on top of LSI — the truncated "
+               "SVD already places morphological variants\nnear each other "
+               "(the paper's doctor/doctors observation), which is why the "
+               "paper\nruns without a stemmer.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Section 5.4 (modeling human memory): the TOEFL-style synonym test. Paper:
+// LSI term-term similarity scored 64% vs. 33% for word-overlap methods
+// (25% = chance on 4 alternatives; average human test-taker: 64%).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+#include "synth/synonym_test.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Section 5.4 (TOEFL synonym test)",
+                "LSI term-term similarity vs. word-overlap on generated "
+                "synonym items.");
+
+  synth::CorpusSpec spec;
+  spec.topics = 12;
+  spec.concepts_per_topic = 10;
+  spec.shared_concepts = 30;
+  spec.forms_per_concept = 3;
+  spec.docs_per_topic = 30;
+  spec.mean_doc_len = 40;
+  spec.form_zipf = 1.1;  // rarer forms still need enough occurrences
+  spec.polysemy_prob = 0.05;
+  // Authors use one form per concept within a document, so synonyms almost
+  // never co-occur in a document — overlap methods are left guessing.
+  spec.consistent_forms_per_doc = true;
+  spec.seed = 1100;
+  auto corpus = synth::generate_corpus(spec);
+  auto items = synth::make_synonym_test(corpus, 80, 7);
+
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 60;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+  const auto& vocab = index.vocabulary();
+
+  // Word-overlap baseline: candidates scored by the number of documents in
+  // which they co-occur with the stem.
+  const auto& counts = index.raw_counts();
+  auto cooccur = [&](la::index_t a, la::index_t b) {
+    int shared = 0;
+    for (la::index_t j = 0; j < counts.cols(); ++j) {
+      if (counts.at(a, j) > 0 && counts.at(b, j) > 0) ++shared;
+    }
+    return shared;
+  };
+
+  int answered = 0, lsi_correct = 0, overlap_correct = 0;
+  for (const auto& item : items) {
+    const auto stem = vocab.find(item.stem);
+    if (!stem) continue;
+    bool all_present = true;
+    std::vector<la::index_t> choice_ids;
+    for (const auto& c : item.choices) {
+      const auto id = vocab.find(c);
+      all_present = all_present && id.has_value();
+      if (id) choice_ids.push_back(*id);
+    }
+    if (!all_present) continue;
+    ++answered;
+
+    // LSI pick: max term-term cosine.
+    std::size_t lsi_pick = 0;
+    double best_cos = -2.0;
+    for (std::size_t i = 0; i < choice_ids.size(); ++i) {
+      const double cos =
+          core::term_similarity(index.space(), *stem, choice_ids[i]);
+      if (cos > best_cos) {
+        best_cos = cos;
+        lsi_pick = i;
+      }
+    }
+    lsi_correct += (lsi_pick == item.correct);
+
+    // Word-overlap pick: max document co-occurrence (ties -> first).
+    std::size_t ov_pick = 0;
+    int best_shared = -1;
+    for (std::size_t i = 0; i < choice_ids.size(); ++i) {
+      const int shared = cooccur(*stem, choice_ids[i]);
+      if (shared > best_shared) {
+        best_shared = shared;
+        ov_pick = i;
+      }
+    }
+    overlap_correct += (ov_pick == item.correct);
+  }
+
+  util::TextTable table({"method", "correct", "of", "accuracy"});
+  table.add_row({"LSI (k = 60 term cosine)", std::to_string(lsi_correct),
+                 std::to_string(answered),
+                 util::fmt_pct(answered ? double(lsi_correct) / answered : 0)});
+  table.add_row({"word overlap (doc co-occurrence)",
+                 std::to_string(overlap_correct), std::to_string(answered),
+                 util::fmt_pct(
+                     answered ? double(overlap_correct) / answered : 0)});
+  table.add_row({"chance", "-", "-", "25.0%"});
+  table.print(std::cout, "Synonym test results:");
+
+  std::cout << "\npaper: LSI 64%, word-overlap 33%, chance 25%, average "
+               "human test-taker 64%.\nShape to verify: LSI well above "
+               "word-overlap; both above chance. (Synonyms by\nconstruction "
+               "rarely co-occur in a document — they are alternative "
+               "voicings of one\nconcept — which is exactly why overlap "
+               "methods fail and dimension reduction works.)\n";
+  return 0;
+}

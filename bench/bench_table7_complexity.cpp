@@ -1,0 +1,124 @@
+// Table 7: computational complexity of the updating methods — the flop
+// model evaluated over a sweep of added documents/terms, plus measured wall
+// times of our implementations, confirming the paper's two claims:
+//   * folding-in costs far less than SVD-updating when d << n;
+//   * SVD-updating's expense is dominated by the (2k^2 - k)(m + n) dense
+//     rotations, yet it stays far cheaper than recomputing for large sparse
+//     matrices.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/flops.hpp"
+#include "lsi/folding.hpp"
+#include "lsi/update.hpp"
+#include "synth/sparse_random.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Table 7",
+                "Computational complexity of updating methods: flop model + "
+                "measured times.");
+
+  // Model sweep at TREC-ish shape (scaled): m = 20000 terms, n = 10000
+  // docs, k = 100, Lanczos I = 1.5 k, trp = k.
+  {
+    core::FlopModelParams x;
+    x.m = 20000;
+    x.n = 10000;
+    x.k = 100;
+    x.iterations = 150;
+    x.triplets = 100;
+    const std::uint64_t nnz_per_doc = 60;
+    x.nnz_a = (x.n) * nnz_per_doc;
+
+    util::TextTable table({"p (new docs)", "fold-in docs (Mflop)",
+                           "SVD-update docs (Mflop)",
+                           "recompute (Mflop)", "fold/update ratio"});
+    for (std::uint64_t p : {1u, 10u, 100u, 1000u, 10000u}) {
+      x.p = p;
+      x.nnz_d = p * nnz_per_doc;
+      core::FlopModelParams xr = x;
+      xr.nnz_a = (x.n + p) * nnz_per_doc;
+      const double fold = static_cast<double>(core::flops_fold_documents(x)) / 1e6;
+      const double update =
+          static_cast<double>(core::flops_update_documents(x)) / 1e6;
+      const double recompute =
+          static_cast<double>(core::flops_recompute(xr)) / 1e6;
+      table.add_row({std::to_string(p), util::fmt(fold, 1),
+                     util::fmt(update, 1), util::fmt(recompute, 1),
+                     util::fmt(fold / update, 4)});
+    }
+    table.print(std::cout,
+                "Flop model, documents phase (m=20000, n=10000, k=100, "
+                "I=150, trp=100):");
+    std::cout << '\n';
+  }
+
+  {
+    core::FlopModelParams x;
+    x.m = 20000;
+    x.n = 10000;
+    x.k = 100;
+    x.iterations = 150;
+    x.triplets = 100;
+    util::TextTable table({"q (new terms)", "fold-in terms (Mflop)",
+                           "SVD-update terms (Mflop)"});
+    for (std::uint64_t q : {1u, 10u, 100u, 1000u}) {
+      x.q = q;
+      x.nnz_t = q * 30;
+      table.add_row(
+          {std::to_string(q),
+           util::fmt(static_cast<double>(core::flops_fold_terms(x)) / 1e6, 1),
+           util::fmt(static_cast<double>(core::flops_update_terms(x)) / 1e6,
+                     1)});
+    }
+    table.print(std::cout, "Flop model, terms phase:");
+    std::cout << '\n';
+  }
+
+  // Measured wall times on a real mid-size problem.
+  {
+    const la::index_t m = 3000, n = 1500, k = 50;
+    auto a = synth::random_sparse_matrix(m, n, 0.01, 17);
+    auto base = core::build_semantic_space(a, k);
+
+    util::TextTable table({"p (new docs)", "fold-in (ms)",
+                           "SVD-update (ms)", "recompute (ms)"});
+    for (la::index_t p : {1u, 8u, 64u, 256u}) {
+      auto d = synth::random_sparse_matrix(m, p, 0.01, 18 + p);
+
+      auto folded = base;
+      util::WallTimer t1;
+      core::fold_in_documents(folded, d);
+      const double fold_ms = t1.millis();
+
+      auto updated = base;
+      util::WallTimer t2;
+      core::update_documents(updated, d);
+      const double update_ms = t2.millis();
+
+      util::WallTimer t3;
+      auto recomputed = core::build_semantic_space(a.with_appended_cols(d), k);
+      const double recompute_ms = t3.millis();
+
+      table.add_row({std::to_string(p), util::fmt(fold_ms, 1),
+                     util::fmt(update_ms, 1), util::fmt(recompute_ms, 1)});
+    }
+    table.print(std::cout,
+                "Measured wall time (m=3000, n=1500, k=50, density 1%):");
+  }
+
+  std::cout << "\nShape to verify against the paper: fold-in << SVD-update "
+               "<< recompute for small p;\nSVD-update cost is nearly flat "
+               "in p (dense rotations dominate).\n\nNote on the flop model "
+               "vs the measured times: Table 7's recompute row (like\nthe "
+               "paper's) counts only the matvec work I*4nnz + trp*2nnz; it "
+               "omits the\nLanczos reorthogonalization, whose O(I^2 (m+n)) "
+               "flops dominate recomputation\nin practice. That is why the "
+               "measured recompute column is far slower than its\nmodeled "
+               "flops suggest, and why updating wins in wall time even "
+               "where the raw\nmodel says otherwise.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation: the four ways to absorb new documents — folding-in (Eq. 7), the
+// paper's projection SVD-update (Section 4.2), the exact residual-carrying
+// update (extension), and recomputing — compared on reconstruction
+// fidelity, orthogonality and wall time as the batch grows.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lsi/folding.hpp"
+#include "lsi/update.hpp"
+#include "synth/sparse_random.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lsi;
+  bench::banner("Update-method ablation (extension)",
+                "fold-in vs projection SVD-update vs exact update vs "
+                "recompute:\nreconstruction error against the true bordered "
+                "matrix, and cost.");
+
+  const la::index_t m = 1200, n = 700, k = 40;
+  auto a = synth::random_sparse_matrix(m, n, 0.02, 99);
+  auto base = core::build_semantic_space(a, k);
+
+  util::TextTable table({"p (new docs)", "method", "||B - B_k||_F",
+                         "||V^T V - I||_2", "time (ms)"});
+  for (la::index_t p : {4u, 32u, 128u}) {
+    auto d = synth::random_sparse_matrix(m, p, 0.02, 100 + p);
+    auto bordered = a.with_appended_cols(d).to_dense();
+    auto err = [&](const core::SemanticSpace& s) {
+      auto diff = bordered;
+      diff.add_scaled(s.reconstruct(), -1.0);
+      return diff.frobenius_norm();
+    };
+
+    {
+      auto s = base;
+      util::WallTimer t;
+      core::fold_in_documents(s, d);
+      const double ms = t.millis();
+      table.add_row({std::to_string(p), "fold-in", util::fmt(err(s), 3),
+                     util::fmt(core::orthogonality_loss(s.v), 6),
+                     util::fmt(ms, 1)});
+    }
+    {
+      auto s = base;
+      util::WallTimer t;
+      core::update_documents(s, d);
+      const double ms = t.millis();
+      table.add_row({std::to_string(p), "SVD-update (projection)",
+                     util::fmt(err(s), 3),
+                     util::fmt(core::orthogonality_loss(s.v), 6),
+                     util::fmt(ms, 1)});
+    }
+    {
+      auto s = base;
+      util::WallTimer t;
+      core::update_documents_exact(s, d);
+      const double ms = t.millis();
+      table.add_row({std::to_string(p), "SVD-update (exact)",
+                     util::fmt(err(s), 3),
+                     util::fmt(core::orthogonality_loss(s.v), 6),
+                     util::fmt(ms, 1)});
+    }
+    {
+      util::WallTimer t;
+      auto s = core::build_semantic_space(a.with_appended_cols(d), k);
+      const double ms = t.millis();
+      table.add_row({std::to_string(p), "recompute", util::fmt(err(s), 3),
+                     util::fmt(core::orthogonality_loss(s.v), 6),
+                     util::fmt(ms, 1)});
+    }
+  }
+  table.print(std::cout, "m=1200 terms, n=700 docs, k=40, density 2%:");
+
+  std::cout << "\nShape to verify: error fold-in >= projection >= exact >= "
+               "recompute; cost in\nthe opposite order; only fold-in "
+               "corrupts orthogonality. The exact update\ncloses most of "
+               "the fidelity gap to recomputing at a fraction of its "
+               "cost.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the reproduction benches: paper-example spaces, labeled
+// rankings, and uniform report headers so every binary's output reads the
+// same way.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "data/med_topics.hpp"
+#include "lsi/retrieval.hpp"
+#include "lsi/semantic_space.hpp"
+#include "util/table.hpp"
+
+namespace lsi::bench {
+
+/// Prints the standard banner identifying which paper artifact follows.
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==================================================================\n"
+            << "Reproduction of " << artifact << " — Berry, Dumais & Letsche,\n"
+            << "\"Computational Methods for Intelligent Information Access\" (SC '95)\n"
+            << what << "\n"
+            << "==================================================================\n\n";
+}
+
+/// The paper's k-factor space over the verbatim Table 3 matrix, oriented to
+/// the printed Figure 5 signs.
+inline core::SemanticSpace paper_space(core::index_t k) {
+  auto space = core::build_semantic_space(data::table3_counts(), k);
+  core::align_signs_to(space, data::figure5_u2());
+  return space;
+}
+
+/// The Section 3.1 query ("age blood abnormalities") as a term vector.
+inline la::Vector paper_query() {
+  la::Vector q(18, 0.0);
+  q[0] = 1.0;  // abnormalities
+  q[1] = 1.0;  // age
+  q[3] = 1.0;  // blood
+  return q;
+}
+
+/// "M<j+1>" labels for the medical-topic documents.
+inline std::string med_label(core::index_t doc) {
+  return "M" + std::to_string(doc + 1);
+}
+
+}  // namespace lsi::bench

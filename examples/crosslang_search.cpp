@@ -1,0 +1,67 @@
+// Section 5.4 cross-language retrieval demo (after Landauer & Littman):
+// train on dual-language documents, fold in monolingual ones, and query in
+// either language with no translation step.
+//
+//   $ ./examples/crosslang_search
+
+#include <iostream>
+
+#include "lsi/lsi_index.hpp"
+#include "synth/bilingual.hpp"
+
+int main() {
+  using namespace lsi;
+
+  synth::BilingualSpec spec;
+  spec.topics = 5;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 15;
+  spec.queries_per_topic = 2;
+  spec.seed = 4242;
+  auto corpus = synth::generate_bilingual_corpus(spec);
+
+  // Train on the dual-language ("mated abstract") collection.
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 25;
+  auto index = core::LsiIndex::build(corpus.dual, opts);
+  std::cout << "trained multilingual space on " << corpus.dual.size()
+            << " dual-language documents (" << index.vocabulary().size()
+            << " terms across both languages)\n";
+
+  // Fold in monolingual language-B documents — these never had a
+  // language-A version, yet language-A queries will find them.
+  index.add_documents(corpus.mono_b, core::AddMethod::kFoldIn);
+  std::cout << "folded in " << corpus.mono_b.size()
+            << " monolingual language-B documents\n\n";
+
+  const auto& q = corpus.queries_a[0];
+  std::cout << "language-A query: \"" << q.text << "\" (topic " << q.topic
+            << ")\n";
+  std::cout << "top retrieved monolingual-B documents:\n";
+  const std::size_t offset = corpus.dual.size();
+  std::size_t shown = 0, topical = 0;
+  for (const auto& r : index.query(q.text)) {
+    if (r.doc < offset) continue;  // skip the training docs for the demo
+    const std::size_t original = r.doc - offset;
+    const bool relevant = corpus.doc_topics[original] == q.topic;
+    topical += relevant;
+    std::cout << "  " << r.label << "  cosine " << r.cosine
+              << (relevant ? "  [same topic]" : "") << "\n";
+    if (++shown == 8) break;
+  }
+  std::cout << "\n" << topical << "/8 of the top cross-language hits are "
+            << "on-topic — no translation was involved,\nexactly the "
+               "behaviour the paper reports for French/English mated "
+               "abstracts.\n";
+
+  // Bonus: cross-language term neighborhoods. A language-A term's nearest
+  // neighbours include its language-B counterparts.
+  const std::string probe = "a0f0";  // topic 0, concept 0, dominant A form
+  std::cout << "\nterms nearest to language-A term \"" << probe << "\":\n";
+  for (const auto& [term, cos] : index.similar_terms(probe, 6)) {
+    std::cout << "  " << term << "  " << cos
+              << (term[0] == 'b' ? "  [language B]" : "") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,208 @@
+// lsi_cli: the command-line face of the library — build an LSI database
+// from a TSV collection, query it, add documents, and inspect term
+// neighborhoods, without writing any C++.
+//
+//   lsi_cli build  <docs.tsv> <db.lsi> [--k N] [--scheme raw|log-entropy]
+//                  [--min-df N] [--stem] [--bigrams]
+//   lsi_cli query  <db.lsi> "free text..." [--top N] [--threshold C]
+//   lsi_cli terms  <db.lsi> <term> [--top N]
+//   lsi_cli add    <db.lsi> <more.tsv>          (fold-in, writes in place)
+//   lsi_cli info   <db.lsi>
+//
+// docs.tsv: one document per line, "label<TAB>text".
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lsi/folding.hpp"
+#include "lsi/io.hpp"
+#include "lsi/lsi_index.hpp"
+#include "lsi/retrieval.hpp"
+#include "text/parser.hpp"
+
+namespace {
+
+using namespace lsi;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  lsi_cli build <docs.tsv> <db.lsi> [--k N] "
+         "[--scheme raw|log-entropy] [--min-df N] [--stem] [--bigrams]\n"
+         "  lsi_cli query <db.lsi> \"free text\" [--top N] [--threshold C]\n"
+         "  lsi_cli terms <db.lsi> <term> [--top N]\n"
+         "  lsi_cli add   <db.lsi> <more.tsv>\n"
+         "  lsi_cli info  <db.lsi>\n";
+  return 2;
+}
+
+text::Collection read_tsv(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  text::Collection docs;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw std::runtime_error("line without tab: " + line.substr(0, 40));
+    }
+    docs.push_back({line.substr(0, tab), line.substr(tab + 1)});
+  }
+  return docs;
+}
+
+/// Shared flag scanning: returns the value after `flag` or empty.
+std::string flag_value(const std::vector<std::string>& args,
+                       const std::string& flag) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == flag) return args[i + 1];
+  }
+  return "";
+}
+
+bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
+  for (const auto& a : args) {
+    if (a == flag) return true;
+  }
+  return false;
+}
+
+int cmd_build(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto docs = read_tsv(args[0]);
+
+  core::IndexOptions opts;
+  opts.k = 100;
+  if (const auto k = flag_value(args, "--k"); !k.empty()) {
+    opts.k = static_cast<core::index_t>(std::stoul(k));
+  }
+  if (const auto scheme = flag_value(args, "--scheme"); scheme == "raw") {
+    opts.scheme = weighting::kRaw;
+  } else {
+    opts.scheme = weighting::kLogEntropy;
+  }
+  if (const auto df = flag_value(args, "--min-df"); !df.empty()) {
+    opts.parser.min_document_frequency = std::stoul(df);
+  }
+  opts.parser.stem = has_flag(args, "--stem");
+  opts.parser.add_bigrams = has_flag(args, "--bigrams");
+
+  auto index = core::LsiIndex::build(docs, opts);
+  core::LsiDatabase db{index.space(), index.vocabulary(),
+                       index.doc_labels(), index.options().scheme,
+                       index.global_weights()};
+  core::save_database_file(args[1], db);
+  std::cout << "built " << args[1] << ": " << db.doc_labels.size()
+            << " documents, " << db.vocabulary.size() << " terms, k = "
+            << db.space.k() << "\n";
+  return 0;
+}
+
+/// Weighted query vector against a reloaded database.
+la::Vector query_vector(const core::LsiDatabase& db,
+                        const std::string& text) {
+  text::TermDocumentMatrix shim;
+  shim.vocabulary = db.vocabulary;  // text_to_term_vector needs the vocab
+  la::Vector raw = text::text_to_term_vector(shim, text);
+  std::vector<double> g = db.global_weights;
+  if (g.empty()) g.assign(db.vocabulary.size(), 1.0);
+  return weighting::apply_to_vector(raw, g, db.scheme.local);
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto db = core::load_database_file(args[0]);
+  core::QueryOptions qopts;
+  qopts.top_z = 10;
+  if (const auto top = flag_value(args, "--top"); !top.empty()) {
+    qopts.top_z = std::stoul(top);
+  }
+  if (const auto th = flag_value(args, "--threshold"); !th.empty()) {
+    qopts.min_cosine = std::stod(th);
+  }
+  const auto ranked =
+      core::retrieve(db.space, query_vector(db, args[1]), qopts);
+  for (const auto& sd : ranked) {
+    std::cout << db.doc_labels[sd.doc] << '\t' << sd.cosine << '\n';
+  }
+  return 0;
+}
+
+int cmd_terms(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const auto db = core::load_database_file(args[0]);
+  const auto row = db.vocabulary.find(args[1]);
+  if (!row) {
+    std::cerr << "term not in vocabulary: " << args[1] << "\n";
+    return 1;
+  }
+  std::size_t top = 10;
+  if (const auto t = flag_value(args, "--top"); !t.empty()) {
+    top = std::stoul(t);
+  }
+  const la::Vector anchor = db.space.term_coords(*row);
+  for (const auto& sd : core::rank_terms(db.space, anchor, top + 1)) {
+    if (sd.doc == *row) continue;
+    std::cout << db.vocabulary.term(sd.doc) << '\t' << sd.cosine << '\n';
+  }
+  return 0;
+}
+
+int cmd_add(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  auto db = core::load_database_file(args[0]);
+  const auto docs = read_tsv(args[1]);
+  lsi::la::CooBuilder builder(db.space.num_terms(), docs.size());
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const auto w = query_vector(db, docs[d].body);
+    for (core::index_t i = 0; i < w.size(); ++i) {
+      if (w[i] != 0.0) builder.add(i, d, w[i]);
+    }
+    db.doc_labels.push_back(docs[d].label);
+  }
+  core::fold_in_documents(db.space, builder.to_csc());
+  core::save_database_file(args[0], db);
+  std::cout << "folded in " << docs.size() << " documents; database now "
+            << db.doc_labels.size() << " documents\n";
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto db = core::load_database_file(args[0]);
+  std::cout << "documents: " << db.doc_labels.size() << "\n"
+            << "terms:     " << db.vocabulary.size() << "\n"
+            << "factors:   " << db.space.k() << "\n"
+            << "weighting: " << weighting::name(db.scheme) << "\n"
+            << "sigma_1:   " << (db.space.sigma.empty() ? 0.0
+                                                        : db.space.sigma[0])
+            << "\n"
+            << "sigma_k:   " << (db.space.sigma.empty() ? 0.0
+                                                        : db.space.sigma.back())
+            << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  try {
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "terms") return cmd_terms(args);
+    if (cmd == "add") return cmd_add(args);
+    if (cmd == "info") return cmd_info(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

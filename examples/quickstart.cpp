@@ -1,0 +1,54 @@
+// Quickstart: build an LSI index over a handful of documents, run a query
+// that shares no words with its best answer, and inspect term neighbors.
+//
+//   $ ./examples/quickstart
+
+#include <iostream>
+
+#include "lsi/lsi_index.hpp"
+
+int main() {
+  using namespace lsi;
+
+  // 1. A small collection. Note that doc "c1" talks about cars without the
+  //    word "automobile" and vice versa — the paper's synonymy example.
+  const text::Collection docs = {
+      {"c1", "the car dealer sells sedans with a powerful motor and engine"},
+      {"c2", "automobile makers improve engine and chassis of every sedan"},
+      {"c3", "drivers prefer a car with responsive steering and brakes"},
+      {"e1", "elephants roam the savanna in large grey herds"},
+      {"e2", "the elephant herd drinks at the river at dusk"},
+      {"m1", "the mechanic repairs the motor and replaces brake pads"},
+  };
+
+  // 2. Build: parse -> weight (log x entropy) -> truncated SVD.
+  core::IndexOptions opts;
+  opts.k = 3;                       // 3 latent factors are plenty here
+  opts.scheme = weighting::kLogEntropy;
+  auto index = core::LsiIndex::build(docs, opts);
+  std::cout << "indexed " << index.doc_labels().size() << " documents, "
+            << index.vocabulary().size() << " terms, k = "
+            << index.space().k() << "\n\n";
+
+  // 3. Query with a word that appears in only one document; latent
+  //    structure still surfaces the other car documents.
+  std::cout << "query: \"automobile\"\n";
+  for (const auto& r : index.query("automobile")) {
+    std::cout << "  " << r.label << "  cosine " << r.cosine << "\n";
+  }
+
+  // 4. Term neighborhoods (the automatic thesaurus of Section 5.4).
+  std::cout << "\nterms nearest to \"car\":\n";
+  for (const auto& [term, cos] : index.similar_terms("car", 5)) {
+    std::cout << "  " << term << "  " << cos << "\n";
+  }
+
+  // 5. Add a new document without recomputing (folding-in).
+  index.add_documents({{"c4", "a hybrid automobile with an electric motor"}},
+                      core::AddMethod::kFoldIn);
+  std::cout << "\nafter folding in c4, query \"electric car\":\n";
+  for (const auto& r : index.query("electric car")) {
+    std::cout << "  " << r.label << "  cosine " << r.cosine << "\n";
+  }
+  return 0;
+}

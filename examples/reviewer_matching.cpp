@@ -1,0 +1,110 @@
+// Section 5.4 "Matching People Instead of Documents": assign submitted
+// papers to reviewers. Reviewers are represented by the texts they have
+// written (their profiles are folded into the LSI space); submissions are
+// matched to the nearest reviewers under the paper's stated constraints —
+// every paper reviewed by `p` reviewers, no reviewer handling more than `r`
+// papers.
+//
+//   $ ./examples/reviewer_matching
+
+#include <algorithm>
+#include <iostream>
+
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+int main() {
+  using namespace lsi;
+
+  // Reviewer corpora: each reviewer has "written" documents from one topic
+  // of a synthetic research landscape.
+  synth::CorpusSpec spec;
+  spec.topics = 6;          // six research areas
+  spec.concepts_per_topic = 10;
+  spec.docs_per_topic = 12;
+  spec.queries_per_topic = 2;  // the queries serve as "submitted abstracts"
+  spec.query_len = 6;
+  spec.query_offform_prob = 0.4;
+  spec.seed = 2025;
+  auto corpus = synth::generate_corpus(spec);
+
+  const std::size_t num_reviewers = 12;  // two per area
+  const std::size_t papers_per_reviewer_cap = 3;  // r
+  const std::size_t reviews_per_paper = 2;        // p
+
+  // Build the space over everything the reviewers have written.
+  core::IndexOptions opts;
+  opts.scheme = weighting::kLogEntropy;
+  opts.k = 30;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+
+  // Reviewer profiles: mean projection of their writings.
+  std::vector<la::Vector> profiles(num_reviewers,
+                                   la::Vector(index.space().k(), 0.0));
+  std::vector<std::size_t> reviewer_topic(num_reviewers);
+  std::vector<int> writings(num_reviewers, 0);
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    // Reviewer id: topic * 2 + (doc parity) — two reviewers per area.
+    const std::size_t reviewer = corpus.doc_topics[d] * 2 + (d % 2);
+    if (reviewer >= num_reviewers) continue;
+    const auto p = index.project(corpus.docs[d].body);
+    for (std::size_t i = 0; i < p.size(); ++i) profiles[reviewer][i] += p[i];
+    reviewer_topic[reviewer] = corpus.doc_topics[d];
+    ++writings[reviewer];
+  }
+  for (std::size_t rv = 0; rv < num_reviewers; ++rv) {
+    if (writings[rv] > 0) {
+      for (double& v : profiles[rv]) v /= writings[rv];
+    }
+  }
+
+  // Submissions = the generated queries (abstract-length texts).
+  struct Candidate {
+    double cosine;
+    std::size_t paper, reviewer;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t pa = 0; pa < corpus.queries.size(); ++pa) {
+    const auto v = index.project(corpus.queries[pa].text);
+    for (std::size_t rv = 0; rv < num_reviewers; ++rv) {
+      candidates.push_back({la::cosine(v, profiles[rv]), pa, rv});
+    }
+  }
+  // Greedy constrained assignment by descending similarity.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.cosine > b.cosine;
+            });
+  std::vector<std::size_t> paper_load(corpus.queries.size(), 0);
+  std::vector<std::size_t> reviewer_load(num_reviewers, 0);
+  std::vector<std::vector<std::size_t>> assignment(corpus.queries.size());
+  for (const auto& c : candidates) {
+    if (paper_load[c.paper] >= reviews_per_paper) continue;
+    if (reviewer_load[c.reviewer] >= papers_per_reviewer_cap) continue;
+    assignment[c.paper].push_back(c.reviewer);
+    ++paper_load[c.paper];
+    ++reviewer_load[c.reviewer];
+  }
+
+  std::cout << "assigned " << corpus.queries.size() << " papers to "
+            << num_reviewers << " reviewers (p = " << reviews_per_paper
+            << " reviews/paper, r <= " << papers_per_reviewer_cap
+            << " papers/reviewer)\n\n";
+  std::size_t topical_hits = 0, total = 0;
+  for (std::size_t pa = 0; pa < assignment.size(); ++pa) {
+    std::cout << "paper " << pa << " (area " << corpus.queries[pa].topic
+              << ") -> reviewers:";
+    for (auto rv : assignment[pa]) {
+      std::cout << " R" << rv << "(area " << reviewer_topic[rv] << ")";
+      topical_hits += (reviewer_topic[rv] == corpus.queries[pa].topic);
+      ++total;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nassignments landing in the submission's own area: "
+            << topical_hits << "/" << total << "\n"
+            << "(the paper: fully automatic assignments were judged as good "
+               "as human experts')\n";
+  // Success criterion for the demo: a clear majority of assignments topical.
+  return topical_hits * 3 >= total * 2 ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#include "baseline/lexical.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsi::baseline {
+
+std::vector<LexicalHit> lexical_match(const lsi::la::CscMatrix& counts,
+                                      const lsi::la::Vector& query_tf,
+                                      std::size_t min_shared) {
+  assert(query_tf.size() == counts.rows());
+  std::vector<LexicalHit> out;
+  for (lsi::la::index_t j = 0; j < counts.cols(); ++j) {
+    auto rows = counts.col_rows(j);
+    std::size_t shared = 0;
+    for (lsi::la::index_t r : rows) {
+      if (query_tf[r] > 0.0) ++shared;
+    }
+    if (shared >= min_shared) out.push_back({j, shared});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LexicalHit& a, const LexicalHit& b) {
+                     if (a.shared_terms != b.shared_terms) {
+                       return a.shared_terms > b.shared_terms;
+                     }
+                     return a.doc < b.doc;
+                   });
+  return out;
+}
+
+}  // namespace lsi::baseline

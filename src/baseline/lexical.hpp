@@ -1,0 +1,23 @@
+#pragma once
+// Lexical (boolean keyword) matching — the retrieval method the paper's
+// introduction argues against: a document is returned iff it literally
+// shares an indexed term with the query (Section 3.2's comparison).
+
+#include <vector>
+
+#include "la/sparse.hpp"
+
+namespace lsi::baseline {
+
+struct LexicalHit {
+  lsi::la::index_t doc = 0;
+  std::size_t shared_terms = 0;  ///< distinct query terms present
+};
+
+/// Documents sharing at least `min_shared` distinct terms with the query
+/// term-frequency vector, ordered by descending overlap then index.
+std::vector<LexicalHit> lexical_match(const lsi::la::CscMatrix& counts,
+                                      const lsi::la::Vector& query_tf,
+                                      std::size_t min_shared = 1);
+
+}  // namespace lsi::baseline

@@ -1,0 +1,43 @@
+#include "baseline/vector_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lsi::baseline {
+
+VectorSpaceModel::VectorSpaceModel(lsi::la::CscMatrix weighted)
+    : weighted_(std::move(weighted)) {
+  doc_norms_.resize(weighted_.cols(), 0.0);
+  for (lsi::la::index_t j = 0; j < weighted_.cols(); ++j) {
+    double ss = 0.0;
+    for (double v : weighted_.col_values(j)) ss += v * v;
+    doc_norms_[j] = std::sqrt(ss);
+  }
+}
+
+std::vector<VsmScored> VectorSpaceModel::rank(
+    const lsi::la::Vector& weighted_query) const {
+  assert(weighted_query.size() == weighted_.rows());
+  const double qnorm = lsi::la::norm2(weighted_query);
+  std::vector<VsmScored> out;
+  if (qnorm == 0.0) return out;
+  for (lsi::la::index_t j = 0; j < weighted_.cols(); ++j) {
+    if (doc_norms_[j] == 0.0) continue;
+    auto rows = weighted_.col_rows(j);
+    auto vals = weighted_.col_values(j);
+    double dot = 0.0;
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      dot += vals[p] * weighted_query[rows[p]];
+    }
+    if (dot != 0.0) out.push_back({j, dot / (qnorm * doc_norms_[j])});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const VsmScored& a, const VsmScored& b) {
+                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                     return a.doc < b.doc;
+                   });
+  return out;
+}
+
+}  // namespace lsi::baseline

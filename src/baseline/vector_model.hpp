@@ -1,0 +1,37 @@
+#pragma once
+// The "standard keyword vector method in SMART" (Salton) the paper compares
+// LSI against throughout Section 5: documents and queries are weighted
+// vectors in the full m-dimensional term space, ranked by cosine. No
+// dimension reduction — precisely LSI with k = n, minus the SVD.
+
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "weighting/weighting.hpp"
+
+namespace lsi::baseline {
+
+struct VsmScored {
+  lsi::la::index_t doc = 0;
+  double cosine = 0.0;
+};
+
+/// Full-term-space cosine retrieval model over a weighted matrix.
+class VectorSpaceModel {
+ public:
+  /// `weighted` is the Equation-5 weighted term-document matrix; document
+  /// norms are precomputed.
+  explicit VectorSpaceModel(lsi::la::CscMatrix weighted);
+
+  /// Ranks every document with nonzero cosine against the weighted query
+  /// vector, descending; ties by index.
+  std::vector<VsmScored> rank(const lsi::la::Vector& weighted_query) const;
+
+  const lsi::la::CscMatrix& matrix() const noexcept { return weighted_; }
+
+ private:
+  lsi::la::CscMatrix weighted_;
+  std::vector<double> doc_norms_;
+};
+
+}  // namespace lsi::baseline

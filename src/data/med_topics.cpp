@@ -1,0 +1,213 @@
+#include "data/med_topics.hpp"
+
+#include <stdexcept>
+
+namespace lsi::data {
+
+namespace {
+
+using lsi::la::CooBuilder;
+using lsi::la::CscMatrix;
+using lsi::la::DenseMatrix;
+
+/// Builds a CSC matrix from (term-row, doc-col) incidence lists.
+CscMatrix incidence(lsi::la::index_t rows, lsi::la::index_t cols,
+                    const std::vector<std::vector<int>>& cols_per_row) {
+  CooBuilder b(rows, cols);
+  for (lsi::la::index_t i = 0; i < cols_per_row.size(); ++i) {
+    for (int j : cols_per_row[i]) b.add(i, static_cast<lsi::la::index_t>(j), 1.0);
+  }
+  return b.to_csc();
+}
+
+}  // namespace
+
+const lsi::text::Collection& med_topics() {
+  static const lsi::text::Collection topics = {
+      {"M1",
+       "study of depressed patients after discharge with regard to age of "
+       "onset and culture"},
+      {"M2",
+       "culture of pleuropneumonia like organisms found in vaginal discharge "
+       "of patients"},
+      {"M3",
+       "study showed oestrogen production is depressed by ovarian "
+       "irradiation"},
+      {"M4",
+       "cortisone rapidly depressed the secondary rise in oestrogen output "
+       "of patients"},
+      {"M5",
+       "boys tend to react to death anxiety by acting out behavior while "
+       "girls tended to become depressed"},
+      {"M6",
+       "changes in children s behavior following hospitalization studied a "
+       "week after discharge"},
+      {"M7", "surgical technique to close ventricular septal defects"},
+      {"M8",
+       "chromosomal abnormalities in blood cultures and bone marrow from "
+       "leukaemic patients"},
+      {"M9",
+       "study of christmas disease with respect to generation and culture"},
+      {"M10",
+       "insulin not responsible for metabolic abnormalities accompanying a "
+       "prolonged fast"},
+      {"M11",
+       "close relationship between high blood pressure and vascular "
+       "disease"},
+      {"M12",
+       "mouse kidneys show a decline with respect to age in the ability to "
+       "concentrate the urine during a water fast"},
+      {"M13",
+       "fast cell generation in the eye lens epithelium of rats"},
+      {"M14", "fast rise of cerebral oxygen pressure in rats"},
+  };
+  return topics;
+}
+
+const lsi::text::Collection& med_update_topics() {
+  static const lsi::text::Collection topics = {
+      {"M15", "behavior of rats after detected rise in oestrogen"},
+      {"M16", "depressed patients who feel the pressure to fast"},
+  };
+  return topics;
+}
+
+lsi::text::Collection med_all_topics() {
+  lsi::text::Collection all = med_topics();
+  const auto& extra = med_update_topics();
+  all.insert(all.end(), extra.begin(), extra.end());
+  return all;
+}
+
+const std::vector<std::string>& table3_terms() {
+  static const std::vector<std::string> terms = {
+      "abnormalities", "age",        "behavior",  "blood",    "close",
+      "culture",       "depressed",  "discharge", "disease",  "fast",
+      "generation",    "oestrogen",  "patients",  "pressure", "rats",
+      "respect",       "rise",       "study"};
+  return terms;
+}
+
+const CscMatrix& table3_counts() {
+  // Column indices are 0-based documents (M1 -> 0, ..., M14 -> 13), exactly
+  // as printed in Table 3 (including "respect" marked in M8 rather than the
+  // M9 the topic text implies).
+  static const CscMatrix a = incidence(
+      18, 14,
+      {
+          /* abnormalities */ {7, 9},
+          /* age           */ {0, 11},
+          /* behavior      */ {4, 5},
+          /* blood         */ {7, 10},
+          /* close         */ {6, 10},
+          /* culture       */ {0, 1, 7, 8},
+          /* depressed     */ {0, 2, 3, 4},
+          /* discharge     */ {0, 1, 5},
+          /* disease       */ {8, 10},
+          /* fast          */ {9, 11, 12, 13},
+          /* generation    */ {8, 12},
+          /* oestrogen     */ {2, 3},
+          /* patients      */ {0, 1, 3, 7},
+          /* pressure      */ {10, 13},
+          /* rats          */ {12, 13},
+          /* respect       */ {7, 11},
+          /* rise          */ {3, 13},
+          /* study         */ {0, 2, 8},
+      });
+  return a;
+}
+
+const CscMatrix& update_document_columns() {
+  // M15: behavior, oestrogen, rats, rise.  M16: depressed, fast, patients,
+  // pressure. (Rows follow table3_terms(); "detected"/"feel"/function words
+  // are not indexed terms.)
+  static const CscMatrix d = [] {
+    CooBuilder b(18, 2);
+    b.add(2, 0, 1.0);   // behavior
+    b.add(11, 0, 1.0);  // oestrogen
+    b.add(14, 0, 1.0);  // rats
+    b.add(16, 0, 1.0);  // rise
+    b.add(6, 1, 1.0);   // depressed
+    b.add(9, 1, 1.0);   // fast
+    b.add(12, 1, 1.0);  // patients
+    b.add(13, 1, 1.0);  // pressure
+    return b.to_csc();
+  }();
+  return d;
+}
+
+const DenseMatrix& figure5_u2() {
+  static const DenseMatrix u2 = DenseMatrix::from_rows({
+      {0.1623, -0.1372},  // abnormalities
+      {0.2068, -0.0488},  // age
+      {0.0597, 0.0614},   // behavior
+      {0.1663, -0.1313},  // blood
+      {0.0258, -0.1246},  // close
+      {0.4534, 0.0386},   // culture
+      {0.3579, 0.1710},   // depressed
+      {0.2931, 0.1426},   // discharge
+      {0.0690, -0.1576},  // disease
+      {0.0940, -0.6535},  // fast
+      {0.0599, -0.2378},  // generation
+      {0.1560, 0.0661},   // oestrogen
+      {0.4948, 0.1091},   // patients
+      {0.0460, -0.3393},  // pressure
+      {0.0369, -0.4196},  // rats
+      {0.1797, -0.1456},  // respect
+      {0.1087, -0.2126},  // rise
+      {0.3814, 0.0941},   // study
+  });
+  return u2;
+}
+
+const std::vector<double>& figure5_sigma() {
+  static const std::vector<double> sigma = {3.5919, 2.6471};
+  return sigma;
+}
+
+const std::vector<double>& figure5_query_coords() {
+  static const std::vector<double> q = {0.1491, -0.1199};
+  return q;
+}
+
+const std::vector<RankedDoc>& table4_ranking(int k) {
+  static const std::vector<RankedDoc> k2 = {
+      {"M9", 1.00},  {"M12", 0.88}, {"M8", 0.85}, {"M11", 0.82},
+      {"M10", 0.79}, {"M7", 0.74},  {"M14", 0.72}, {"M13", 0.71},
+      {"M4", 0.67},  {"M1", 0.56},  {"M2", 0.42},
+  };
+  static const std::vector<RankedDoc> k4 = {
+      {"M8", 0.92},  {"M9", 0.89},  {"M2", 0.64},
+      {"M10", 0.48}, {"M12", 0.46}, {"M11", 0.40},
+  };
+  static const std::vector<RankedDoc> k8 = {
+      {"M8", 0.67}, {"M12", 0.55}, {"M10", 0.54},
+  };
+  switch (k) {
+    case 2:
+      return k2;
+    case 4:
+      return k4;
+    case 8:
+      return k8;
+  }
+  throw std::invalid_argument("table4_ranking: k must be 2, 4 or 8");
+}
+
+const std::vector<std::string>& lsi_results_at_085() {
+  static const std::vector<std::string> docs = {"M8", "M9", "M12"};
+  return docs;
+}
+
+const std::vector<std::string>& lsi_extra_at_075() {
+  static const std::vector<std::string> docs = {"M7", "M11"};
+  return docs;
+}
+
+const std::vector<std::string>& lexical_match_results() {
+  static const std::vector<std::string> docs = {"M1", "M8", "M10", "M11",
+                                                "M12"};
+  return docs;
+}
+
+}  // namespace lsi::data

@@ -1,0 +1,110 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+
+namespace lsi::eval {
+
+namespace {
+
+std::size_t effective_cutoff(const std::vector<lsi::la::index_t>& ranked,
+                             std::size_t cutoff) {
+  return cutoff == 0 ? ranked.size() : std::min(cutoff, ranked.size());
+}
+
+}  // namespace
+
+double precision_at(const std::vector<lsi::la::index_t>& ranked,
+                    const DocSet& relevant, std::size_t cutoff) {
+  const std::size_t n = effective_cutoff(ranked, cutoff);
+  if (n == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) hits += relevant.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+double recall_at(const std::vector<lsi::la::index_t>& ranked,
+                 const DocSet& relevant, std::size_t cutoff) {
+  if (relevant.empty()) return 0.0;
+  const std::size_t n = effective_cutoff(ranked, cutoff);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) hits += relevant.count(ranked[i]);
+  return static_cast<double>(hits) / static_cast<double>(relevant.size());
+}
+
+double interpolated_precision(const std::vector<lsi::la::index_t>& ranked,
+                              const DocSet& relevant, double recall_level) {
+  if (relevant.empty()) return 0.0;
+  double best = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    hits += relevant.count(ranked[i]);
+    const double recall =
+        static_cast<double>(hits) / static_cast<double>(relevant.size());
+    if (recall + 1e-12 >= recall_level) {
+      const double precision =
+          static_cast<double>(hits) / static_cast<double>(i + 1);
+      best = std::max(best, precision);
+    }
+  }
+  return best;
+}
+
+double three_point_average_precision(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant) {
+  return (interpolated_precision(ranked, relevant, 0.25) +
+          interpolated_precision(ranked, relevant, 0.50) +
+          interpolated_precision(ranked, relevant, 0.75)) /
+         3.0;
+}
+
+double eleven_point_average_precision(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant) {
+  double total = 0.0;
+  for (int level = 0; level <= 10; ++level) {
+    total += interpolated_precision(ranked, relevant, level / 10.0);
+  }
+  return total / 11.0;
+}
+
+double average_precision(const std::vector<lsi::la::index_t>& ranked,
+                         const DocSet& relevant) {
+  if (relevant.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (relevant.count(ranked[i])) {
+      ++hits;
+      total += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return total / static_cast<double>(relevant.size());
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+std::vector<double> precision_recall_curve(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant) {
+  std::vector<double> curve(11, 0.0);
+  for (int level = 0; level <= 10; ++level) {
+    curve[level] = interpolated_precision(ranked, relevant, level / 10.0);
+  }
+  return curve;
+}
+
+std::vector<double> mean_curve(
+    const std::vector<std::vector<double>>& curves) {
+  if (curves.empty()) return std::vector<double>(11, 0.0);
+  std::vector<double> out(curves[0].size(), 0.0);
+  for (const auto& c : curves) {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += c[i];
+  }
+  for (double& v : out) v /= static_cast<double>(curves.size());
+  return out;
+}
+
+}  // namespace lsi::eval

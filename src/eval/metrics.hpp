@@ -1,0 +1,55 @@
+#pragma once
+// Retrieval-effectiveness measures (Section 5.1): recall is the proportion
+// of all relevant documents retrieved; precision the proportion of retrieved
+// documents that are relevant; "average precision across several levels of
+// recall" summarizes a ranking. The paper's own summary statistic (its
+// footnote 2) is precision averaged over recall levels 0.25, 0.50, 0.75.
+
+#include <unordered_set>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace lsi::eval {
+
+using DocSet = std::unordered_set<lsi::la::index_t>;
+
+/// Precision within the top `cutoff` of `ranked` (cutoff 0 = whole list).
+double precision_at(const std::vector<lsi::la::index_t>& ranked,
+                    const DocSet& relevant, std::size_t cutoff);
+
+/// Recall within the top `cutoff` of `ranked` (cutoff 0 = whole list).
+double recall_at(const std::vector<lsi::la::index_t>& ranked,
+                 const DocSet& relevant, std::size_t cutoff);
+
+/// Interpolated precision at a recall level: the maximum precision at any
+/// cutoff whose recall is >= `recall_level` (the standard IR interpolation).
+double interpolated_precision(const std::vector<lsi::la::index_t>& ranked,
+                              const DocSet& relevant, double recall_level);
+
+/// The paper's summary: mean interpolated precision over recall 0.25, 0.50
+/// and 0.75. Returns 0 if there are no relevant documents.
+double three_point_average_precision(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant);
+
+/// Mean interpolated precision over the 11 standard recall points 0.0..1.0.
+double eleven_point_average_precision(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant);
+
+/// Non-interpolated average precision (mean precision at each relevant
+/// document's rank) — the modern "AP".
+double average_precision(const std::vector<lsi::la::index_t>& ranked,
+                         const DocSet& relevant);
+
+/// Mean of a metric over queries; empty input yields 0.
+double mean(const std::vector<double>& values);
+
+/// Interpolated precision at the 11 standard recall points 0.0, 0.1 .. 1.0
+/// — the precision-recall curve the paper's evaluations summarize.
+std::vector<double> precision_recall_curve(
+    const std::vector<lsi::la::index_t>& ranked, const DocSet& relevant);
+
+/// Pointwise mean of several PR curves (each length 11).
+std::vector<double> mean_curve(const std::vector<std::vector<double>>& curves);
+
+}  // namespace lsi::eval

@@ -1,0 +1,81 @@
+#include "eval/significance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lsi::eval {
+
+namespace {
+
+/// Exact two-sided binomial sign-test p-value for w successes out of n
+/// fair-coin trials.
+double sign_test_pvalue(int wins, int losses) {
+  const int n = wins + losses;
+  if (n == 0) return 1.0;
+  const int extreme = std::max(wins, losses);
+  // P(X >= extreme) + P(X <= n - extreme) under Binomial(n, 1/2); computed
+  // in log space to survive large n.
+  auto log_choose = [](int nn, int kk) {
+    return std::lgamma(nn + 1.0) - std::lgamma(kk + 1.0) -
+           std::lgamma(nn - kk + 1.0);
+  };
+  double tail = 0.0;
+  for (int x = extreme; x <= n; ++x) {
+    tail += std::exp(log_choose(n, x) - n * std::log(2.0));
+  }
+  double p = 2.0 * tail;
+  if (extreme * 2 == n) p -= std::exp(log_choose(n, extreme) -
+                                      n * std::log(2.0));  // counted twice
+  return std::min(1.0, p);
+}
+
+}  // namespace
+
+PairedComparison compare_systems(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 int permutations, std::uint64_t seed) {
+  assert(a.size() == b.size());
+  PairedComparison out;
+  const std::size_t n = a.size();
+  if (n == 0) return out;
+
+  std::vector<double> diff(n);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum_a += a[i];
+    sum_b += b[i];
+    diff[i] = a[i] - b[i];
+    if (diff[i] > 0) {
+      ++out.wins_a;
+    } else if (diff[i] < 0) {
+      ++out.wins_b;
+    } else {
+      ++out.ties;
+    }
+  }
+  out.mean_a = sum_a / n;
+  out.mean_b = sum_b / n;
+  out.mean_difference = out.mean_a - out.mean_b;
+  out.sign_test_p = sign_test_pvalue(out.wins_a, out.wins_b);
+
+  // Paired randomization test: under H0 each per-query difference is
+  // symmetric around 0, so its sign is a fair coin.
+  util::Rng rng(seed);
+  const double observed = std::fabs(out.mean_difference);
+  int at_least_as_extreme = 0;
+  for (int p = 0; p < permutations; ++p) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += rng.bernoulli(0.5) ? diff[i] : -diff[i];
+    }
+    if (std::fabs(total / n) >= observed - 1e-15) ++at_least_as_extreme;
+  }
+  // +1 correction: the observed labelling is itself a permutation.
+  out.randomization_p =
+      (at_least_as_extreme + 1.0) / (permutations + 1.0);
+  return out;
+}
+
+}  // namespace lsi::eval

@@ -1,0 +1,35 @@
+#pragma once
+// Paired significance tests for comparing two retrieval systems over the
+// same query set — the methodology behind claims like the paper's "LSI
+// ranged from comparable to 30% better": a difference in mean average
+// precision means little without knowing whether it would survive a
+// re-draw of queries.
+
+#include <cstdint>
+#include <vector>
+
+namespace lsi::eval {
+
+struct PairedComparison {
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  double mean_difference = 0.0;  ///< mean(a_i - b_i)
+  /// Two-sided p-value from a paired randomization (permutation) test:
+  /// probability of a |mean difference| at least this large under random
+  /// sign flips of the per-query differences.
+  double randomization_p = 1.0;
+  /// Two-sided p-value of the sign test (binomial on #wins vs #losses).
+  double sign_test_p = 1.0;
+  int wins_a = 0;   ///< queries where a > b
+  int wins_b = 0;   ///< queries where b > a
+  int ties = 0;
+};
+
+/// Compares per-query scores of systems A and B (same length, same query
+/// order). `permutations` controls the randomization-test resolution.
+PairedComparison compare_systems(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 int permutations = 10000,
+                                 std::uint64_t seed = 1);
+
+}  // namespace lsi::eval

@@ -1,0 +1,214 @@
+#include "la/lanczos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/jacobi_svd.hpp"
+#include "util/rng.hpp"
+
+namespace lsi::la {
+
+namespace {
+
+/// Two passes of classical Gram-Schmidt of `w` against the first `count`
+/// columns of `basis`. Full (not selective) reorthogonalization: at LSI
+/// problem sizes the O(j * n) cost per step is cheap insurance against the
+/// ghost-singular-value problem of plain Lanczos.
+void reorthogonalize(std::span<double> w, const DenseMatrix& basis,
+                     index_t count) {
+  for (int pass = 0; pass < 2; ++pass) {
+    for (index_t j = 0; j < count; ++j) {
+      auto bj = basis.col(j);
+      const double proj = dot(std::span<const double>(w), bj);
+      if (proj != 0.0) axpy(-proj, bj, w);
+    }
+  }
+}
+
+/// Fills `w` with unit-norm random data orthogonal to the current basis;
+/// returns false if no such direction can be found (space exhausted).
+bool random_orthogonal(std::span<double> w, const DenseMatrix& basis,
+                       index_t count, util::Rng& rng) {
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    for (double& x : w) x = rng.normal();
+    normalize(w);
+    reorthogonalize(w, basis, count);
+    if (normalize(w) > 1e-8) return true;
+  }
+  return false;
+}
+
+/// Builds the dim x dim upper-bidiagonal projection B:
+///   B(i, i) = alpha_i,  B(i, i+1) = beta_i.
+/// (From the recurrences A v_j = beta_{j-1} u_{j-1} + alpha_j u_j and
+///  A^T u_j = alpha_j v_j + beta_j v_{j+1}, so A V = U B exactly.)
+DenseMatrix build_bidiagonal(const std::vector<double>& alphas,
+                             const std::vector<double>& betas,
+                             index_t dim) {
+  DenseMatrix b(dim, dim);
+  for (index_t i = 0; i < dim; ++i) {
+    b(i, i) = alphas[i];
+    if (i + 1 < dim) b(i, i + 1) = betas[i];
+  }
+  return b;
+}
+
+}  // namespace
+
+SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
+                      LanczosStats* stats) {
+  const index_t m = op.rows();
+  const index_t n = op.cols();
+  const index_t minmn = std::min(m, n);
+  const index_t k = std::min(opts.k, minmn);
+  LanczosStats local_stats;
+  LanczosStats& st = stats ? *stats : local_stats;
+  st = LanczosStats{};
+
+  SvdResult out;
+  if (k == 0 || m == 0 || n == 0) return out;
+
+  index_t max_dim = opts.max_dim;
+  if (max_dim == 0) {
+    max_dim = std::min<index_t>(minmn, std::max<index_t>(6 * k + 48, 128));
+  }
+  max_dim = std::clamp<index_t>(max_dim, k, minmn);
+
+  util::Rng rng(opts.seed);
+  DenseMatrix vbasis(n, max_dim);     // right Lanczos vectors v_1..v_dim
+  DenseMatrix ubasis(m, max_dim);     // left Lanczos vectors u_1..u_dim
+  std::vector<double> alphas, betas;  // bidiagonal entries; sizes stay equal
+  alphas.reserve(max_dim);
+  betas.reserve(max_dim);
+
+  {
+    auto v0 = vbasis.col(0);
+    for (double& x : v0) x = rng.normal();
+    normalize(v0);
+  }
+
+  Vector scratch_m(m), scratch_n(n);
+  bool exhausted = false;
+  SvdResult small;  // SVD of the bidiagonal projection
+
+  // Checks are periodic once the basis could possibly contain k triplets.
+  const index_t check_margin = std::max<index_t>(8, k / 8);
+  index_t next_check = std::min<index_t>(max_dim, k + check_margin);
+
+  auto converged_count = [&](const SvdResult& s, index_t dim) -> index_t {
+    if (exhausted || dim == minmn) return k;  // spectrum fully captured
+    const double sigma1 = s.s.empty() ? 0.0 : s.s[0];
+    if (sigma1 == 0.0) return k;
+    const double beta_tail = betas[dim - 1];
+    index_t good = 0;
+    const index_t keep = std::min<index_t>(k, dim);
+    for (index_t i = 0; i < keep; ++i) {
+      const double resid = std::fabs(beta_tail * s.u(dim - 1, i)) / sigma1;
+      if (resid <= opts.tol) ++good;
+    }
+    return good;
+  };
+
+  index_t j = 0;
+  for (; j < max_dim;) {
+    // u_j = A v_j - beta_{j-1} u_{j-1}
+    op.apply(vbasis.col(j), scratch_m);
+    ++st.matvecs;
+    if (j > 0) axpy(-betas[j - 1], ubasis.col(j - 1), scratch_m);
+    reorthogonalize(scratch_m, ubasis, j);
+    double alpha = norm2(scratch_m);
+    if (alpha <= 1e-13) {
+      // A v_j already lies in span(U_{j-1}); restart an orthogonal block.
+      if (!random_orthogonal(scratch_m, ubasis, j, rng)) {
+        exhausted = true;
+        break;
+      }
+      alpha = 0.0;
+    } else {
+      scale(scratch_m, 1.0 / alpha);
+    }
+    std::copy(scratch_m.begin(), scratch_m.end(), ubasis.col(j).begin());
+    alphas.push_back(alpha);
+
+    // beta_j and (if room) v_{j+1}:  w = A^T u_j - alpha_j v_j.
+    op.apply_transpose(ubasis.col(j), scratch_n);
+    ++st.matvecs_transpose;
+    axpy(-alphas[j], vbasis.col(j), scratch_n);
+    reorthogonalize(scratch_n, vbasis, j + 1);
+    double beta = norm2(scratch_n);
+    if (beta <= 1e-13) {
+      beta = 0.0;
+      if (j + 1 < max_dim &&
+          !random_orthogonal(scratch_n, vbasis, j + 1, rng)) {
+        betas.push_back(0.0);
+        ++j;
+        exhausted = true;
+        break;
+      }
+    } else {
+      scale(scratch_n, 1.0 / beta);
+    }
+    betas.push_back(beta);
+    ++j;
+    if (j < max_dim) {
+      std::copy(scratch_n.begin(), scratch_n.end(), vbasis.col(j).begin());
+    }
+
+    if (j >= next_check && j < max_dim) {
+      small = jacobi_svd(build_bidiagonal(alphas, betas, j));
+      if (converged_count(small, j) >= std::min<index_t>(k, j)) break;
+      next_check = std::min<index_t>(max_dim, j + std::max<index_t>(8, k / 4));
+    }
+  }
+
+  const index_t dim = alphas.size();
+  st.steps = dim;
+  if (dim == 0) return out;
+
+  small = jacobi_svd(build_bidiagonal(alphas, betas, dim));
+  const index_t keep = std::min<index_t>(k, dim);
+  const double sigma1 = small.s.empty() ? 0.0 : small.s[0];
+  const double beta_tail = betas[dim - 1];
+  for (index_t i = 0; i < keep; ++i) {
+    const double resid =
+        sigma1 > 0.0 ? std::fabs(beta_tail * small.u(dim - 1, i)) / sigma1
+                     : 0.0;
+    st.max_residual = std::max(st.max_residual, resid);
+    if (resid <= opts.tol || exhausted || dim == minmn) ++st.converged;
+  }
+  if (opts.throw_if_not_converged && st.converged < keep) {
+    throw std::runtime_error("lanczos_svd: not converged; raise max_dim");
+  }
+
+  // Assemble: U = U_dim * P, V = V_dim * Q, truncated to `keep`.
+  small.truncate(keep);
+  out.u = multiply(ubasis.first_cols(dim), small.u);
+  out.v = multiply(vbasis.first_cols(dim), small.v);
+  out.s = std::move(small.s);
+  normalize_signs(out);
+  return out;
+}
+
+SvdResult lanczos_svd(const CscMatrix& a, const LanczosOptions& opts,
+                      LanczosStats* stats) {
+  CscOperator op(a);
+  return lanczos_svd(op, opts, stats);
+}
+
+SvdResult truncated_svd(const DenseMatrix& a, index_t k,
+                        index_t dense_cutoff) {
+  const index_t minmn = std::min(a.rows(), a.cols());
+  if (minmn <= dense_cutoff) {
+    SvdResult full = jacobi_svd(a);
+    full.truncate(std::min<index_t>(k, full.rank()));
+    return full;
+  }
+  DenseOperator op(a);
+  LanczosOptions opts;
+  opts.k = k;
+  return lanczos_svd(op, opts);
+}
+
+}  // namespace lsi::la

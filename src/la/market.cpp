@@ -1,0 +1,82 @@
+#include "la/market.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace lsi::la {
+
+void write_matrix_market(std::ostream& os, const CscMatrix& a) {
+  os << "%%MatrixMarket matrix coordinate real general\n";
+  os << "% written by lsi::la (term-document matrix)\n";
+  os << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  os.precision(17);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      os << rows[p] + 1 << ' ' << j + 1 << ' ' << vals[p] << '\n';
+    }
+  }
+  if (!os) throw std::runtime_error("matrix market: write failed");
+}
+
+CscMatrix read_matrix_market(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("matrix market: empty stream");
+  }
+  const std::string header = util::to_lower(line);
+  if (header.find("%%matrixmarket") != 0 ||
+      header.find("coordinate") == std::string::npos ||
+      header.find("real") == std::string::npos ||
+      header.find("general") == std::string::npos) {
+    throw std::runtime_error(
+        "matrix market: unsupported header (need coordinate real general)");
+  }
+  // Skip comments.
+  do {
+    if (!std::getline(is, line)) {
+      throw std::runtime_error("matrix market: missing size line");
+    }
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, nnz = 0;
+  if (!(size_line >> rows >> cols >> nnz) || rows < 0 || cols < 0 ||
+      nnz < 0) {
+    throw std::runtime_error("matrix market: bad size line");
+  }
+
+  CooBuilder builder(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  for (long long e = 0; e < nnz; ++e) {
+    long long i = 0, j = 0;
+    double v = 0.0;
+    if (!(is >> i >> j >> v)) {
+      throw std::runtime_error("matrix market: truncated entries");
+    }
+    if (i < 1 || i > rows || j < 1 || j > cols) {
+      throw std::runtime_error("matrix market: index out of range");
+    }
+    builder.add(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1), v);
+  }
+  return builder.to_csc();
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("matrix market: cannot open " + path);
+  write_matrix_market(os, a);
+}
+
+CscMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("matrix market: cannot open " + path);
+  return read_matrix_market(is);
+}
+
+}  // namespace lsi::la

@@ -1,0 +1,26 @@
+#pragma once
+// MatrixMarket coordinate I/O for sparse matrices — the interchange format
+// of the sparse-matrix community (and of SVDPACK's distribution era), so
+// term-document matrices can move between this library and external tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "la/sparse.hpp"
+
+namespace lsi::la {
+
+/// Writes `a` as "%%MatrixMarket matrix coordinate real general" with
+/// 1-based indices. Throws std::runtime_error on stream failure.
+void write_matrix_market(std::ostream& os, const CscMatrix& a);
+
+/// Parses a coordinate-format real general MatrixMarket stream. Duplicate
+/// entries are summed. Throws std::runtime_error on malformed input or an
+/// unsupported header.
+CscMatrix read_matrix_market(std::istream& is);
+
+/// File conveniences.
+void write_matrix_market_file(const std::string& path, const CscMatrix& a);
+CscMatrix read_matrix_market_file(const std::string& path);
+
+}  // namespace lsi::la

@@ -1,0 +1,40 @@
+#pragma once
+// Subspace (block power) iteration with Rayleigh-Ritz extraction — the
+// second truncated-SVD backend, mirroring SVDPACK's multi-method design
+// (Berry's "Large scale singular value computations" survey describes both
+// Lanczos- and subspace-iteration-based solvers). Slower to converge than
+// Lanczos when the spectrum decays gently, but simpler, restartable, and a
+// useful independent cross-check on the primary solver.
+
+#include <cstdint>
+
+#include "la/sparse.hpp"
+#include "la/svd_types.hpp"
+
+namespace lsi::la {
+
+struct SubspaceOptions {
+  index_t k = 100;           ///< singular triplets wanted
+  index_t oversample = 8;    ///< extra block vectors beyond k
+  int max_iterations = 300;  ///< block power iterations cap
+  double tol = 1e-9;         ///< relative sigma-change convergence test
+  std::uint64_t seed = 42;
+};
+
+struct SubspaceStats {
+  int iterations = 0;
+  index_t matvecs = 0;  ///< counts both A*x and A^T*x block applications
+  bool converged = false;
+};
+
+/// Computes up to opts.k largest singular triplets of `op` by orthogonal
+/// iteration on A^T A with a final Rayleigh-Ritz SVD extraction. Results are
+/// descending and sign-normalized, matching lanczos_svd's conventions.
+SvdResult subspace_svd(const LinearOperator& op, const SubspaceOptions& opts,
+                       SubspaceStats* stats = nullptr);
+
+/// Convenience overload for CSC matrices.
+SvdResult subspace_svd(const CscMatrix& a, const SubspaceOptions& opts,
+                       SubspaceStats* stats = nullptr);
+
+}  // namespace lsi::la

@@ -1,0 +1,36 @@
+#pragma once
+// Shared truncated-SVD result type and post-processing helpers.
+
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace lsi::la {
+
+/// A (possibly truncated) singular value decomposition A ~ U diag(s) V^T.
+/// Columns of U are left singular vectors (m x k), columns of V right
+/// singular vectors (n x k), s descending and nonnegative.
+struct SvdResult {
+  DenseMatrix u;
+  std::vector<double> s;
+  DenseMatrix v;
+
+  index_t rank() const noexcept { return s.size(); }
+
+  /// Keeps the k largest triplets (no-op if k >= rank()).
+  void truncate(index_t k);
+
+  /// Reconstructs U diag(s) V^T as a dense matrix (tests / small examples).
+  DenseMatrix reconstruct() const;
+};
+
+/// Deterministic sign convention: orient each left singular vector so its
+/// largest-magnitude entry (first on ties) is positive; negate the paired
+/// right vector too. Makes decompositions comparable across algorithms, runs
+/// and the paper's printed Figure 5 matrix.
+void normalize_signs(SvdResult& svd);
+
+/// Sorts triplets by descending singular value (stable).
+void sort_descending(SvdResult& svd);
+
+}  // namespace lsi::la

@@ -1,0 +1,170 @@
+#include "la/tridiag_eig.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace lsi::la {
+
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+}  // namespace
+
+TridiagEig tridiag_eigen(std::vector<double> diag, std::vector<double> off) {
+  const std::size_t n = diag.size();
+  assert(off.size() + 1 == n || (n == 0 && off.empty()));
+  TridiagEig out;
+  if (n == 0) return out;
+
+  // e[i] couples rows i-1 and i, shifted one slot as in the classic QL code.
+  std::vector<double> d = std::move(diag);
+  std::vector<double> e(n, 0.0);
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = off[i - 1];
+  e[n - 1] = 0.0;
+
+  DenseMatrix z = DenseMatrix::identity(n);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    for (;;) {
+      // Find a small off-diagonal element to split at.
+      std::size_t m = l;
+      for (; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m == l) break;
+      if (++iterations > 50) {
+        throw std::runtime_error("tridiag_eigen: QL failed to converge");
+      }
+      // Implicit shift from the 2x2 trailing block.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = hypot2(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::fabs(r) : -std::fabs(r)));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow = false;
+      for (std::size_t i = m; i-- > l;) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = hypot2(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          // Rotation underflowed: deflate here and restart the sweep.
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        // Accumulate the rotation into the eigenvector matrix.
+        for (std::size_t k = 0; k < n; ++k) {
+          f = z(k, i + 1);
+          z(k, i + 1) = s * z(k, i) + c * f;
+          z(k, i) = c * z(k, i) - s * f;
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+
+  // Sort ascending, permuting eigenvectors alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return d[a] < d[b]; });
+  out.values.resize(n);
+  out.vectors = DenseMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    auto dst = out.vectors.col(j);
+    auto src = z.col(order[j]);
+    for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+  }
+  return out;
+}
+
+TridiagEig symmetric_eigen(const DenseMatrix& a) {
+  assert(a.rows() == a.cols());
+  const index_t n = a.rows();
+  if (n == 0) return {};
+
+  // Householder tridiagonalization, accumulating the transform in q.
+  DenseMatrix work = a;
+  DenseMatrix q = DenseMatrix::identity(n);
+  std::vector<double> d(n), e(n > 1 ? n - 1 : 0);
+
+  for (index_t k = 0; k + 2 < n + 1 && n >= 2 && k < n - 2 + 1; ++k) {
+    if (k >= n - 1) break;
+    // Annihilate work(k+2.., k).
+    Vector v(n - k - 1);
+    for (index_t i = k + 1; i < n; ++i) v[i - k - 1] = work(i, k);
+    const double alpha = norm2(v);
+    if (alpha != 0.0 && n - k - 1 > 1) {
+      const double sign = v[0] >= 0.0 ? 1.0 : -1.0;
+      v[0] += sign * alpha;
+      const double vn = norm2(v);
+      if (vn > 0.0) {
+        scale(v, 1.0 / vn);
+        // work <- H work H with H = I - 2 v v^T acting on rows/cols k+1..
+        // p = 2 * work * v restricted to the trailing block
+        Vector p(n - k - 1, 0.0);
+        for (index_t i = k + 1; i < n; ++i) {
+          double acc = 0.0;
+          for (index_t j = k + 1; j < n; ++j) {
+            acc += work(i, j) * v[j - k - 1];
+          }
+          p[i - k - 1] = 2.0 * acc;
+        }
+        const double vp = dot(std::span<const double>(v),
+                              std::span<const double>(p));
+        // w = p - (v^T p) v
+        for (index_t i = 0; i < p.size(); ++i) p[i] -= vp * v[i];
+        for (index_t i = k + 1; i < n; ++i) {
+          for (index_t j = k + 1; j < n; ++j) {
+            work(i, j) -= v[i - k - 1] * p[j - k - 1] +
+                          p[i - k - 1] * v[j - k - 1];
+          }
+        }
+        // Update the k-th column/row border.
+        Vector border(n - k - 1);
+        for (index_t i = k + 1; i < n; ++i) border[i - k - 1] = work(i, k);
+        const double bp = 2.0 * dot(std::span<const double>(v),
+                                    std::span<const double>(border));
+        for (index_t i = k + 1; i < n; ++i) {
+          work(i, k) -= bp * v[i - k - 1];
+          work(k, i) = work(i, k);
+        }
+        // Accumulate into q: q <- q H.
+        for (index_t r = 0; r < n; ++r) {
+          double acc = 0.0;
+          for (index_t i = k + 1; i < n; ++i) acc += q(r, i) * v[i - k - 1];
+          acc *= 2.0;
+          for (index_t i = k + 1; i < n; ++i) q(r, i) -= acc * v[i - k - 1];
+        }
+      }
+    }
+  }
+  for (index_t i = 0; i < n; ++i) d[i] = work(i, i);
+  for (index_t i = 0; i + 1 < n; ++i) e[i] = work(i + 1, i);
+
+  TridiagEig tri = tridiag_eigen(std::move(d), std::move(e));
+  tri.vectors = multiply(q, tri.vectors);
+  return tri;
+}
+
+}  // namespace lsi::la

@@ -1,0 +1,59 @@
+#include "la/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace lsi::la {
+
+double dot(std::span<const double> x, std::span<const double> y) noexcept {
+  assert(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const double> x) noexcept {
+  // Scaled accumulation to dodge overflow/underflow on extreme inputs.
+  double scale_v = 0.0;
+  double ssq = 1.0;
+  for (double v : x) {
+    if (v == 0.0) continue;
+    const double a = std::fabs(v);
+    if (scale_v < a) {
+      ssq = 1.0 + ssq * (scale_v / a) * (scale_v / a);
+      scale_v = a;
+    } else {
+      ssq += (a / scale_v) * (a / scale_v);
+    }
+  }
+  return scale_v * std::sqrt(ssq);
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<double> x, double a) noexcept {
+  for (double& v : x) v *= a;
+}
+
+double normalize(std::span<double> x, double tiny) noexcept {
+  const double n = norm2(x);
+  if (n <= tiny) return 0.0;
+  scale(x, 1.0 / n);
+  return n;
+}
+
+double cosine(std::span<const double> x, std::span<const double> y) noexcept {
+  const double nx = norm2(x);
+  const double ny = norm2(y);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return dot(x, y) / (nx * ny);
+}
+
+void set_zero(std::span<double> x) noexcept {
+  for (double& v : x) v = 0.0;
+}
+
+}  // namespace lsi::la

@@ -1,0 +1,36 @@
+#pragma once
+// Level-1 vector kernels. Everything is written against contiguous
+// double spans so the same kernels serve dense-matrix columns, Lanczos
+// basis vectors, and LSI document coordinates.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lsi::la {
+
+using Vector = std::vector<double>;
+
+/// Euclidean inner product. Sizes must match.
+double dot(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// 2-norm.
+double norm2(std::span<const double> x) noexcept;
+
+/// y += a * x.
+void axpy(double a, std::span<const double> x, std::span<double> y) noexcept;
+
+/// x *= a.
+void scale(std::span<double> x, double a) noexcept;
+
+/// Normalizes x to unit 2-norm and returns the prior norm. If the norm is
+/// below `tiny`, x is left untouched and 0 is returned.
+double normalize(std::span<double> x, double tiny = 1e-300) noexcept;
+
+/// Cosine similarity; 0 when either vector has zero norm.
+double cosine(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Sets every element to zero.
+void set_zero(std::span<double> x) noexcept;
+
+}  // namespace lsi::la

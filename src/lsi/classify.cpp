@@ -1,0 +1,56 @@
+#include "lsi/classify.hpp"
+
+#include <cassert>
+
+#include "la/vector_ops.hpp"
+
+namespace lsi::core {
+
+CentroidClassifier::CentroidClassifier(
+    const std::vector<la::Vector>& features,
+    const std::vector<std::size_t>& labels, std::size_t num_classes) {
+  assert(features.size() == labels.size());
+  const std::size_t dim = features.empty() ? 0 : features[0].size();
+  centroids_.assign(num_classes, la::Vector(dim, 0.0));
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    assert(labels[i] < num_classes);
+    assert(features[i].size() == dim);
+    la::axpy(1.0, features[i], centroids_[labels[i]]);
+  }
+  for (auto& c : centroids_) la::normalize(c);
+}
+
+std::size_t CentroidClassifier::predict(
+    std::span<const double> features) const {
+  std::size_t best = 0;
+  double best_score = -2.0;
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double score = la::cosine(features, centroids_[c]);
+    if (score > best_score) {
+      best_score = score;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> CentroidClassifier::scores(
+    std::span<const double> features) const {
+  std::vector<double> out;
+  out.reserve(centroids_.size());
+  for (const auto& c : centroids_) out.push_back(la::cosine(features, c));
+  return out;
+}
+
+double classification_accuracy(const CentroidClassifier& clf,
+                               const std::vector<la::Vector>& features,
+                               const std::vector<std::size_t>& labels) {
+  if (features.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    hits += clf.predict(features[i]) == labels[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(features.size());
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,45 @@
+#pragma once
+// Text classification on LSI dimensions (Section 5.7: Hull, Yang & Chute,
+// and Wu et al. "used LSI/SVD as the first step in conjunction with
+// statistical classification ... effectively reduc[ing] the number of
+// predictor variables").
+//
+// A nearest-centroid (Rocchio-style) classifier over the sigma-scaled
+// document coordinates: each class is the normalized mean of its training
+// documents' k-vectors; prediction is argmax cosine.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+
+namespace lsi::core {
+
+/// Nearest-centroid classifier over arbitrary real feature vectors.
+class CentroidClassifier {
+ public:
+  /// `features[i]` is the vector for sample i with label `labels[i]` in
+  /// [0, num_classes). All vectors must share a dimension.
+  CentroidClassifier(const std::vector<la::Vector>& features,
+                     const std::vector<std::size_t>& labels,
+                     std::size_t num_classes);
+
+  /// Most similar class centroid by cosine; ties -> lowest class id.
+  std::size_t predict(std::span<const double> features) const;
+
+  /// Cosine against every class centroid.
+  std::vector<double> scores(std::span<const double> features) const;
+
+  std::size_t num_classes() const noexcept { return centroids_.size(); }
+
+ private:
+  std::vector<la::Vector> centroids_;  ///< unit-norm class means
+};
+
+/// Convenience: fraction of (features, labels) pairs predicted correctly.
+double classification_accuracy(const CentroidClassifier& clf,
+                               const std::vector<la::Vector>& features,
+                               const std::vector<std::size_t>& labels);
+
+}  // namespace lsi::core

@@ -1,0 +1,45 @@
+#include "lsi/feedback.hpp"
+
+#include <cassert>
+
+namespace lsi::core {
+
+namespace {
+
+/// Mean of the given documents' rows of V (the Equation-6/7 coordinate
+/// system queries live in). Empty input -> zero vector.
+la::Vector doc_centroid(const SemanticSpace& space,
+                        const std::vector<index_t>& docs) {
+  la::Vector centroid(space.k(), 0.0);
+  if (docs.empty()) return centroid;
+  for (index_t d : docs) {
+    assert(d < space.num_docs());
+    for (index_t i = 0; i < space.k(); ++i) centroid[i] += space.v(d, i);
+  }
+  for (double& v : centroid) v /= static_cast<double>(docs.size());
+  return centroid;
+}
+
+}  // namespace
+
+la::Vector replace_with_relevant(const SemanticSpace& space,
+                                 const std::vector<index_t>& relevant_docs) {
+  return doc_centroid(space, relevant_docs);
+}
+
+la::Vector rocchio_feedback(const SemanticSpace& space,
+                            const la::Vector& query_khat,
+                            const std::vector<index_t>& relevant_docs,
+                            const std::vector<index_t>& irrelevant_docs,
+                            const RocchioWeights& weights) {
+  assert(query_khat.size() == space.k());
+  la::Vector out(space.k(), 0.0);
+  la::axpy(weights.alpha, query_khat, out);
+  const la::Vector rel = doc_centroid(space, relevant_docs);
+  la::axpy(weights.beta, rel, out);
+  const la::Vector irr = doc_centroid(space, irrelevant_docs);
+  la::axpy(-weights.gamma, irr, out);
+  return out;
+}
+
+}  // namespace lsi::core

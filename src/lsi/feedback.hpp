@@ -1,0 +1,39 @@
+#pragma once
+// Relevance feedback in k-space (Section 5.1), including the negative
+// information the paper flags as unexploited: "The use of negative
+// information has not yet been exploited in LSI; for example, by moving the
+// query away from documents which the user has indicated are irrelevant."
+//
+// Rocchio's formulation over projected vectors:
+//
+//   q' = alpha * q + beta * mean(relevant docs) - gamma * mean(irrelevant)
+//
+// The paper's tested method ("replace the query with the vector sum of the
+// selected relevant documents") is the (0, 1, 0) special case.
+
+#include <vector>
+
+#include "lsi/semantic_space.hpp"
+
+namespace lsi::core {
+
+struct RocchioWeights {
+  double alpha = 1.0;  ///< original query
+  double beta = 0.75;  ///< relevant centroid pull
+  double gamma = 0.25; ///< irrelevant centroid push (the paper's open idea)
+};
+
+/// The paper's §5.1 protocol: replace the query with the mean projection of
+/// the selected relevant documents (documents indexed into `space`).
+la::Vector replace_with_relevant(const SemanticSpace& space,
+                                 const std::vector<index_t>& relevant_docs);
+
+/// Rocchio update of a projected query from judged documents. Unjudged
+/// documents are ignored; empty judgment sets contribute nothing.
+la::Vector rocchio_feedback(const SemanticSpace& space,
+                            const la::Vector& query_khat,
+                            const std::vector<index_t>& relevant_docs,
+                            const std::vector<index_t>& irrelevant_docs,
+                            const RocchioWeights& weights = {});
+
+}  // namespace lsi::core

@@ -1,0 +1,54 @@
+#include "lsi/folding.hpp"
+
+#include <cassert>
+
+#include "lsi/retrieval.hpp"
+
+namespace lsi::core {
+
+void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
+  assert(d.rows() == space.num_terms());
+  la::DenseMatrix new_rows(d.cols(), space.k());
+  la::Vector dense_col(d.rows());
+  for (index_t j = 0; j < d.cols(); ++j) {
+    std::fill(dense_col.begin(), dense_col.end(), 0.0);
+    auto rows = d.col_rows(j);
+    auto vals = d.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) dense_col[rows[p]] = vals[p];
+    const la::Vector d_hat = project_query(space, dense_col);
+    for (index_t i = 0; i < space.k(); ++i) new_rows(j, i) = d_hat[i];
+  }
+  space.v.append_rows(new_rows);
+}
+
+void fold_in_terms(SemanticSpace& space, const la::CscMatrix& t) {
+  assert(t.cols() == space.num_docs());
+  la::DenseMatrix new_rows(t.rows(), space.k());
+  // Convert to CSR for O(nnz_q) access to each new term row; the Eq. 8
+  // projection t V S^{-1} then costs O(nnz_q * k) per term instead of
+  // O(n * k) for the densified row.
+  const la::CsrMatrix rows = la::CsrMatrix::from_csc(t);
+  for (index_t q = 0; q < t.rows(); ++q) {
+    auto cols = rows.row_cols(q);
+    auto vals = rows.row_values(q);
+    for (index_t i = 0; i < space.k(); ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        acc += vals[p] * space.v(cols[p], i);
+      }
+      new_rows(q, i) =
+          space.sigma[i] > 0.0 ? acc / space.sigma[i] : 0.0;
+    }
+  }
+  space.u.append_rows(new_rows);
+}
+
+void fold_in_documents(SemanticSpace& space, const la::DenseMatrix& d) {
+  fold_in_documents(space, la::CscMatrix::from_dense(d));
+}
+
+void fold_in_terms(SemanticSpace& space, const la::DenseMatrix& t) {
+  fold_in_terms(space, la::CscMatrix::from_dense(t));
+}
+
+}  // namespace lsi::core

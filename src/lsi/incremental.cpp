@@ -1,0 +1,63 @@
+#include "lsi/incremental.hpp"
+
+#include "lsi/folding.hpp"
+#include "lsi/update.hpp"
+
+namespace lsi::core {
+
+IncrementalIndexer::IncrementalIndexer(LsiIndex index,
+                                       const IncrementalOptions& opts)
+    : index_(std::move(index)), opts_(opts) {}
+
+bool IncrementalIndexer::add(const text::Document& doc) {
+  const la::Vector weighted = index_.weighted_term_vector(doc.body);
+  pending_docs_.push_back(weighted);
+
+  // Immediate availability: fold the document in now.
+  la::CooBuilder one(index_.space().num_terms(), 1);
+  for (index_t i = 0; i < weighted.size(); ++i) {
+    if (weighted[i] != 0.0) one.add(i, 0, weighted[i]);
+  }
+  fold_in_documents(index_.mutable_space(), one.to_csc());
+  index_.mutable_labels().push_back(doc.label);
+
+  if (opts_.consolidate_every > 0 &&
+      pending_docs_.size() >= opts_.consolidate_every) {
+    consolidate();
+    return true;
+  }
+  return false;
+}
+
+void IncrementalIndexer::consolidate() {
+  if (pending_docs_.empty()) return;
+  const std::size_t p = pending_docs_.size();
+  SemanticSpace& space = index_.mutable_space();
+
+  // Drop the folded rows (the last p rows of V) and redo the batch as a
+  // proper SVD-update so the decomposition is orthonormal again.
+  la::DenseMatrix v_trunc(space.num_docs() - p, space.k());
+  for (index_t j = 0; j < space.k(); ++j) {
+    for (index_t i = 0; i < v_trunc.rows(); ++i) {
+      v_trunc(i, j) = space.v(i, j);
+    }
+  }
+  space.v = std::move(v_trunc);
+
+  la::CooBuilder batch(space.num_terms(), p);
+  for (std::size_t c = 0; c < p; ++c) {
+    for (index_t i = 0; i < pending_docs_[c].size(); ++i) {
+      if (pending_docs_[c][i] != 0.0) batch.add(i, c, pending_docs_[c][i]);
+    }
+  }
+  const la::CscMatrix d = batch.to_csc();
+  if (opts_.exact_update) {
+    update_documents_exact(space, d);
+  } else {
+    update_documents(space, d);
+  }
+  pending_docs_.clear();
+  ++consolidations_;
+}
+
+}  // namespace lsi::core

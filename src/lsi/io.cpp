@@ -1,0 +1,134 @@
+#include "lsi/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace lsi::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4C534932;  // "LSI2"
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t len = read_u64(is);
+  if (len > (1ULL << 32)) throw std::runtime_error("lsi::io: bad string");
+  std::string s(len, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  return s;
+}
+
+void write_matrix(std::ostream& os, const la::DenseMatrix& m) {
+  write_u64(os, m.rows());
+  write_u64(os, m.cols());
+  os.write(reinterpret_cast<const char*>(m.data()),
+           static_cast<std::streamsize>(m.rows() * m.cols() *
+                                        sizeof(double)));
+}
+
+la::DenseMatrix read_matrix(std::istream& is) {
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  if (rows * cols > (1ULL << 34)) {
+    throw std::runtime_error("lsi::io: matrix too large");
+  }
+  la::DenseMatrix m(rows, cols);
+  is.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(rows * cols * sizeof(double)));
+  if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  return m;
+}
+
+}  // namespace
+
+void save_database(std::ostream& os, const LsiDatabase& db) {
+  write_u64(os, kMagic);
+  write_matrix(os, db.space.u);
+  write_u64(os, db.space.sigma.size());
+  os.write(reinterpret_cast<const char*>(db.space.sigma.data()),
+           static_cast<std::streamsize>(db.space.sigma.size() *
+                                        sizeof(double)));
+  write_matrix(os, db.space.v);
+  write_u64(os, db.vocabulary.size());
+  for (const auto& t : db.vocabulary.terms()) write_string(os, t);
+  write_u64(os, db.doc_labels.size());
+  for (const auto& l : db.doc_labels) write_string(os, l);
+  write_u64(os, static_cast<std::uint64_t>(db.scheme.local));
+  write_u64(os, static_cast<std::uint64_t>(db.scheme.global));
+  write_u64(os, db.global_weights.size());
+  os.write(reinterpret_cast<const char*>(db.global_weights.data()),
+           static_cast<std::streamsize>(db.global_weights.size() *
+                                        sizeof(double)));
+  if (!os) throw std::runtime_error("lsi::io: write failed");
+}
+
+LsiDatabase load_database(std::istream& is) {
+  if (read_u64(is) != kMagic) {
+    throw std::runtime_error("lsi::io: bad magic (not an LSI database)");
+  }
+  LsiDatabase db;
+  db.space.u = read_matrix(is);
+  const std::uint64_t k = read_u64(is);
+  db.space.sigma.resize(k);
+  is.read(reinterpret_cast<char*>(db.space.sigma.data()),
+          static_cast<std::streamsize>(k * sizeof(double)));
+  if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  db.space.v = read_matrix(is);
+  const std::uint64_t nterms = read_u64(is);
+  std::vector<std::string> terms;
+  terms.reserve(nterms);
+  for (std::uint64_t i = 0; i < nterms; ++i) terms.push_back(read_string(is));
+  db.vocabulary = text::Vocabulary(std::move(terms));
+  const std::uint64_t nlabels = read_u64(is);
+  db.doc_labels.reserve(nlabels);
+  for (std::uint64_t i = 0; i < nlabels; ++i) {
+    db.doc_labels.push_back(read_string(is));
+  }
+  const std::uint64_t local = read_u64(is);
+  const std::uint64_t global = read_u64(is);
+  if (local > 3 || global > 4) {
+    throw std::runtime_error("lsi::io: bad weighting scheme");
+  }
+  db.scheme.local = static_cast<weighting::LocalWeight>(local);
+  db.scheme.global = static_cast<weighting::GlobalWeight>(global);
+  const std::uint64_t ng = read_u64(is);
+  if (ng > (1ULL << 32)) throw std::runtime_error("lsi::io: bad weights");
+  db.global_weights.resize(ng);
+  is.read(reinterpret_cast<char*>(db.global_weights.data()),
+          static_cast<std::streamsize>(ng * sizeof(double)));
+  if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  return db;
+}
+
+void save_database_file(const std::string& path, const LsiDatabase& db) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("lsi::io: cannot open " + path);
+  save_database(os, db);
+}
+
+LsiDatabase load_database_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("lsi::io: cannot open " + path);
+  return load_database(is);
+}
+
+}  // namespace lsi::core

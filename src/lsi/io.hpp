@@ -1,0 +1,39 @@
+#pragma once
+// Persistence for LSI-encoded databases: the semantic space (U, S, V), the
+// vocabulary and the document labels — "creating the LSI database of
+// singular values and vectors for retrieval" in the paper's tool list.
+// The format is a versioned little-endian binary stream.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lsi/semantic_space.hpp"
+#include "text/vocabulary.hpp"
+#include "weighting/weighting.hpp"
+
+namespace lsi::core {
+
+struct LsiDatabase {
+  SemanticSpace space;
+  text::Vocabulary vocabulary;
+  std::vector<std::string> doc_labels;
+  /// Equation-5 weighting the matrix was built with, so queries against a
+  /// reloaded database weight consistently. Global weights are per-term
+  /// (empty = all ones).
+  weighting::Scheme scheme = weighting::kRaw;
+  std::vector<double> global_weights;
+};
+
+/// Serializes to a stream. Throws std::runtime_error on write failure.
+void save_database(std::ostream& os, const LsiDatabase& db);
+
+/// Deserializes; throws std::runtime_error on malformed input or version
+/// mismatch.
+LsiDatabase load_database(std::istream& is);
+
+/// File conveniences.
+void save_database_file(const std::string& path, const LsiDatabase& db);
+LsiDatabase load_database_file(const std::string& path);
+
+}  // namespace lsi::core

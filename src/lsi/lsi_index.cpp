@@ -1,0 +1,89 @@
+#include "lsi/lsi_index.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace lsi::core {
+
+LsiIndex LsiIndex::build(const text::Collection& docs,
+                         const IndexOptions& opts) {
+  LsiIndex index;
+  index.opts_ = opts;
+  index.tdm_ = text::build_term_document_matrix(docs, opts.parser);
+  index.weighted_ = weighting::apply(index.tdm_.counts, opts.scheme);
+  index.global_weights_ =
+      weighting::global_weights(index.tdm_.counts, opts.scheme.global);
+
+  BuildOptions build = opts.build;
+  build.k = opts.k;
+  index.space_ = build_semantic_space(index.weighted_, build);
+  index.labels_ = index.tdm_.doc_labels;
+  return index;
+}
+
+la::Vector LsiIndex::weighted_term_vector(std::string_view text) const {
+  const la::Vector raw = text::text_to_term_vector(tdm_, text, opts_.parser);
+  return weighting::apply_to_vector(raw, global_weights_,
+                                    opts_.scheme.local);
+}
+
+la::Vector LsiIndex::project(std::string_view text) const {
+  return project_query(space_, weighted_term_vector(text));
+}
+
+std::vector<QueryResult> LsiIndex::query_projected(
+    const la::Vector& q_hat, const QueryOptions& opts) const {
+  std::vector<QueryResult> out;
+  for (const ScoredDoc& sd : rank_documents(space_, q_hat, opts)) {
+    out.push_back({labels_[sd.doc], sd.doc, sd.cosine});
+  }
+  return out;
+}
+
+std::vector<QueryResult> LsiIndex::query(std::string_view text,
+                                         const QueryOptions& opts) const {
+  return query_projected(project(text), opts);
+}
+
+std::vector<QueryResult> LsiIndex::query_vector(
+    const la::Vector& raw_tf, const QueryOptions& opts) const {
+  const la::Vector weighted = weighting::apply_to_vector(
+      raw_tf, global_weights_, opts_.scheme.local);
+  return query_projected(project_query(space_, weighted), opts);
+}
+
+void LsiIndex::add_documents(const text::Collection& docs, AddMethod method) {
+  la::CooBuilder builder(space_.num_terms(), docs.size());
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const la::Vector w = weighted_term_vector(docs[d].body);
+    for (index_t i = 0; i < w.size(); ++i) {
+      if (w[i] != 0.0) builder.add(i, d, w[i]);
+    }
+    labels_.push_back(docs[d].label);
+  }
+  const la::CscMatrix d = builder.to_csc();
+  if (method == AddMethod::kFoldIn) {
+    fold_in_documents(space_, d);
+  } else {
+    update_documents(space_, d);
+  }
+}
+
+std::vector<std::pair<std::string, double>> LsiIndex::similar_terms(
+    std::string_view term, std::size_t top) const {
+  std::vector<std::pair<std::string, double>> out;
+  const auto row = tdm_.vocabulary.find(
+      lsi::util::to_lower(std::string(term)));
+  if (!row) return out;
+  const la::Vector anchor = space_.term_coords(*row);
+  std::vector<ScoredDoc> ranked = rank_terms(space_, anchor, top + 1);
+  for (const ScoredDoc& sd : ranked) {
+    if (sd.doc == *row) continue;
+    out.emplace_back(tdm_.vocabulary.term(sd.doc), sd.cosine);
+    if (out.size() == top) break;
+  }
+  return out;
+}
+
+}  // namespace lsi::core

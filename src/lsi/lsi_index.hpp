@@ -1,0 +1,102 @@
+#pragma once
+// LsiIndex: the high-level public API tying the whole pipeline together —
+// parse a collection, weight it (Equation 5), compute the truncated SVD,
+// then query, fold-in, or SVD-update. This is the type the examples and most
+// benches use; the lower layers stay available for fine-grained control.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsi/folding.hpp"
+#include "lsi/retrieval.hpp"
+#include "lsi/semantic_space.hpp"
+#include "lsi/update.hpp"
+#include "text/parser.hpp"
+#include "weighting/weighting.hpp"
+
+namespace lsi::core {
+
+struct IndexOptions {
+  text::ParserOptions parser;
+  weighting::Scheme scheme = weighting::kLogEntropy;
+  index_t k = 100;             ///< factors retained
+  BuildOptions build;          ///< k field overridden by `k`
+};
+
+/// How new documents are incorporated (Section 2.3's taxonomy).
+enum class AddMethod {
+  kFoldIn,     ///< Equation 7; cheap, existing structure frozen
+  kSvdUpdate,  ///< Section 4; rotates the whole decomposition
+};
+
+struct QueryResult {
+  std::string label;
+  index_t doc = 0;
+  double cosine = 0.0;
+};
+
+class LsiIndex {
+ public:
+  /// Parses, weights and decomposes a collection.
+  static LsiIndex build(const text::Collection& docs,
+                        const IndexOptions& opts);
+
+  /// Ranks documents against free-text. Unknown words are ignored (they are
+  /// not indexed terms, exactly like "of children with" in the paper's
+  /// example query).
+  std::vector<QueryResult> query(std::string_view text,
+                                 const QueryOptions& opts = {}) const;
+
+  /// Ranks documents against an explicit raw term-frequency vector.
+  std::vector<QueryResult> query_vector(const la::Vector& raw_tf,
+                                        const QueryOptions& opts = {}) const;
+
+  /// Projects free-text into k-space (for relevance feedback, filtering
+  /// profiles, and term lookups).
+  la::Vector project(std::string_view text) const;
+
+  /// Ranks documents against an already-projected k-vector.
+  std::vector<QueryResult> query_projected(const la::Vector& q_hat,
+                                           const QueryOptions& opts = {}) const;
+
+  /// Adds new documents by folding-in or SVD-updating. Terms not in the
+  /// vocabulary are dropped (the paper's fold-in semantics); document labels
+  /// are appended.
+  void add_documents(const text::Collection& docs, AddMethod method);
+
+  /// Most similar terms to the given term (Section 5.4: online thesaurus).
+  std::vector<std::pair<std::string, double>> similar_terms(
+      std::string_view term, std::size_t top = 10) const;
+
+  const SemanticSpace& space() const noexcept { return space_; }
+  SemanticSpace& mutable_space() noexcept { return space_; }
+  const text::Vocabulary& vocabulary() const noexcept {
+    return tdm_.vocabulary;
+  }
+  const std::vector<std::string>& doc_labels() const noexcept {
+    return labels_;
+  }
+  /// Mutable label list for components (e.g. IncrementalIndexer) that
+  /// manage documents through mutable_space() directly.
+  std::vector<std::string>& mutable_labels() noexcept { return labels_; }
+  const la::CscMatrix& raw_counts() const noexcept { return tdm_.counts; }
+  const la::CscMatrix& weighted_matrix() const noexcept { return weighted_; }
+  const std::vector<double>& global_weights() const noexcept {
+    return global_weights_;
+  }
+  const IndexOptions& options() const noexcept { return opts_; }
+
+  /// Weighted term vector for free text, consistent with the index scheme.
+  la::Vector weighted_term_vector(std::string_view text) const;
+
+ private:
+  IndexOptions opts_;
+  text::TermDocumentMatrix tdm_;     ///< raw counts of the *original* docs
+  la::CscMatrix weighted_;           ///< Equation 5 applied
+  std::vector<double> global_weights_;
+  SemanticSpace space_;
+  std::vector<std::string> labels_;  ///< grows as documents are added
+};
+
+}  // namespace lsi::core

@@ -1,0 +1,144 @@
+#include "lsi/neighbors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lsi::core {
+
+namespace {
+
+/// Normalizes every row to unit 2-norm (zero rows stay zero).
+void normalize_rows(la::DenseMatrix& m) {
+  for (index_t i = 0; i < m.rows(); ++i) {
+    double ss = 0.0;
+    for (index_t j = 0; j < m.cols(); ++j) ss += m(i, j) * m(i, j);
+    const double norm = std::sqrt(ss);
+    if (norm == 0.0) continue;
+    for (index_t j = 0; j < m.cols(); ++j) m(i, j) /= norm;
+  }
+}
+
+double row_dot(const la::DenseMatrix& a, index_t i,
+               std::span<const double> x) {
+  double acc = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+  return acc;
+}
+
+}  // namespace
+
+DocNeighborIndex::DocNeighborIndex(const SemanticSpace& space,
+                                   const NeighborIndexOptions& opts) {
+  const index_t n = space.num_docs();
+  const index_t k = space.k();
+
+  doc_coords_ = la::DenseMatrix(n, k);
+  for (index_t d = 0; d < n; ++d) {
+    for (index_t j = 0; j < k; ++j) {
+      doc_coords_(d, j) = space.v(d, j) * space.sigma[j];
+    }
+  }
+  normalize_rows(doc_coords_);
+
+  index_t clusters = opts.clusters;
+  if (clusters == 0) {
+    clusters = std::max<index_t>(
+        1, static_cast<index_t>(std::sqrt(static_cast<double>(n))));
+  }
+  clusters = std::min(clusters, std::max<index_t>(1, n));
+
+  // Spherical k-means: maximize centroid cosine; centroids renormalized.
+  util::Rng rng(opts.seed);
+  centroids_ = la::DenseMatrix(clusters, k);
+  const auto seeds = rng.sample_without_replacement(n, clusters);
+  for (index_t c = 0; c < clusters; ++c) {
+    for (index_t j = 0; j < k; ++j) {
+      centroids_(c, j) = doc_coords_(seeds[c], j);
+    }
+  }
+
+  std::vector<index_t> assignment(n, 0);
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    bool changed = false;
+    for (index_t d = 0; d < n; ++d) {
+      index_t best = 0;
+      double best_score = -2.0;
+      const la::Vector row = doc_coords_.row(d);
+      for (index_t c = 0; c < clusters; ++c) {
+        const double score = row_dot(centroids_, c, row);
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      if (assignment[d] != best) {
+        assignment[d] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centroids as normalized member means; empty clusters are
+    // re-seeded from the document farthest from its centroid.
+    centroids_ = la::DenseMatrix(clusters, k);
+    std::vector<index_t> counts(clusters, 0);
+    for (index_t d = 0; d < n; ++d) {
+      for (index_t j = 0; j < k; ++j) {
+        centroids_(assignment[d], j) += doc_coords_(d, j);
+      }
+      ++counts[assignment[d]];
+    }
+    for (index_t c = 0; c < clusters; ++c) {
+      if (counts[c] == 0) {
+        const index_t victim = rng.uniform_index(n);
+        for (index_t j = 0; j < k; ++j) {
+          centroids_(c, j) = doc_coords_(victim, j);
+        }
+      }
+    }
+    normalize_rows(centroids_);
+  }
+
+  members_.assign(clusters, {});
+  for (index_t d = 0; d < n; ++d) members_[assignment[d]].push_back(d);
+}
+
+std::vector<ScoredDoc> DocNeighborIndex::query(
+    std::span<const double> query_coords, std::size_t top_z,
+    std::size_t probes, NeighborQueryStats* stats) const {
+  const index_t clusters = centroids_.rows();
+  probes = std::clamp<std::size_t>(probes, 1, clusters);
+
+  // Rank clusters by centroid similarity.
+  std::vector<std::pair<double, index_t>> by_centroid;
+  by_centroid.reserve(clusters);
+  for (index_t c = 0; c < clusters; ++c) {
+    by_centroid.push_back({-row_dot(centroids_, c, query_coords), c});
+  }
+  std::partial_sort(by_centroid.begin(), by_centroid.begin() + probes,
+                    by_centroid.end());
+
+  const double qnorm = la::norm2(query_coords);
+  std::vector<ScoredDoc> out;
+  NeighborQueryStats local;
+  for (std::size_t p = 0; p < probes; ++p) {
+    ++local.clusters_probed;
+    for (index_t d : members_[by_centroid[p].second]) {
+      ++local.documents_scored;
+      const double cos =
+          qnorm > 0.0 ? row_dot(doc_coords_, d, query_coords) / qnorm : 0.0;
+      out.push_back({d, cos});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredDoc& a, const ScoredDoc& b) {
+                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                     return a.doc < b.doc;
+                   });
+  if (top_z > 0 && out.size() > top_z) out.resize(top_z);
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,56 @@
+#pragma once
+// Approximate nearest-neighbor search in k-space — the third open problem
+// of Section 5.6 ("efficiently comparing queries to documents (i.e.,
+// finding near neighbors in high-dimension spaces)").
+//
+// Design: spherical k-means over the (sigma-scaled, unit-normalized)
+// document coordinates partitions the collection into clusters; a query
+// scans only the `probes` clusters whose centroids score highest. Because
+// cosine similarity against a cluster member is bounded by the similarity
+// to its centroid plus the cluster radius, probing a handful of clusters
+// recovers almost all true neighbors at a fraction of the comparisons.
+
+#include <cstdint>
+#include <vector>
+
+#include "lsi/retrieval.hpp"
+#include "lsi/semantic_space.hpp"
+
+namespace lsi::core {
+
+struct NeighborIndexOptions {
+  index_t clusters = 0;       ///< 0 -> about sqrt(num_docs)
+  int max_iterations = 25;    ///< k-means refinement cap
+  std::uint64_t seed = 7;     ///< centroid seeding
+};
+
+struct NeighborQueryStats {
+  std::size_t documents_scored = 0;  ///< exact cosines computed
+  std::size_t clusters_probed = 0;
+};
+
+/// Cluster-pruned cosine search over a (frozen) semantic space's documents.
+class DocNeighborIndex {
+ public:
+  /// Builds the cluster structure from the space's document coordinates
+  /// (rows of V_k S_k, normalized).
+  DocNeighborIndex(const SemanticSpace& space,
+                   const NeighborIndexOptions& opts = {});
+
+  /// Approximate top-z documents by cosine against the sigma-scaled query
+  /// coordinates (i.e. the kColumnSpace similarity of retrieval.hpp).
+  /// `probes` = number of clusters scanned (clamped to [1, clusters]).
+  std::vector<ScoredDoc> query(std::span<const double> query_coords,
+                               std::size_t top_z, std::size_t probes,
+                               NeighborQueryStats* stats = nullptr) const;
+
+  index_t num_clusters() const noexcept { return centroids_.rows(); }
+  index_t num_docs() const noexcept { return doc_coords_.rows(); }
+
+ private:
+  la::DenseMatrix doc_coords_;   ///< num_docs x k, unit rows
+  la::DenseMatrix centroids_;    ///< clusters x k, unit rows
+  std::vector<std::vector<index_t>> members_;  ///< docs per cluster
+};
+
+}  // namespace lsi::core

@@ -1,0 +1,146 @@
+#include "lsi/retrieval.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lsi::core {
+
+namespace {
+
+/// Applies S^{-1} entrywise; zero singular values map to zero (pseudo-
+/// inverse semantics, so rank-deficient spaces behave).
+void scale_by_sigma_inverse(la::Vector& x, const std::vector<double>& sigma) {
+  for (index_t i = 0; i < x.size(); ++i) {
+    x[i] = sigma[i] > 0.0 ? x[i] / sigma[i] : 0.0;
+  }
+}
+
+}  // namespace
+
+la::Vector project_query(const SemanticSpace& space,
+                         std::span<const double> term_vector) {
+  assert(term_vector.size() == space.num_terms());
+  la::Vector q_hat = la::multiply_transpose(space.u, term_vector);
+  scale_by_sigma_inverse(q_hat, space.sigma);
+  return q_hat;
+}
+
+la::Vector project_term(const SemanticSpace& space,
+                        std::span<const double> doc_vector) {
+  assert(doc_vector.size() == space.num_docs());
+  la::Vector t_hat = la::multiply_transpose(space.v, doc_vector);
+  scale_by_sigma_inverse(t_hat, space.sigma);
+  return t_hat;
+}
+
+std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
+                                      std::span<const double> query_khat,
+                                      const QueryOptions& opts) {
+  assert(query_khat.size() == space.k());
+  const index_t k = space.k();
+
+  // All three modes are cos(q_hat .* s^a, v_j .* s^b): a = 1 only for
+  // kColumnSpace; b = 1 except for kPlainV.
+  la::Vector q(query_khat.begin(), query_khat.end());
+  if (opts.mode == SimilarityMode::kColumnSpace) {
+    for (index_t i = 0; i < k; ++i) q[i] *= space.sigma[i];
+  }
+  const bool scale_docs = opts.mode != SimilarityMode::kPlainV;
+
+  std::vector<ScoredDoc> out;
+  out.reserve(space.num_docs());
+  la::Vector doc(k);
+  for (index_t j = 0; j < space.num_docs(); ++j) {
+    for (index_t i = 0; i < k; ++i) {
+      doc[i] = space.v(j, i);
+      if (scale_docs) doc[i] *= space.sigma[i];
+    }
+    const double cos = la::cosine(q, doc);
+    if (cos >= opts.min_cosine) out.push_back({j, cos});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredDoc& a, const ScoredDoc& b) {
+                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                     return a.doc < b.doc;
+                   });
+  if (opts.top_z > 0 && out.size() > opts.top_z) out.resize(opts.top_z);
+  return out;
+}
+
+std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
+                                std::span<const double> term_vector,
+                                const QueryOptions& opts) {
+  return rank_documents(space, project_query(space, term_vector), opts);
+}
+
+double document_similarity(const SemanticSpace& space, index_t a, index_t b) {
+  const la::Vector va = space.doc_coords(a);
+  const la::Vector vb = space.doc_coords(b);
+  return la::cosine(va, vb);
+}
+
+double term_similarity(const SemanticSpace& space, index_t a, index_t b) {
+  const la::Vector ta = space.term_coords(a);
+  const la::Vector tb = space.term_coords(b);
+  return la::cosine(ta, tb);
+}
+
+std::vector<ScoredDoc> rank_documents_multipoint(
+    const SemanticSpace& space, const std::vector<la::Vector>& points,
+    const QueryOptions& opts, MultiPointCombiner combiner) {
+  std::vector<ScoredDoc> out;
+  if (points.empty()) return out;
+
+  // Score per point, then combine.
+  std::vector<std::vector<double>> per_point;
+  per_point.reserve(points.size());
+  for (const auto& p : points) {
+    QueryOptions all = opts;
+    all.min_cosine = -1.0;  // filter only after combining
+    all.top_z = 0;
+    std::vector<double> scores(space.num_docs(), 0.0);
+    for (const ScoredDoc& sd : rank_documents(space, p, all)) {
+      scores[sd.doc] = sd.cosine;
+    }
+    per_point.push_back(std::move(scores));
+  }
+  for (index_t d = 0; d < space.num_docs(); ++d) {
+    double combined =
+        combiner == MultiPointCombiner::kMax ? -2.0 : 0.0;
+    for (const auto& scores : per_point) {
+      if (combiner == MultiPointCombiner::kMax) {
+        combined = std::max(combined, scores[d]);
+      } else {
+        combined += scores[d] / static_cast<double>(points.size());
+      }
+    }
+    if (combined >= opts.min_cosine) out.push_back({d, combined});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredDoc& a, const ScoredDoc& b) {
+                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                     return a.doc < b.doc;
+                   });
+  if (opts.top_z > 0 && out.size() > opts.top_z) out.resize(opts.top_z);
+  return out;
+}
+
+std::vector<ScoredDoc> rank_terms(const SemanticSpace& space,
+                                  std::span<const double> term_coords,
+                                  std::size_t top_z) {
+  std::vector<ScoredDoc> out;
+  out.reserve(space.num_terms());
+  for (index_t i = 0; i < space.num_terms(); ++i) {
+    const la::Vector t = space.term_coords(i);
+    out.push_back({i, la::cosine(term_coords, t)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredDoc& a, const ScoredDoc& b) {
+                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
+                     return a.doc < b.doc;
+                   });
+  if (top_z > 0 && out.size() > top_z) out.resize(top_z);
+  return out;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,100 @@
+#pragma once
+// Query projection (Equation 6) and cosine retrieval (Section 2.2):
+//
+//   q_hat = q^T U_k S_k^{-1}
+//
+// The query vector lands at the weighted sum of its constituent term
+// vectors; documents are ranked by cosine similarity and the z closest (or
+// all above a threshold) are returned.
+//
+// The paper leaves the exact inner-product convention implicit, so the mode
+// is explicit here. With q_hat from Equation 6 and document j at row v_j of
+// V_k, the three conventions in the LSI literature are all cosines of
+// sigma-rescaled pairs:
+//
+//   kColumnSpace:  cos(U_k^T q,  S_k v_j)  = cos(q_hat S_k, v_j S_k)
+//                  == cosine between the raw query and *column j of A_k* —
+//                  reproduces the paper's Table 4 rankings best (default);
+//   kProjected:    cos(q_hat, v_j S_k) — the geometry actually plotted in
+//                  Figures 5/6 (query at q_hat, documents at V_k S_k);
+//   kPlainV:       cos(q_hat, v_j) — unscaled factor space.
+
+#include <span>
+#include <vector>
+
+#include "lsi/semantic_space.hpp"
+
+namespace lsi::core {
+
+enum class SimilarityMode {
+  kColumnSpace,  ///< cos(q_hat * S, v_j * S)
+  kProjected,    ///< cos(q_hat,     v_j * S)
+  kPlainV,       ///< cos(q_hat,     v_j)
+};
+
+struct QueryOptions {
+  SimilarityMode mode = SimilarityMode::kColumnSpace;
+  double min_cosine = -1.0;  ///< cosine threshold; -1 returns everything
+  std::size_t top_z = 0;     ///< keep only the z best (0 = unlimited)
+};
+
+struct ScoredDoc {
+  index_t doc = 0;
+  double cosine = 0.0;
+};
+
+/// Equation 6: projects a (weighted) m-vector of term frequencies into the
+/// k-space. Also the folding-in formula for documents (Equation 7).
+la::Vector project_query(const SemanticSpace& space,
+                         std::span<const double> term_vector);
+
+/// Equation 8: projects a (weighted) n-vector of per-document frequencies
+/// for a new term into k-space: t_hat = t V_k S_k^{-1}.
+la::Vector project_term(const SemanticSpace& space,
+                        std::span<const double> doc_vector);
+
+/// Cosine between the projected query (Equation 6 coordinates) and every
+/// document, ranked descending, filtered per `opts`. Ties broken by document
+/// index for determinism.
+std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
+                                      std::span<const double> query_khat,
+                                      const QueryOptions& opts = {});
+
+/// One-call retrieval: project `term_vector` and rank.
+std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
+                                std::span<const double> term_vector,
+                                const QueryOptions& opts = {});
+
+/// Cosine between two documents in the space (doc-doc similarity, in the
+/// S-scaled coordinates the paper plots).
+double document_similarity(const SemanticSpace& space, index_t a, index_t b);
+
+/// Cosine between two terms in the space (rows of U_k S_k — used by the
+/// synonym test of Section 5.4).
+double term_similarity(const SemanticSpace& space, index_t a, index_t b);
+
+/// Ranks all terms by similarity to the given S-scaled term coordinates —
+/// "there is no reason that similar terms could not be returned"
+/// (Section 5.4, online thesauri).
+std::vector<ScoredDoc> rank_terms(const SemanticSpace& space,
+                                  std::span<const double> term_coords,
+                                  std::size_t top_z = 0);
+
+/// How a multi-point query combines its per-point cosines.
+enum class MultiPointCombiner {
+  kMax,  ///< document scores its best point (disjunctive interests)
+  kSum,  ///< relevance-density style: points reinforce each other
+};
+
+/// Multiple-points-of-interest retrieval (Section 5.4, after Kane-Esrig et
+/// al.'s relevance density method): the query is a *set* of k-vectors
+/// (each an Equation-6 projection) rather than a single centroid — useful
+/// when an information need spans distinct subtopics that would cancel if
+/// averaged. Each document's cosine to every point is combined per
+/// `combiner`; thresholding/top-z as usual.
+std::vector<ScoredDoc> rank_documents_multipoint(
+    const SemanticSpace& space, const std::vector<la::Vector>& points,
+    const QueryOptions& opts = {},
+    MultiPointCombiner combiner = MultiPointCombiner::kMax);
+
+}  // namespace lsi::core

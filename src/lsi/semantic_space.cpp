@@ -1,0 +1,99 @@
+#include "lsi/semantic_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/jacobi_svd.hpp"
+
+namespace lsi::core {
+
+la::Vector SemanticSpace::doc_coords(index_t j) const {
+  la::Vector coords = v.row(j);
+  for (index_t i = 0; i < coords.size(); ++i) coords[i] *= sigma[i];
+  return coords;
+}
+
+la::Vector SemanticSpace::term_coords(index_t i) const {
+  la::Vector coords = u.row(i);
+  for (index_t d = 0; d < coords.size(); ++d) coords[d] *= sigma[d];
+  return coords;
+}
+
+la::DenseMatrix SemanticSpace::reconstruct() const {
+  return la::multiply_a_bt(la::scale_cols(u, sigma), v);
+}
+
+SemanticSpace build_semantic_space(const la::CscMatrix& a,
+                                   const BuildOptions& opts,
+                                   la::LanczosStats* stats) {
+  const index_t minmn = std::min(a.rows(), a.cols());
+  const index_t k = std::min(opts.k, minmn);
+
+  la::SvdResult svd;
+  if (minmn <= opts.dense_cutoff) {
+    svd = la::jacobi_svd(a.to_dense());
+    svd.truncate(k);
+    if (stats) *stats = la::LanczosStats{};
+  } else {
+    la::LanczosOptions lopts = opts.lanczos;
+    lopts.k = k;
+    svd = la::lanczos_svd(a, lopts, stats);
+  }
+
+  SemanticSpace space;
+  space.u = std::move(svd.u);
+  space.sigma = std::move(svd.s);
+  space.v = std::move(svd.v);
+  return space;
+}
+
+SemanticSpace build_semantic_space(const la::CscMatrix& a, index_t k) {
+  BuildOptions opts;
+  opts.k = k;
+  return build_semantic_space(a, opts);
+}
+
+void align_signs_to(SemanticSpace& space, const la::DenseMatrix& reference) {
+  const index_t cols = std::min(space.u.cols(), reference.cols());
+  for (index_t j = 0; j < cols; ++j) {
+    const double agreement =
+        la::dot(space.u.col(j), reference.col(j));
+    if (agreement < 0.0) {
+      la::scale(space.u.col(j), -1.0);
+      la::scale(space.v.col(j), -1.0);
+    }
+  }
+}
+
+double energy_captured(const std::vector<double>& sigma, index_t k) {
+  double total = 0.0, head = 0.0;
+  for (index_t i = 0; i < sigma.size(); ++i) {
+    const double s2 = sigma[i] * sigma[i];
+    total += s2;
+    if (i < k) head += s2;
+  }
+  return total > 0.0 ? head / total : 0.0;
+}
+
+index_t suggest_k(const std::vector<double>& sigma, double energy_fraction) {
+  double total = 0.0;
+  for (double s : sigma) total += s * s;
+  if (total <= 0.0) return 0;
+  double head = 0.0;
+  for (index_t k = 0; k < sigma.size(); ++k) {
+    head += sigma[k] * sigma[k];
+    if (head >= energy_fraction * total) return k + 1;
+  }
+  return sigma.size();
+}
+
+double orthogonality_loss(const la::DenseMatrix& q) {
+  la::DenseMatrix gram = la::multiply_at_b(q, q);
+  for (index_t i = 0; i < gram.rows(); ++i) gram(i, i) -= 1.0;
+  // Spectral norm of the symmetric deviation = largest singular value.
+  if (gram.rows() == 0) return 0.0;
+  const la::SvdResult s = la::jacobi_svd(gram);
+  return s.s.empty() ? 0.0 : s.s[0];
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,84 @@
+#pragma once
+// The LSI semantic space: the rank-k truncated SVD A_k = U_k S_k V_k^T of a
+// (weighted) term-document matrix (the paper's Figure 1 / Table 1):
+//
+//   A_k : best rank-k approximation to A      m : number of terms
+//   U   : term vectors  (m x k)               n : number of documents
+//   S   : singular values (k)                 k : number of factors
+//   V   : document vectors (n x k)            r : rank of A
+//
+// Terms live in the rows of U, documents in the rows of V. Everything
+// downstream (queries, folding-in, SVD-updating) operates on this struct.
+
+#include <vector>
+
+#include "la/lanczos.hpp"
+#include "la/sparse.hpp"
+#include "la/svd_types.hpp"
+
+namespace lsi::core {
+
+using la::index_t;
+
+struct SemanticSpace {
+  la::DenseMatrix u;           ///< m x k, term vectors in rows
+  std::vector<double> sigma;   ///< k singular values, descending
+  la::DenseMatrix v;           ///< n x k, document vectors in rows
+
+  index_t k() const noexcept { return sigma.size(); }
+  index_t num_terms() const noexcept { return u.rows(); }
+  index_t num_docs() const noexcept { return v.rows(); }
+
+  /// Row i of U (term i's k-vector).
+  la::Vector term_vector(index_t i) const { return u.row(i); }
+  /// Row j of V (document j's k-vector).
+  la::Vector doc_vector(index_t j) const { return v.row(j); }
+
+  /// Row j of V scaled by the singular values — the coordinates the paper
+  /// plots in Figures 4-9 and compares queries against.
+  la::Vector doc_coords(index_t j) const;
+  /// Row i of U scaled by the singular values.
+  la::Vector term_coords(index_t i) const;
+
+  /// Reconstructs A_k (tests and small examples only).
+  la::DenseMatrix reconstruct() const;
+};
+
+struct BuildOptions {
+  index_t k = 100;          ///< number of factors retained
+  /// Below this min(m, n) the dense Jacobi SVD is used instead of Lanczos.
+  index_t dense_cutoff = 96;
+  la::LanczosOptions lanczos;  ///< k field is overridden by `k`
+};
+
+/// Computes the truncated SVD of a (weighted) term-document matrix and
+/// packages it as a semantic space. k is clamped to min(m, n).
+SemanticSpace build_semantic_space(const la::CscMatrix& a,
+                                   const BuildOptions& opts,
+                                   la::LanczosStats* stats = nullptr);
+
+/// Convenience: build with k factors and defaults elsewhere.
+SemanticSpace build_semantic_space(const la::CscMatrix& a, index_t k);
+
+/// Flips the sign of space factors so they best match `reference` (another
+/// U matrix over the same terms, e.g. the paper's printed Figure 5 U_2).
+/// Sign choice is a free parameter of any SVD; aligning makes plots and
+/// printed coordinates comparable.
+void align_signs_to(SemanticSpace& space, const la::DenseMatrix& reference);
+
+/// Orthogonality loss ||Q^T Q - I||_2 (spectral norm), the Section 4.3
+/// measure of how much folding-in has corrupted a basis.
+double orthogonality_loss(const la::DenseMatrix& q);
+
+/// Fraction of the matrix's squared Frobenius norm captured by the first k
+/// singular values of `sigma` (Theorem 2.1: ||A||_F^2 = sum sigma_i^2).
+/// `sigma` must be the full (or longest available) spectrum.
+double energy_captured(const std::vector<double>& sigma, index_t k);
+
+/// Smallest k whose truncation captures at least `energy_fraction` of the
+/// spectrum's squared mass — a principled starting point for the
+/// Section 5.2 "choosing the number of factors" question (retrieval
+/// performance should still be validated around it).
+index_t suggest_k(const std::vector<double>& sigma, double energy_fraction);
+
+}  // namespace lsi::core

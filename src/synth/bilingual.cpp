@@ -1,0 +1,87 @@
+#include "synth/bilingual.hpp"
+
+#include "util/rng.hpp"
+
+namespace lsi::synth {
+
+namespace {
+
+std::string form_name(char lang, std::size_t concept_id, std::size_t form) {
+  return std::string(1, lang) + std::to_string(concept_id) + "f" +
+         std::to_string(form);
+}
+
+}  // namespace
+
+BilingualCorpus generate_bilingual_corpus(const BilingualSpec& spec) {
+  util::Rng rng(spec.seed);
+  BilingualCorpus out;
+
+
+  const std::size_t num_docs = spec.topics * spec.docs_per_topic;
+
+  // Documents are concept sequences rendered twice (independent synonym
+  // draws per language, like a translation rather than a transliteration).
+  out.dual.reserve(num_docs);
+  out.mono_a.reserve(num_docs);
+  out.mono_b.reserve(num_docs);
+  for (std::size_t topic = 0; topic < spec.topics; ++topic) {
+    for (std::size_t d = 0; d < spec.docs_per_topic; ++d) {
+      const int len = std::max(6, rng.poisson(spec.mean_doc_len));
+      std::string body_a, body_b;
+      for (int t = 0; t < len; ++t) {
+        std::size_t src_topic = topic;
+        if (spec.topics > 1 && spec.own_topic_prob < 1.0 &&
+            !rng.bernoulli(spec.own_topic_prob)) {
+          src_topic = rng.uniform_index(spec.topics - 1);
+          if (src_topic >= topic) ++src_topic;
+        }
+        const std::size_t local =
+            rng.zipf(spec.concepts_per_topic, 1.1);
+        const std::size_t concept_id =
+            src_topic * spec.concepts_per_topic + local;
+        const std::size_t fa = rng.zipf(spec.forms_per_concept, 1.3);
+        const std::size_t fb = rng.zipf(spec.forms_per_concept, 1.3);
+        if (!body_a.empty()) body_a += ' ';
+        if (!body_b.empty()) body_b += ' ';
+        body_a += form_name('a', concept_id, fa);
+        body_b += form_name('b', concept_id, fb);
+      }
+      const std::string label = "D" + std::to_string(out.dual.size());
+      out.dual.push_back({label, body_a + ' ' + body_b});
+      out.mono_a.push_back({label + "a", body_a});
+      out.mono_b.push_back({label + "b", body_b});
+      out.doc_topics.push_back(topic);
+    }
+  }
+
+  auto make_queries = [&](char lang) {
+    std::vector<BilingualQuery> queries;
+    for (std::size_t topic = 0; topic < spec.topics; ++topic) {
+      eval::DocSet relevant;
+      for (std::size_t d = 0; d < num_docs; ++d) {
+        if (out.doc_topics[d] == topic) relevant.insert(d);
+      }
+      for (std::size_t q = 0; q < spec.queries_per_topic; ++q) {
+        const std::size_t len =
+            std::min(spec.query_len, spec.concepts_per_topic);
+        const auto picks =
+            rng.sample_without_replacement(spec.concepts_per_topic, len);
+        std::string body;
+        for (std::size_t local : picks) {
+          if (!body.empty()) body += ' ';
+          body += form_name(lang, topic * spec.concepts_per_topic + local,
+                            rng.zipf(spec.forms_per_concept, 1.3));
+        }
+        queries.push_back(BilingualQuery{std::move(body), relevant, topic});
+      }
+    }
+    return queries;
+  };
+  out.queries_a = make_queries('a');
+  out.queries_b = make_queries('b');
+
+  return out;
+}
+
+}  // namespace lsi::synth

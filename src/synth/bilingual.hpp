@@ -1,0 +1,54 @@
+#pragma once
+// Bilingual synthetic corpus for the cross-language retrieval experiment
+// (Section 5.4, Landauer & Littman's method): the training matrix is built
+// from *dual-language* documents (each document's language-A and language-B
+// renderings concatenated), after which monolingual documents fold in and
+// queries in either language retrieve documents in the other.
+//
+// The two languages are disjoint surface vocabularies over the same latent
+// concepts ("aNNfM" vs "bNNfM"), the synthetic analogue of the French /
+// English mated abstracts.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "text/document.hpp"
+
+namespace lsi::synth {
+
+struct BilingualSpec {
+  std::size_t topics = 8;
+  std::size_t concepts_per_topic = 10;
+  std::size_t forms_per_concept = 2;  ///< synonyms within each language
+  std::size_t docs_per_topic = 24;
+  double mean_doc_len = 30.0;
+  /// Probability a token's concept comes from the document's own topic (the
+  /// remainder from a random other topic); < 1 makes retrieval non-trivial.
+  double own_topic_prob = 1.0;
+  std::size_t queries_per_topic = 3;
+  std::size_t query_len = 5;
+  std::uint64_t seed = 77;
+};
+
+struct BilingualQuery {
+  std::string text;       ///< single-language text
+  eval::DocSet relevant;  ///< same-topic documents (indices shared by all views)
+  std::size_t topic = 0;
+};
+
+struct BilingualCorpus {
+  /// Training view: every document as the concatenation of both renderings.
+  text::Collection dual;
+  /// Monolingual views of the same documents (index-aligned with `dual`).
+  text::Collection mono_a;
+  text::Collection mono_b;
+  std::vector<std::size_t> doc_topics;
+  std::vector<BilingualQuery> queries_a;  ///< language-A queries
+  std::vector<BilingualQuery> queries_b;  ///< language-B queries
+};
+
+BilingualCorpus generate_bilingual_corpus(const BilingualSpec& spec);
+
+}  // namespace lsi::synth

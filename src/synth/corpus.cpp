@@ -1,0 +1,175 @@
+#include "synth/corpus.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace lsi::synth {
+
+namespace {
+
+std::string form_name(std::size_t concept_id, std::size_t form) {
+  return "w" + std::to_string(concept_id) + "f" + std::to_string(form);
+}
+
+/// Pronounceable root for a concept id: digit d -> consonant-vowel pair, so
+/// the Porter stemmer's vowel-based rules apply to the suffixed variants.
+std::string morph_root(std::size_t concept_id) {
+  static constexpr char consonants[] = "bcdfghjklm";
+  static constexpr char vowels[] = "aeiou";
+  std::string digits = std::to_string(concept_id);
+  std::string root = "z";  // distinct leading letter avoids real stop words
+  for (char d : digits) {
+    const int v = d - '0';
+    root += consonants[v];
+    root += vowels[v % 5];
+  }
+  return root;
+}
+
+std::string morph_form_name(std::size_t concept_id, std::size_t form) {
+  static constexpr const char* suffixes[] = {"", "s", "ed", "ing"};
+  return morph_root(concept_id) + suffixes[form % 4];
+}
+
+std::string general_name(std::size_t concept_id, std::size_t form) {
+  return "g" + std::to_string(concept_id) + "f" + std::to_string(form);
+}
+
+}  // namespace
+
+SyntheticCorpus generate_corpus(const CorpusSpec& spec) {
+  util::Rng rng(spec.seed);
+  SyntheticCorpus out;
+
+  // Concept tables. Topic-owned concepts are globally numbered so their
+  // surface forms are unique strings unless polysemy deliberately aliases.
+  const std::size_t num_concepts = spec.topics * spec.concepts_per_topic;
+  out.concept_forms.resize(num_concepts);
+  out.concept_topic.resize(num_concepts);
+  for (std::size_t c = 0; c < num_concepts; ++c) {
+    out.concept_topic[c] = c / spec.concepts_per_topic;
+    out.concept_forms[c].reserve(spec.forms_per_concept);
+    for (std::size_t f = 0; f < spec.forms_per_concept; ++f) {
+      out.concept_forms[c].push_back(spec.morphological_forms
+                                         ? morph_form_name(c, f)
+                                         : form_name(c, f));
+    }
+  }
+  // Polysemy: a concept's last form is replaced by the dominant form of a
+  // concept from a *different* topic, so that string becomes ambiguous.
+  if (spec.polysemy_prob > 0.0 && spec.topics > 1 &&
+      spec.forms_per_concept > 1) {
+    for (std::size_t c = 0; c < num_concepts; ++c) {
+      if (!rng.bernoulli(spec.polysemy_prob)) continue;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const std::size_t other = rng.uniform_index(num_concepts);
+        if (out.concept_topic[other] != out.concept_topic[c]) {
+          out.concept_forms[c].back() = out.concept_forms[other][0];
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<std::string>> general_forms(spec.shared_concepts);
+  for (std::size_t g = 0; g < spec.shared_concepts; ++g) {
+    for (std::size_t f = 0; f < spec.forms_per_concept; ++f) {
+      general_forms[g].push_back(general_name(g, f));
+    }
+  }
+
+  // Documents.
+  const std::size_t num_docs = spec.topics * spec.docs_per_topic;
+  out.docs.reserve(num_docs);
+  out.doc_topics.reserve(num_docs);
+  for (std::size_t topic = 0; topic < spec.topics; ++topic) {
+    for (std::size_t d = 0; d < spec.docs_per_topic; ++d) {
+      const int len =
+          std::max(8, rng.poisson(spec.mean_doc_len));
+      // Per-document pet general words (accidental burstiness).
+      std::vector<std::size_t> pets;
+      if (spec.pet_word_prob > 0.0 && spec.shared_concepts > 0) {
+        const std::size_t count = std::min<std::size_t>(
+            3, spec.shared_concepts);
+        pets = rng.sample_without_replacement(spec.shared_concepts, count);
+      }
+      std::string body;
+      // Form memory for consistent_forms_per_doc (keyed by forms table).
+      std::unordered_map<const std::vector<std::string>*, std::size_t>
+          chosen_form;
+      for (int t = 0; t < len; ++t) {
+        const std::vector<std::string>* forms = nullptr;
+        if (spec.shared_concepts > 0 && rng.bernoulli(spec.general_prob)) {
+          std::size_t g;
+          if (!pets.empty() && rng.bernoulli(spec.pet_word_prob)) {
+            g = pets[rng.uniform_index(pets.size())];
+          } else {
+            g = rng.zipf(spec.shared_concepts, spec.general_zipf);
+          }
+          forms = &general_forms[g];
+        } else {
+          std::size_t src_topic = topic;
+          if (spec.topics > 1 && spec.own_topic_prob < 1.0 &&
+              !rng.bernoulli(spec.own_topic_prob)) {
+            src_topic = rng.uniform_index(spec.topics - 1);
+            if (src_topic >= topic) ++src_topic;
+          }
+          const std::size_t local =
+              rng.zipf(spec.concepts_per_topic, spec.concept_zipf);
+          forms = &out.concept_forms[src_topic * spec.concepts_per_topic +
+                                     local];
+        }
+        std::size_t f;
+        if (spec.consistent_forms_per_doc) {
+          auto it = chosen_form.find(forms);
+          if (it == chosen_form.end()) {
+            f = rng.zipf(forms->size(), spec.form_zipf);
+            chosen_form.emplace(forms, f);
+          } else {
+            f = it->second;
+          }
+        } else {
+          f = rng.zipf(forms->size(), spec.form_zipf);
+        }
+        if (!body.empty()) body += ' ';
+        body += (*forms)[f];
+      }
+      out.docs.push_back(
+          {"D" + std::to_string(out.docs.size()), std::move(body)});
+      out.doc_topics.push_back(topic);
+    }
+  }
+
+  // Queries: voice `query_len` distinct concepts of one topic, choosing the
+  // dominant form with prob (1 - query_offform_prob) and a rarer synonym
+  // otherwise.
+  for (std::size_t topic = 0; topic < spec.topics; ++topic) {
+    eval::DocSet relevant;
+    for (std::size_t d = 0; d < num_docs; ++d) {
+      if (out.doc_topics[d] == topic) relevant.insert(d);
+    }
+    for (std::size_t q = 0; q < spec.queries_per_topic; ++q) {
+      const std::size_t len =
+          std::min(spec.query_len, spec.concepts_per_topic);
+      const auto picks = rng.sample_without_replacement(
+          spec.concepts_per_topic, len);
+      std::string body;
+      for (std::size_t local : picks) {
+        const auto& forms =
+            out.concept_forms[topic * spec.concepts_per_topic + local];
+        std::size_t f = 0;
+        if (forms.size() > 1 && rng.bernoulli(spec.query_offform_prob)) {
+          f = 1 + rng.uniform_index(forms.size() - 1);
+        }
+        if (!body.empty()) body += ' ';
+        body += forms[f];
+      }
+      out.queries.push_back(Query{std::move(body), relevant, topic});
+    }
+  }
+  return out;
+}
+
+}  // namespace lsi::synth

@@ -1,0 +1,86 @@
+#pragma once
+// Synthetic test collections with controllable synonymy and polysemy — the
+// stand-in for the paper's MED/TREC/encyclopedia corpora (see DESIGN.md §2).
+//
+// Generative model: documents are drawn from latent *topics*; each topic
+// owns a pool of *concepts*; every concept can be voiced by several
+// *surface forms* (synonym groups, Zipf-distributed). Queries voice
+// concepts of one topic, biased toward the rarer forms, so literal matching
+// suffers exactly the synonymy failure the paper's introduction describes
+// while the latent structure stays recoverable by the truncated SVD.
+// Polysemy is injected by letting a concept reuse a surface form owned by a
+// concept of a different topic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "text/document.hpp"
+
+namespace lsi::synth {
+
+struct CorpusSpec {
+  std::size_t topics = 10;
+  std::size_t concepts_per_topic = 12;
+  std::size_t shared_concepts = 30;   ///< topic-neutral "general vocabulary"
+  std::size_t forms_per_concept = 3;  ///< synonym-group size
+  std::size_t docs_per_topic = 30;
+  double mean_doc_len = 40.0;         ///< Poisson mean of tokens per doc
+  double general_prob = 0.35;         ///< chance a token is general vocab
+  /// Zipf exponent of the shared (general) vocabulary. Steep values (1.5+)
+  /// make a handful of uninformative words extremely frequent — the tf
+  /// dispersion that makes local/global weighting matter (Section 5.1).
+  double general_zipf = 1.05;
+  /// Document-level burstiness: each document picks a few "pet" general
+  /// words; with this probability a general token repeats one of them
+  /// instead of sampling the global distribution. Raw term frequency is
+  /// hostage to these accidental repetitions (the effect log local
+  /// weighting exists to tame); 0 disables.
+  double pet_word_prob = 0.0;
+  /// Probability that a *topical* token is drawn from the document's own
+  /// topic; the remainder comes from a random other topic. Below 1.0,
+  /// documents of different topics share vocabulary and ranking becomes
+  /// genuinely hard (real collections are mixtures, not partitions).
+  double own_topic_prob = 1.0;
+  double concept_zipf = 1.1;          ///< concept skew within a topic
+  double form_zipf = 1.3;             ///< surface-form skew within a concept
+  double polysemy_prob = 0.08;        ///< concepts that reuse a foreign form
+  /// When true, each document picks ONE surface form per concept and reuses
+  /// it (authors write "car" or "automobile", not both). Synonyms then
+  /// rarely co-occur within a document — the regime where word-overlap
+  /// methods fail and latent structure is required (Section 5.4).
+  bool consistent_forms_per_doc = false;
+  /// When true, a concept's surface forms are *morphological variants* of
+  /// one pronounceable root ("becido", "becidos", "becidoed", "becidoing")
+  /// instead of unrelated strings — the regime where a stemmer can conflate
+  /// them by rule. Used by the stemming ablation. Supports up to 4 forms.
+  bool morphological_forms = false;
+  std::size_t queries_per_topic = 3;
+  std::size_t query_len = 5;          ///< concepts voiced per query
+  /// Probability a query voices a concept with a non-dominant form — the
+  /// synonymy knob: 0 = queries use the common words, 1 = always rare forms.
+  double query_offform_prob = 0.5;
+  std::uint64_t seed = 1234;
+};
+
+struct Query {
+  std::string text;
+  eval::DocSet relevant;  ///< documents of the same topic
+  std::size_t topic = 0;
+};
+
+struct SyntheticCorpus {
+  text::Collection docs;
+  std::vector<std::size_t> doc_topics;  ///< ground-truth topic per document
+  std::vector<Query> queries;
+  /// Topic-owned concepts' surface forms (concept_forms[c][f]); concept c
+  /// belongs to topic concept_topic[c]. Used by the synonym test.
+  std::vector<std::vector<std::string>> concept_forms;
+  std::vector<std::size_t> concept_topic;
+};
+
+/// Deterministic for a given spec (including seed).
+SyntheticCorpus generate_corpus(const CorpusSpec& spec);
+
+}  // namespace lsi::synth

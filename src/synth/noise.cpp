@@ -1,0 +1,61 @@
+#include "synth/noise.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace lsi::synth {
+
+namespace {
+
+std::string corrupt_word(const std::string& word, util::Rng& rng) {
+  if (word.empty()) return word;
+  std::string out = word;
+  const auto pos = static_cast<std::size_t>(rng.uniform_index(out.size()));
+  const char random_char = static_cast<char>('a' + rng.uniform_index(26));
+  switch (rng.uniform_index(4)) {
+    case 0:  // substitution
+      out[pos] = random_char;
+      break;
+    case 1:  // deletion (keep at least one character)
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 2:  // insertion
+      out.insert(pos, 1, random_char);
+      break;
+    default:  // adjacent transposition
+      if (out.size() > 1) {
+        const std::size_t p = std::min(pos, out.size() - 2);
+        std::swap(out[p], out[p + 1]);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string corrupt_text(const std::string& text, const NoiseSpec& spec,
+                         util::Rng& rng) {
+  const auto words = util::split(text, " \t\n");
+  std::string out;
+  for (const auto& w : words) {
+    if (!out.empty()) out += ' ';
+    out += rng.bernoulli(spec.word_error_rate) ? corrupt_word(w, rng) : w;
+  }
+  return out;
+}
+
+double word_error_fraction(const std::string& a, const std::string& b) {
+  const auto wa = util::split(a, " \t\n");
+  const auto wb = util::split(b, " \t\n");
+  const std::size_t n = std::min(wa.size(), wb.size());
+  if (n == 0) return 0.0;
+  std::size_t diff = wa.size() > wb.size() ? wa.size() - wb.size()
+                                           : wb.size() - wa.size();
+  for (std::size_t i = 0; i < n; ++i) diff += (wa[i] != wb[i]);
+  return static_cast<double>(diff) /
+         static_cast<double>(std::max(wa.size(), wb.size()));
+}
+
+}  // namespace lsi::synth

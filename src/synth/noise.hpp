@@ -1,0 +1,29 @@
+#pragma once
+// Character-level corruption emulating OCR / pen-machine recognition errors
+// (Section 5.4, "Noisy Input": 8.8% word-level error rates left LSI
+// retrieval undisrupted).
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace lsi::synth {
+
+struct NoiseSpec {
+  /// Probability that any given word is corrupted (word-level error rate,
+  /// the statistic the paper quotes).
+  double word_error_rate = 0.088;
+};
+
+/// Corrupts whitespace-separated words independently: each selected word
+/// suffers one random character substitution, deletion, insertion or
+/// adjacent transposition. Deterministic given the Rng state.
+std::string corrupt_text(const std::string& text, const NoiseSpec& spec,
+                         util::Rng& rng);
+
+/// Fraction of whitespace-separated words that differ between `a` and `b`
+/// (positional comparison over the shorter length).
+double word_error_fraction(const std::string& a, const std::string& b);
+
+}  // namespace lsi::synth

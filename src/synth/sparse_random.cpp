@@ -1,0 +1,25 @@
+#include "synth/sparse_random.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace lsi::synth {
+
+lsi::la::CscMatrix random_sparse_matrix(lsi::la::index_t m,
+                                        lsi::la::index_t n, double density,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  lsi::la::CooBuilder builder(m, n);
+  const auto target = static_cast<std::uint64_t>(
+      density * static_cast<double>(m) * static_cast<double>(n));
+  for (std::uint64_t e = 0; e < target; ++e) {
+    const auto i = static_cast<lsi::la::index_t>(rng.uniform_index(m));
+    const auto j = static_cast<lsi::la::index_t>(rng.uniform_index(n));
+    const double v = 1.0 + std::floor(std::fabs(rng.normal(0.0, 1.5)));
+    builder.add(i, j, v);
+  }
+  return builder.to_csc();
+}
+
+}  // namespace lsi::synth

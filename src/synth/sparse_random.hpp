@@ -1,0 +1,19 @@
+#pragma once
+// Random sparse term-document-like matrices at TREC-style densities
+// (Section 5.3: ~70,000 x 90,000 with 0.001-0.002% nonzeros) for the
+// computational-scaling benches.
+
+#include <cstdint>
+
+#include "la/sparse.hpp"
+
+namespace lsi::synth {
+
+/// m x n sparse matrix with approximately `density` fraction of nonzeros,
+/// positive values distributed like term frequencies (1 + floor(|N(0,1.5)|)).
+/// At most one entry per sampled (i, j); duplicates merge.
+lsi::la::CscMatrix random_sparse_matrix(lsi::la::index_t m,
+                                        lsi::la::index_t n, double density,
+                                        std::uint64_t seed);
+
+}  // namespace lsi::synth

@@ -1,0 +1,43 @@
+#pragma once
+// Kukich-style spelling correction with LSI (Section 5.4): "the rows were
+// unigrams and bigrams and the columns were correctly spelled words. An
+// input word ... was broken down into its [n-grams], the query vector was
+// located at the weighted vector sum of these elements, and the nearest
+// word in LSI space was returned as the suggested correct spelling."
+//
+// We use character bigrams + trigrams over '#'-delimited words as the rows.
+
+#include <string>
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "lsi/semantic_space.hpp"
+#include "text/vocabulary.hpp"
+
+namespace lsi::synth {
+
+struct SpellingModel {
+  text::Vocabulary lexicon;           ///< column j <-> word j
+  text::Vocabulary ngrams;            ///< row i <-> n-gram i
+  lsi::la::CscMatrix ngram_by_word;   ///< counts
+  core::SemanticSpace space;          ///< truncated SVD of the counts
+};
+
+/// Character bigrams + trigrams of "#word#".
+std::vector<std::string> word_ngrams(const std::string& word);
+
+/// Builds the n-gram x word matrix over `lexicon` and its rank-k space.
+SpellingModel build_spelling_model(const std::vector<std::string>& lexicon,
+                                   lsi::la::index_t k);
+
+struct SpellingSuggestion {
+  std::string word;
+  double cosine = 0.0;
+};
+
+/// Ranks lexicon words by nearness to the (possibly misspelled) input in
+/// the LSI space.
+std::vector<SpellingSuggestion> suggest_corrections(
+    const SpellingModel& model, const std::string& input, std::size_t top);
+
+}  // namespace lsi::synth

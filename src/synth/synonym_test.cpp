@@ -1,0 +1,59 @@
+#include "synth/synonym_test.hpp"
+
+#include "util/rng.hpp"
+
+namespace lsi::synth {
+
+std::vector<SynonymItem> make_synonym_test(const SyntheticCorpus& corpus,
+                                           std::size_t max_items,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<SynonymItem> items;
+  const std::size_t num_concepts = corpus.concept_forms.size();
+  if (num_concepts < 4) return items;
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t c = 0; c < num_concepts; ++c) {
+    if (corpus.concept_forms[c].size() >= 2 &&
+        corpus.concept_forms[c][0] != corpus.concept_forms[c][1]) {
+      candidates.push_back(c);
+    }
+  }
+  rng.shuffle(candidates);
+
+  for (std::size_t c : candidates) {
+    if (items.size() >= max_items) break;
+    SynonymItem item;
+    // Stem: the rarer form; synonym: the dominant form (mirrors a TOEFL
+    // item where the stem is an uncommon word).
+    item.stem = corpus.concept_forms[c][1];
+    const std::string synonym = corpus.concept_forms[c][0];
+
+    // Distractors: dominant forms of concepts from *other* topics.
+    std::vector<std::string> distractors;
+    for (int attempt = 0; attempt < 64 && distractors.size() < 3; ++attempt) {
+      const std::size_t other = rng.uniform_index(num_concepts);
+      if (corpus.concept_topic[other] == corpus.concept_topic[c]) continue;
+      const std::string& d = corpus.concept_forms[other][0];
+      if (d == synonym || d == item.stem) continue;
+      bool dup = false;
+      for (const auto& existing : distractors) dup = dup || existing == d;
+      if (!dup) distractors.push_back(d);
+    }
+    if (distractors.size() < 3) continue;
+
+    item.choices = {synonym, distractors[0], distractors[1], distractors[2]};
+    // Shuffle choices, tracking the synonym's slot.
+    for (std::size_t i = item.choices.size(); i > 1; --i) {
+      const std::size_t j = rng.uniform_index(i);
+      std::swap(item.choices[i - 1], item.choices[j]);
+    }
+    for (std::size_t i = 0; i < item.choices.size(); ++i) {
+      if (item.choices[i] == synonym) item.correct = i;
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+}  // namespace lsi::synth

@@ -1,0 +1,17 @@
+#pragma once
+// Plain document model: a label plus raw text. Collections are ordered; the
+// position of a document is its column index in the term-document matrix.
+
+#include <string>
+#include <vector>
+
+namespace lsi::text {
+
+struct Document {
+  std::string label;  ///< e.g. "M1" for the paper's medical topics
+  std::string body;   ///< raw text; tokenization happens at parse time
+};
+
+using Collection = std::vector<Document>;
+
+}  // namespace lsi::text

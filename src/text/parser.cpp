@@ -1,0 +1,135 @@
+#include "text/parser.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/stemmer.hpp"
+#include "text/stopwords.hpp"
+
+namespace lsi::text {
+
+namespace {
+
+/// Tokenize + stop-filter (+ stem, + bigram expansion) one document body.
+/// Bigrams are appended after the unigrams so unigram positions stay
+/// contiguous for the adjacency pairing.
+std::vector<std::string> content_tokens(std::string_view body,
+                                        const ParserOptions& opts) {
+  std::vector<std::string> tokens = tokenize(body, opts.tokenizer);
+  if (opts.remove_stopwords) {
+    std::erase_if(tokens,
+                  [](const std::string& t) { return is_stopword(t); });
+  }
+  if (opts.stem) {
+    for (auto& t : tokens) t = porter_stem(t);
+  }
+  if (opts.add_bigrams && tokens.size() >= 2) {
+    const std::size_t unigrams = tokens.size();
+    tokens.reserve(2 * unigrams - 1);
+    for (std::size_t i = 0; i + 1 < unigrams; ++i) {
+      tokens.push_back(tokens[i] + "_" + tokens[i + 1]);
+    }
+  }
+  return tokens;
+}
+
+/// Applies the plural-folding rule given the set of all tokens seen in the
+/// collection: "xs" -> "x" iff "x" itself occurs somewhere.
+std::string fold_token(const std::string& token,
+                       const std::unordered_set<std::string>& all_tokens,
+                       const ParserOptions& opts) {
+  if (!opts.fold_plurals) return token;
+  if (token.size() < 4 || token.back() != 's') return token;
+  std::string stem = token.substr(0, token.size() - 1);
+  if (all_tokens.count(stem)) return stem;
+  return token;
+}
+
+}  // namespace
+
+TermDocumentMatrix build_term_document_matrix(const Collection& docs,
+                                              const ParserOptions& opts) {
+  // Pass 1: tokenize everything and record the token universe (needed by the
+  // plural-folding rule before counting).
+  std::vector<std::vector<std::string>> doc_tokens(docs.size());
+  std::unordered_set<std::string> universe;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    doc_tokens[d] = content_tokens(docs[d].body, opts);
+    universe.insert(doc_tokens[d].begin(), doc_tokens[d].end());
+  }
+
+  // Pass 2: fold plurals, count per-document frequencies and document
+  // frequencies of the folded terms.
+  std::vector<std::map<std::string, double>> tf(docs.size());
+  std::map<std::string, std::size_t> df;  // ordered -> alphabetical rows
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    for (const auto& raw : doc_tokens[d]) {
+      tf[d][fold_token(raw, universe, opts)] += 1.0;
+    }
+    for (const auto& [term, count] : tf[d]) {
+      (void)count;
+      ++df[term];
+    }
+  }
+
+  // Vocabulary: alphabetical, df-filtered.
+  std::vector<std::string> terms;
+  for (const auto& [term, count] : df) {
+    if (count >= opts.min_document_frequency) terms.push_back(term);
+  }
+
+  TermDocumentMatrix out;
+  out.vocabulary = Vocabulary(std::move(terms));
+  out.doc_labels.reserve(docs.size());
+  for (const auto& d : docs) out.doc_labels.push_back(d.label);
+
+  lsi::la::CooBuilder builder(out.vocabulary.size(), docs.size());
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    for (const auto& [term, count] : tf[d]) {
+      if (auto row = out.vocabulary.find(term)) {
+        builder.add(*row, d, count);
+      }
+    }
+  }
+  out.counts = builder.to_csc();
+  return out;
+}
+
+lsi::la::Vector text_to_term_vector(const TermDocumentMatrix& tdm,
+                                    std::string_view body,
+                                    const ParserOptions& opts) {
+  lsi::la::Vector q(tdm.vocabulary.size(), 0.0);
+  for (const auto& token : content_tokens(body, opts)) {
+    auto row = tdm.vocabulary.find(token);
+    if (!row && opts.fold_plurals && token.size() >= 4 &&
+        token.back() == 's') {
+      row = tdm.vocabulary.find(token.substr(0, token.size() - 1));
+    }
+    if (row) q[*row] += 1.0;
+  }
+  return q;
+}
+
+std::vector<std::size_t> document_frequencies(
+    const lsi::la::CscMatrix& counts) {
+  std::vector<std::size_t> df(counts.rows(), 0);
+  for (lsi::la::index_t j = 0; j < counts.cols(); ++j) {
+    for (lsi::la::index_t r : counts.col_rows(j)) ++df[r];
+  }
+  return df;
+}
+
+std::vector<double> global_frequencies(const lsi::la::CscMatrix& counts) {
+  std::vector<double> gf(counts.rows(), 0.0);
+  for (lsi::la::index_t j = 0; j < counts.cols(); ++j) {
+    auto rows = counts.col_rows(j);
+    auto vals = counts.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) gf[rows[p]] += vals[p];
+  }
+  return gf;
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,113 @@
+#include "text/passages.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace lsi::text {
+
+namespace {
+
+/// Splits a body on blank lines into raw chunks (whole body if none).
+std::vector<std::string> blank_line_chunks(const std::string& body) {
+  std::vector<std::string> chunks;
+  std::string current;
+  std::size_t i = 0;
+  while (i < body.size()) {
+    // A blank line = newline followed by optional spaces and a newline.
+    if (body[i] == '\n') {
+      std::size_t j = i + 1;
+      while (j < body.size() && (body[j] == ' ' || body[j] == '\t')) ++j;
+      if (j < body.size() && body[j] == '\n') {
+        if (!lsi::util::trim(current).empty()) {
+          chunks.emplace_back(lsi::util::trim(current));
+        }
+        current.clear();
+        i = j + 1;
+        continue;
+      }
+    }
+    current += body[i];
+    ++i;
+  }
+  if (!lsi::util::trim(current).empty()) {
+    chunks.emplace_back(lsi::util::trim(current));
+  }
+  if (chunks.empty()) chunks.emplace_back("");
+  return chunks;
+}
+
+/// Slices a word sequence into overlapping windows of at most max_words.
+std::vector<std::string> window_words(const std::vector<std::string>& words,
+                                      const PassageOptions& opts) {
+  std::vector<std::string> out;
+  if (words.size() <= opts.max_words) {
+    out.push_back(lsi::util::join(words, " "));
+    return out;
+  }
+  const std::size_t step =
+      opts.max_words > opts.overlap_words
+          ? opts.max_words - opts.overlap_words
+          : std::max<std::size_t>(1, opts.max_words / 2);
+  for (std::size_t start = 0; start < words.size(); start += step) {
+    const std::size_t end = std::min(words.size(), start + opts.max_words);
+    std::vector<std::string> window(words.begin() + start,
+                                    words.begin() + end);
+    out.push_back(lsi::util::join(window, " "));
+    if (end == words.size()) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+PassageCollection split_into_passages(const Collection& docs,
+                                      const PassageOptions& opts) {
+  PassageCollection out;
+  out.num_documents = docs.size();
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    std::size_t count = 0;
+    for (const auto& chunk : blank_line_chunks(docs[d].body)) {
+      const auto words = lsi::util::split(chunk, " \t\n");
+      for (auto& piece : window_words(words, opts)) {
+        out.passages.push_back(
+            {docs[d].label + "#" + std::to_string(count), std::move(piece)});
+        out.parent.push_back(d);
+        ++count;
+      }
+    }
+    if (count == 0) {  // keep indices dense even for empty documents
+      out.passages.push_back({docs[d].label + "#0", ""});
+      out.parent.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<ParentScore> aggregate_to_parents(
+    const PassageCollection& pc,
+    const std::vector<std::pair<std::size_t, double>>& passage_scores) {
+  std::vector<ParentScore> best(pc.num_documents);
+  std::vector<bool> seen(pc.num_documents, false);
+  for (std::size_t d = 0; d < pc.num_documents; ++d) best[d].document = d;
+  for (const auto& [passage, score] : passage_scores) {
+    const std::size_t d = pc.parent[passage];
+    if (!seen[d] || score > best[d].score) {
+      best[d].score = score;
+      best[d].best_passage = passage;
+      seen[d] = true;
+    }
+  }
+  std::vector<ParentScore> out;
+  for (std::size_t d = 0; d < pc.num_documents; ++d) {
+    if (seen[d]) out.push_back(best[d]);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ParentScore& a, const ParentScore& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.document < b.document;
+                   });
+  return out;
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,55 @@
+#pragma once
+// Passage-level indexing (Section 5.4): "an entire document is usually the
+// text object of interest, but smaller, more topically coherent units of
+// text (e.g., paragraphs, sections) could be represented as well."
+//
+// split_into_passages() turns a collection of documents into a collection
+// of passages plus the passage -> parent-document map; aggregate_to_parents
+// folds a passage-level ranking back to documents (each document scored by
+// its best passage), so long mixed-topic documents are retrieved by their
+// relevant part instead of their average.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "text/document.hpp"
+
+namespace lsi::text {
+
+struct PassageOptions {
+  /// Passages are split on blank lines first; any resulting chunk longer
+  /// than this many whitespace-separated words is further sliced into
+  /// windows of this size.
+  std::size_t max_words = 60;
+  /// Overlap (in words) between consecutive windows of a long chunk, so
+  /// concepts straddling a cut are not lost.
+  std::size_t overlap_words = 10;
+};
+
+struct PassageCollection {
+  Collection passages;              ///< labels are "<parent>#<i>"
+  std::vector<std::size_t> parent;  ///< passage index -> document index
+  std::size_t num_documents = 0;
+};
+
+/// Splits every document into passages. Empty documents yield one empty
+/// passage so document indices stay dense.
+PassageCollection split_into_passages(const Collection& docs,
+                                      const PassageOptions& opts = {});
+
+/// One (document, score) pair of an aggregated ranking.
+struct ParentScore {
+  std::size_t document = 0;
+  double score = 0.0;
+  std::size_t best_passage = 0;  ///< passage index that produced the score
+};
+
+/// Max-aggregates passage scores to parent documents, descending. Input is
+/// (passage index, score) pairs in any order; passages absent from the
+/// input simply do not contribute.
+std::vector<ParentScore> aggregate_to_parents(
+    const PassageCollection& pc,
+    const std::vector<std::pair<std::size_t, double>>& passage_scores);
+
+}  // namespace lsi::text

@@ -1,0 +1,204 @@
+#include "text/stemmer.hpp"
+
+// A faithful implementation of the algorithm in M. F. Porter, "An algorithm
+// for suffix stripping", Program 14(3), 1980. The word is processed in five
+// steps; the "measure" m counts vowel-consonant sequences in the candidate
+// stem, and rules fire only when their measure condition holds.
+
+namespace lsi::text {
+
+namespace {
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : w_(std::move(word)) {}
+
+  std::string run() {
+    if (w_.size() < 3) return w_;
+    step1a();
+    step1b();
+    step1c();
+    step2();
+    step3();
+    step4();
+    step5a();
+    step5b();
+    return w_;
+  }
+
+ private:
+  std::string w_;
+
+  static bool is_vowel_char(char c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+  }
+
+  /// True if w_[i] is a consonant under Porter's definition ('y' is a
+  /// consonant when it follows a vowel position check).
+  bool consonant(std::size_t i) const {
+    const char c = w_[i];
+    if (is_vowel_char(c)) return false;
+    if (c == 'y') return i == 0 ? true : !consonant(i - 1);
+    return true;
+  }
+
+  /// Porter measure of w_[0, len): the number of VC sequences.
+  int measure(std::size_t len) const {
+    int m = 0;
+    std::size_t i = 0;
+    while (i < len && consonant(i)) ++i;  // skip initial C*
+    while (i < len) {
+      while (i < len && !consonant(i)) ++i;  // V+
+      if (i >= len) break;
+      ++m;
+      while (i < len && consonant(i)) ++i;  // C+
+    }
+    return m;
+  }
+
+  bool has_vowel(std::size_t len) const {
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!consonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool double_consonant(std::size_t len) const {
+    if (len < 2) return false;
+    return w_[len - 1] == w_[len - 2] && consonant(len - 1);
+  }
+
+  /// cvc ending where the final c is not w, x or y (rule *o).
+  bool cvc(std::size_t len) const {
+    if (len < 3) return false;
+    if (!consonant(len - 3) || consonant(len - 2) || !consonant(len - 1)) {
+      return false;
+    }
+    const char c = w_[len - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool ends_with(std::string_view suffix) const {
+    if (suffix.size() > w_.size()) return false;
+    return w_.compare(w_.size() - suffix.size(), suffix.size(), suffix) == 0;
+  }
+
+  std::size_t stem_len(std::string_view suffix) const {
+    return w_.size() - suffix.size();
+  }
+
+  /// If w_ ends with `suffix` and measure(stem) > m_min, replace the suffix.
+  bool replace(std::string_view suffix, std::string_view repl, int m_min) {
+    if (!ends_with(suffix)) return false;
+    const std::size_t len = stem_len(suffix);
+    if (measure(len) <= m_min) return true;  // matched but condition failed
+    w_.replace(len, suffix.size(), repl);
+    return true;
+  }
+
+  void step1a() {
+    if (ends_with("sses")) {
+      w_.erase(w_.size() - 2);  // sses -> ss
+    } else if (ends_with("ies")) {
+      w_.erase(w_.size() - 2);  // ies -> i
+    } else if (ends_with("ss")) {
+      // keep
+    } else if (ends_with("s")) {
+      w_.pop_back();
+    }
+  }
+
+  void step1b() {
+    bool cleanup = false;
+    if (ends_with("eed")) {
+      if (measure(stem_len("eed")) > 0) w_.pop_back();  // eed -> ee
+    } else if (ends_with("ed") && has_vowel(stem_len("ed"))) {
+      w_.erase(w_.size() - 2);
+      cleanup = true;
+    } else if (ends_with("ing") && has_vowel(stem_len("ing"))) {
+      w_.erase(w_.size() - 3);
+      cleanup = true;
+    }
+    if (!cleanup) return;
+    if (ends_with("at") || ends_with("bl") || ends_with("iz")) {
+      w_ += 'e';
+    } else if (double_consonant(w_.size()) && !ends_with("l") &&
+               !ends_with("s") && !ends_with("z")) {
+      w_.pop_back();
+    } else if (measure(w_.size()) == 1 && cvc(w_.size())) {
+      w_ += 'e';
+    }
+  }
+
+  void step1c() {
+    if (ends_with("y") && has_vowel(stem_len("y"))) {
+      w_.back() = 'i';
+    }
+  }
+
+  void step2() {
+    static constexpr std::pair<std::string_view, std::string_view> rules[] = {
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"}};
+    for (const auto& [suffix, repl] : rules) {
+      if (replace(suffix, repl, 0)) return;
+    }
+  }
+
+  void step3() {
+    static constexpr std::pair<std::string_view, std::string_view> rules[] = {
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""}};
+    for (const auto& [suffix, repl] : rules) {
+      if (replace(suffix, repl, 0)) return;
+    }
+  }
+
+  void step4() {
+    static constexpr std::string_view suffixes[] = {
+        "al",   "ance", "ence", "er",  "ic",  "able", "ible",
+        "ant",  "ement", "ment", "ent", "ou",  "ism",  "ate",
+        "iti",  "ous",  "ive",  "ize"};
+    for (std::string_view suffix : suffixes) {
+      if (!ends_with(suffix)) continue;
+      const std::size_t len = stem_len(suffix);
+      if (measure(len) > 1) w_.erase(len);
+      return;
+    }
+    // (m>1 and (*S or *T)) ION ->
+    if (ends_with("ion")) {
+      const std::size_t len = stem_len("ion");
+      if (measure(len) > 1 && len > 0 &&
+          (w_[len - 1] == 's' || w_[len - 1] == 't')) {
+        w_.erase(len);
+      }
+    }
+  }
+
+  void step5a() {
+    if (!ends_with("e")) return;
+    const std::size_t len = w_.size() - 1;
+    const int m = measure(len);
+    if (m > 1 || (m == 1 && !cvc(len))) w_.pop_back();
+  }
+
+  void step5b() {
+    if (measure(w_.size()) > 1 && double_consonant(w_.size()) &&
+        ends_with("l")) {
+      w_.pop_back();
+    }
+  }
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  return Stemmer(std::string(word)).run();
+}
+
+}  // namespace lsi::text

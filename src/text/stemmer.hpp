@@ -1,0 +1,19 @@
+#pragma once
+// Porter's suffix-stripping stemmer (1980), offered as an *optional* parser
+// stage. The paper deliberately runs LSI without stemming ("no stemming is
+// used to collapse words with the same morphology... doctor is quite near
+// doctors but not as similar to doctoral") — the stemming ablation bench
+// tests exactly that claim: LSI recovers most of stemming's benefit on its
+// own, so conflating 'doctor'/'doctors' by rule buys little and can hurt
+// ('doctoral' would be conflated too).
+
+#include <string>
+#include <string_view>
+
+namespace lsi::text {
+
+/// Returns the Porter stem of a lower-case ASCII word. Words shorter than
+/// 3 characters are returned unchanged, as in the original algorithm.
+std::string porter_stem(std::string_view word);
+
+}  // namespace lsi::text

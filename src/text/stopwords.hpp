@@ -1,0 +1,19 @@
+#pragma once
+// SMART-style English stop-word list. The paper's example treats common
+// function words ("of", "children", "with" ... actually only function words)
+// as non-indexable; content words are filtered by document frequency instead.
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace lsi::text {
+
+/// Shared default stop list (lower-case). Covers standard English function
+/// words; content words are never stop words.
+const std::unordered_set<std::string>& default_stopwords();
+
+/// Convenience membership test against the default list.
+bool is_stopword(std::string_view token);
+
+}  // namespace lsi::text

@@ -1,0 +1,24 @@
+#include "text/tokenizer.hpp"
+
+#include <cctype>
+
+namespace lsi::text {
+
+std::vector<std::string> tokenize(std::string_view body,
+                                  const TokenizerOptions& opts) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char ch : body) {
+    const auto uc = static_cast<unsigned char>(ch);
+    if (std::isalnum(uc)) {
+      current += static_cast<char>(std::tolower(uc));
+    } else if (!current.empty()) {
+      if (current.size() >= opts.min_length) out.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= opts.min_length) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace lsi::text

@@ -1,0 +1,22 @@
+#pragma once
+// Tokenization exactly as the paper describes (Section 5.4): "words are
+// identified by looking for white space and punctuation in ASCII text", no
+// stemming, case-folded. Tokens shorter than `min_length` are dropped (this
+// removes the possessive 's' fragments in the paper's topic texts).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsi::text {
+
+struct TokenizerOptions {
+  std::size_t min_length = 2;  ///< minimum surviving token length
+};
+
+/// Splits on every non-alphanumeric byte and lower-cases. Numbers survive as
+/// tokens (TREC-style collections contain meaningful numerals).
+std::vector<std::string> tokenize(std::string_view body,
+                                  const TokenizerOptions& opts = {});
+
+}  // namespace lsi::text

@@ -1,0 +1,89 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsi::util {
+
+AsciiScatter::AsciiScatter(int cols, int rows) : cols_(cols), rows_(rows) {}
+
+void AsciiScatter::add(double x, double y, std::string label, char marker) {
+  points_.push_back(PlotPoint{x, y, std::move(label), marker});
+}
+
+void AsciiScatter::add(const PlotPoint& p) { points_.push_back(p); }
+
+std::string AsciiScatter::render() const {
+  if (points_.empty()) return "(empty plot)\n";
+  double xmin = points_[0].x, xmax = points_[0].x;
+  double ymin = points_[0].y, ymax = points_[0].y;
+  for (const auto& p : points_) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  // Include the origin so the axes anchor the picture like the paper's plots.
+  xmin = std::min(xmin, 0.0);
+  xmax = std::max(xmax, 0.0);
+  ymin = std::min(ymin, 0.0);
+  ymax = std::max(ymax, 0.0);
+  const double xpad = (xmax - xmin) * 0.06 + 1e-12;
+  const double ypad = (ymax - ymin) * 0.06 + 1e-12;
+  xmin -= xpad;
+  xmax += xpad;
+  ymin -= ypad;
+  ymax += ypad;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(rows_),
+                                std::string(static_cast<std::size_t>(cols_), ' '));
+  auto col_of = [&](double x) {
+    return std::clamp(static_cast<int>(std::lround(
+                          (x - xmin) / (xmax - xmin) * (cols_ - 1))),
+                      0, cols_ - 1);
+  };
+  auto row_of = [&](double y) {
+    return std::clamp(static_cast<int>(std::lround(
+                          (ymax - y) / (ymax - ymin) * (rows_ - 1))),
+                      0, rows_ - 1);
+  };
+
+  const int axis_row = row_of(0.0);
+  const int axis_col = col_of(0.0);
+  for (int c = 0; c < cols_; ++c) grid[axis_row][static_cast<std::size_t>(c)] = '-';
+  for (int r = 0; r < rows_; ++r) grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(axis_col)] = '|';
+  grid[static_cast<std::size_t>(axis_row)][static_cast<std::size_t>(axis_col)] = '+';
+
+  for (const auto& p : points_) {
+    const int r = row_of(p.y);
+    const int c = col_of(p.x);
+    if (p.label.empty()) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = p.marker;
+      continue;
+    }
+    // Place as much of the label as fits starting at the point column.
+    const std::size_t start = static_cast<std::size_t>(c);
+    std::size_t len = std::min(p.label.size(),
+                               static_cast<std::size_t>(cols_) - start);
+    // Back off if we would stomp a previously placed label character.
+    for (std::size_t i = 0; i < len; ++i) {
+      char& cell = grid[static_cast<std::size_t>(r)][start + i];
+      if (cell == ' ' || cell == '-' || cell == '|') {
+        cell = p.label[i];
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string out;
+  for (const auto& line : grid) {
+    out += line;
+    out += '\n';
+  }
+  out += "x: [" + std::to_string(xmin) + ", " + std::to_string(xmax) +
+         "]  y: [" + std::to_string(ymin) + ", " + std::to_string(ymax) + "]\n";
+  return out;
+}
+
+}  // namespace lsi::util

@@ -1,0 +1,38 @@
+#pragma once
+// ASCII scatter plots: the console stand-in for the paper's Figures 4, 6-9.
+//
+// Each labelled point is rendered onto a character grid with the axes drawn
+// through the origin, so the 2-D cluster structure the paper discusses
+// (hormone topics above the x-axis, fasting topics below, ...) is visible in
+// the bench output itself.
+
+#include <string>
+#include <vector>
+
+namespace lsi::util {
+
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+  std::string label;   ///< printed at the point (first chars used)
+  char marker = '*';   ///< used when the label does not fit
+};
+
+class AsciiScatter {
+ public:
+  /// `cols` x `rows` character canvas.
+  AsciiScatter(int cols = 92, int rows = 30);
+
+  void add(double x, double y, std::string label, char marker = '*');
+  void add(const PlotPoint& p);
+
+  /// Renders the canvas: computes bounds (with 5% margin), draws the x/y
+  /// axes through 0 when in range, and overlays point labels.
+  std::string render() const;
+
+ private:
+  int cols_, rows_;
+  std::vector<PlotPoint> points_;
+};
+
+}  // namespace lsi::util

@@ -1,0 +1,25 @@
+#pragma once
+// ASCII string helpers shared by the tokenizer and table writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lsi::util {
+
+/// Lower-cases ASCII letters in place and returns the argument.
+std::string to_lower(std::string s);
+
+/// Splits on any of the delimiter characters; empty fields are dropped.
+std::vector<std::string> split(std::string_view s, std::string_view delims);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if every character is an ASCII letter.
+bool is_alpha(std::string_view s);
+
+/// Joins the pieces with `sep` between them.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+}  // namespace lsi::util

@@ -1,0 +1,39 @@
+#pragma once
+// Console table / CSV formatting used by every bench binary so the
+// reproduced tables read like the paper's.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsi::util {
+
+/// Column-aligned text table. Collects rows of strings, then renders with
+/// padded columns, a header rule, and an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table to `os` with aligned columns.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Renders in RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string fmt(double v, int precision = 4);
+std::string fmt_int(long long v);
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace lsi::util

@@ -1,0 +1,27 @@
+#pragma once
+// Minimal monotonic wall-clock timer used by benches and the Lanczos driver.
+
+#include <chrono>
+
+namespace lsi::util {
+
+/// Starts on construction; `seconds()` / `millis()` read elapsed time without
+/// stopping; `reset()` restarts the epoch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace lsi::util

@@ -1,0 +1,109 @@
+// Baseline retrieval model tests: lexical boolean matching and the SMART
+// keyword vector model.
+
+#include <gtest/gtest.h>
+
+#include "baseline/lexical.hpp"
+#include "baseline/vector_model.hpp"
+#include "data/med_topics.hpp"
+#include "weighting/weighting.hpp"
+
+namespace {
+
+using namespace lsi;
+using la::index_t;
+
+la::Vector paper_query() {
+  la::Vector q(18, 0.0);
+  q[0] = 1.0;  // abnormalities
+  q[1] = 1.0;  // age
+  q[3] = 1.0;  // blood
+  return q;
+}
+
+TEST(Lexical, PaperSectionThreeTwo) {
+  auto hits = baseline::lexical_match(data::table3_counts(), paper_query());
+  std::set<std::string> got;
+  for (const auto& h : hits) got.insert("M" + std::to_string(h.doc + 1));
+  EXPECT_EQ(got,
+            (std::set<std::string>{"M1", "M8", "M10", "M11", "M12"}));
+}
+
+TEST(Lexical, OrdersByOverlapCount) {
+  // M8 shares abnormalities + blood (2 terms) and must outrank single-term
+  // matches.
+  auto hits = baseline::lexical_match(data::table3_counts(), paper_query());
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].doc, 7u);  // M8
+  EXPECT_EQ(hits[0].shared_terms, 2u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i].shared_terms, hits[i - 1].shared_terms);
+  }
+}
+
+TEST(Lexical, MinSharedFilters) {
+  auto hits =
+      baseline::lexical_match(data::table3_counts(), paper_query(), 2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 7u);
+}
+
+TEST(Lexical, EmptyQueryMatchesNothing) {
+  la::Vector q(18, 0.0);
+  EXPECT_TRUE(baseline::lexical_match(data::table3_counts(), q).empty());
+}
+
+TEST(VectorModel, ExactDocumentQueryScoresOne) {
+  auto vsm = baseline::VectorSpaceModel(data::table3_counts());
+  // Query identical to column M7 (close + technique... M7 has terms close
+  // only among indexed -> use its actual column).
+  la::Vector q(18, 0.0);
+  const auto dense = data::table3_counts().to_dense();
+  for (index_t i = 0; i < 18; ++i) q[i] = dense(i, 6);
+  auto ranked = vsm.rank(q);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].doc, 6u);
+  EXPECT_NEAR(ranked[0].cosine, 1.0, 1e-12);
+}
+
+TEST(VectorModel, ReturnsOnlyOverlappingDocs) {
+  auto vsm = baseline::VectorSpaceModel(data::table3_counts());
+  auto ranked = vsm.rank(paper_query());
+  // Same support as lexical matching: 5 documents.
+  EXPECT_EQ(ranked.size(), 5u);
+  for (const auto& r : ranked) {
+    EXPECT_GT(r.cosine, 0.0);
+    EXPECT_LE(r.cosine, 1.0 + 1e-12);
+  }
+}
+
+TEST(VectorModel, CannotFindM9) {
+  // The keyword vector model shares lexical matching's blindness to M9 —
+  // the gap LSI closes in the paper's example.
+  auto vsm = baseline::VectorSpaceModel(data::table3_counts());
+  for (const auto& r : vsm.rank(paper_query())) EXPECT_NE(r.doc, 8u);
+}
+
+TEST(VectorModel, WeightingChangesScores) {
+  auto raw = baseline::VectorSpaceModel(data::table3_counts());
+  auto weighted = baseline::VectorSpaceModel(
+      weighting::apply(data::table3_counts(), weighting::kLogEntropy));
+  auto r1 = raw.rank(paper_query());
+  auto r2 = weighted.rank(paper_query());
+  ASSERT_FALSE(r1.empty());
+  ASSERT_FALSE(r2.empty());
+  bool any_diff = r1.size() != r2.size();
+  for (std::size_t i = 0; !any_diff && i < r1.size(); ++i) {
+    any_diff = r1[i].doc != r2[i].doc ||
+               std::abs(r1[i].cosine - r2[i].cosine) > 1e-9;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VectorModel, ZeroQueryEmpty) {
+  auto vsm = baseline::VectorSpaceModel(data::table3_counts());
+  la::Vector q(18, 0.0);
+  EXPECT_TRUE(vsm.rank(q).empty());
+}
+
+}  // namespace

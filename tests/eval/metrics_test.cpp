@@ -1,0 +1,101 @@
+// Precision/recall metric tests.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+
+namespace {
+
+using namespace lsi::eval;
+using Ranked = std::vector<lsi::la::index_t>;
+
+TEST(Metrics, PrecisionAtCutoff) {
+  Ranked ranked = {1, 2, 3, 4};
+  DocSet relevant = {1, 3};
+  EXPECT_DOUBLE_EQ(precision_at(ranked, relevant, 1), 1.0);
+  EXPECT_DOUBLE_EQ(precision_at(ranked, relevant, 2), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at(ranked, relevant, 4), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at(ranked, relevant, 0), 0.5);  // whole list
+}
+
+TEST(Metrics, RecallAtCutoff) {
+  Ranked ranked = {1, 2, 3, 4};
+  DocSet relevant = {1, 3, 9};
+  EXPECT_DOUBLE_EQ(recall_at(ranked, relevant, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(recall_at(ranked, relevant, 0), 2.0 / 3.0);
+}
+
+TEST(Metrics, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(precision_at({}, {1}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(recall_at({1}, {}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(average_precision({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(three_point_average_precision({}, {}), 0.0);
+}
+
+TEST(Metrics, InterpolatedPrecisionIsMaxBeyondRecall) {
+  // relevant at ranks 1 and 4 of {A=relevant, B, C, D=relevant}.
+  Ranked ranked = {10, 11, 12, 13};
+  DocSet relevant = {10, 13};
+  // At recall 0.5: best precision with >= 1 hit = 1.0 (cutoff 1).
+  EXPECT_DOUBLE_EQ(interpolated_precision(ranked, relevant, 0.5), 1.0);
+  // At recall 1.0: need both hits -> cutoff 4, precision 0.5.
+  EXPECT_DOUBLE_EQ(interpolated_precision(ranked, relevant, 1.0), 0.5);
+}
+
+TEST(Metrics, PerfectRankingScoresOne) {
+  Ranked ranked = {1, 2, 3};
+  DocSet relevant = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(three_point_average_precision(ranked, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(eleven_point_average_precision(ranked, relevant), 1.0);
+  EXPECT_DOUBLE_EQ(average_precision(ranked, relevant), 1.0);
+}
+
+TEST(Metrics, WorstRankingScoresLow) {
+  // Relevant docs at the very bottom of a long list.
+  Ranked ranked;
+  for (int i = 0; i < 100; ++i) ranked.push_back(i);
+  DocSet relevant = {98, 99};
+  EXPECT_LT(average_precision(ranked, relevant), 0.03);
+  EXPECT_LT(three_point_average_precision(ranked, relevant), 0.03);
+}
+
+TEST(Metrics, MissingRelevantDocPenalizesAp) {
+  Ranked ranked = {1};
+  DocSet relevant = {1, 2};
+  EXPECT_DOUBLE_EQ(average_precision(ranked, relevant), 0.5);
+}
+
+TEST(Metrics, ApMatchesHandComputation) {
+  // hits at ranks 1, 3: AP = (1/1 + 2/3) / 2.
+  Ranked ranked = {5, 6, 7};
+  DocSet relevant = {5, 7};
+  EXPECT_NEAR(average_precision(ranked, relevant), (1.0 + 2.0 / 3.0) / 2.0,
+              1e-12);
+}
+
+TEST(Metrics, ThreePointIsMeanOfLevels) {
+  Ranked ranked = {1, 9, 2, 8, 3};
+  DocSet relevant = {1, 2, 3};
+  const double expect = (interpolated_precision(ranked, relevant, 0.25) +
+                         interpolated_precision(ranked, relevant, 0.50) +
+                         interpolated_precision(ranked, relevant, 0.75)) /
+                        3.0;
+  EXPECT_DOUBLE_EQ(three_point_average_precision(ranked, relevant), expect);
+}
+
+TEST(Metrics, BetterRankingScoresHigher) {
+  DocSet relevant = {1, 2};
+  Ranked good = {1, 2, 3, 4};
+  Ranked bad = {3, 4, 1, 2};
+  EXPECT_GT(average_precision(good, relevant),
+            average_precision(bad, relevant));
+  EXPECT_GT(eleven_point_average_precision(good, relevant),
+            eleven_point_average_precision(bad, relevant));
+}
+
+TEST(Metrics, Mean) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Significance-test and PR-curve tests.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/significance.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsi::eval;
+
+TEST(Significance, IdenticalSystemsNotSignificant) {
+  std::vector<double> a = {0.5, 0.6, 0.7, 0.8};
+  auto cmp = compare_systems(a, a);
+  EXPECT_DOUBLE_EQ(cmp.mean_difference, 0.0);
+  EXPECT_EQ(cmp.ties, 4);
+  EXPECT_GT(cmp.randomization_p, 0.9);
+  EXPECT_DOUBLE_EQ(cmp.sign_test_p, 1.0);
+}
+
+TEST(Significance, ConsistentLargeGapIsSignificant) {
+  std::vector<double> a(30), b(30);
+  lsi::util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    b[i] = 0.3 + 0.1 * rng.uniform();
+    a[i] = b[i] + 0.2 + 0.05 * rng.uniform();  // A always clearly better
+  }
+  auto cmp = compare_systems(a, b);
+  EXPECT_EQ(cmp.wins_a, 30);
+  EXPECT_LT(cmp.randomization_p, 0.01);
+  EXPECT_LT(cmp.sign_test_p, 0.001);
+  EXPECT_GT(cmp.mean_difference, 0.15);
+}
+
+TEST(Significance, NoisyTieIsNotSignificant) {
+  std::vector<double> a(40), b(40);
+  lsi::util::Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    a[i] = rng.uniform();
+    b[i] = rng.uniform();
+  }
+  auto cmp = compare_systems(a, b);
+  EXPECT_GT(cmp.randomization_p, 0.05);
+}
+
+TEST(Significance, EmptyInput) {
+  auto cmp = compare_systems({}, {});
+  EXPECT_DOUBLE_EQ(cmp.randomization_p, 1.0);
+  EXPECT_DOUBLE_EQ(cmp.sign_test_p, 1.0);
+}
+
+TEST(Significance, SignTestMatchesBinomialHandValue) {
+  // 6 wins, 0 losses: two-sided p = 2 * (1/2)^6 = 0.03125.
+  std::vector<double> a = {1, 1, 1, 1, 1, 1};
+  std::vector<double> b = {0, 0, 0, 0, 0, 0};
+  auto cmp = compare_systems(a, b, 100);
+  EXPECT_NEAR(cmp.sign_test_p, 0.03125, 1e-12);
+}
+
+TEST(Significance, Deterministic) {
+  std::vector<double> a = {0.2, 0.9, 0.4, 0.7, 0.6};
+  std::vector<double> b = {0.1, 0.8, 0.5, 0.6, 0.5};
+  auto c1 = compare_systems(a, b, 2000, 7);
+  auto c2 = compare_systems(a, b, 2000, 7);
+  EXPECT_DOUBLE_EQ(c1.randomization_p, c2.randomization_p);
+}
+
+TEST(PrCurve, PerfectRankingIsAllOnes) {
+  std::vector<lsi::la::index_t> ranked = {1, 2, 3};
+  DocSet relevant = {1, 2, 3};
+  auto curve = precision_recall_curve(ranked, relevant);
+  ASSERT_EQ(curve.size(), 11u);
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(PrCurve, MonotoneNonIncreasing) {
+  std::vector<lsi::la::index_t> ranked = {1, 9, 2, 8, 7, 3, 6, 5};
+  DocSet relevant = {1, 2, 3};
+  auto curve = precision_recall_curve(ranked, relevant);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
+TEST(PrCurve, MeanCurveAverages) {
+  std::vector<std::vector<double>> curves = {
+      std::vector<double>(11, 1.0), std::vector<double>(11, 0.0)};
+  auto mean = mean_curve(curves);
+  for (double p : mean) EXPECT_DOUBLE_EQ(p, 0.5);
+}
+
+TEST(PrCurve, EmptyCurveSetIsZeros) {
+  auto mean = mean_curve({});
+  ASSERT_EQ(mean.size(), 11u);
+  for (double p : mean) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+}  // namespace

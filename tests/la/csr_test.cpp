@@ -1,0 +1,71 @@
+// CSR format tests: conversion fidelity and product agreement with CSC.
+
+#include <gtest/gtest.h>
+
+#include "la/sparse.hpp"
+#include "synth/sparse_random.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsi::la;
+
+TEST(Csr, ConversionPreservesEntries) {
+  auto csc = lsi::synth::random_sparse_matrix(30, 20, 0.2, 1);
+  auto csr = CsrMatrix::from_csc(csc);
+  EXPECT_EQ(csr.rows(), csc.rows());
+  EXPECT_EQ(csr.cols(), csc.cols());
+  EXPECT_EQ(csr.nnz(), csc.nnz());
+  EXPECT_LT(max_abs_diff(csr.to_dense(), csc.to_dense()), 1e-15);
+}
+
+TEST(Csr, RowViewsSortedByColumn) {
+  auto csr = CsrMatrix::from_csc(
+      lsi::synth::random_sparse_matrix(25, 40, 0.15, 2));
+  for (index_t i = 0; i < csr.rows(); ++i) {
+    auto cols = csr.row_cols(i);
+    for (std::size_t p = 1; p < cols.size(); ++p) {
+      EXPECT_LT(cols[p - 1], cols[p]);
+    }
+  }
+}
+
+TEST(Csr, EmptyMatrix) {
+  CooBuilder b(5, 7);
+  auto csr = CsrMatrix::from_csc(b.to_csc());
+  EXPECT_EQ(csr.nnz(), 0u);
+  for (index_t i = 0; i < 5; ++i) EXPECT_TRUE(csr.row_cols(i).empty());
+}
+
+class CsrApply : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CsrApply, ProductsMatchCsc) {
+  auto [m, n] = GetParam();
+  auto csc = lsi::synth::random_sparse_matrix(m, n, 0.2, 10 + m);
+  auto csr = CsrMatrix::from_csc(csc);
+  lsi::util::Rng rng(3);
+
+  Vector x(n), y_csr(m), y_csc(m);
+  for (double& v : x) v = rng.normal();
+  csr.apply(x, y_csr);
+  csc.apply(x, y_csc);
+  for (index_t i = 0; i < static_cast<index_t>(m); ++i) {
+    EXPECT_NEAR(y_csr[i], y_csc[i], 1e-12);
+  }
+
+  Vector xt(m), yt_csr(n), yt_csc(n);
+  for (double& v : xt) v = rng.normal();
+  csr.apply_transpose(xt, yt_csr);
+  csc.apply_transpose(xt, yt_csc);
+  for (index_t i = 0; i < static_cast<index_t>(n); ++i) {
+    EXPECT_NEAR(yt_csr[i], yt_csc[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CsrApply,
+                         ::testing::Values(std::pair{1, 1}, std::pair{13, 9},
+                                           std::pair{9, 13},
+                                           std::pair{64, 48},
+                                           std::pair{100, 3}));
+
+}  // namespace

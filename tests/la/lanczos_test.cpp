@@ -1,0 +1,193 @@
+// Lanczos truncated-SVD tests: agreement with the dense Jacobi reference,
+// convergence reporting, determinism, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/jacobi_svd.hpp"
+#include "la/lanczos.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsi::la;
+
+DenseMatrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  lsi::util::Rng rng(seed);
+  DenseMatrix a(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+CscMatrix random_sparse(index_t m, index_t n, double density,
+                        std::uint64_t seed) {
+  lsi::util::Rng rng(seed);
+  CooBuilder b(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      if (rng.bernoulli(density)) b.add(i, j, rng.normal());
+    }
+  }
+  return b.to_csc();
+}
+
+/// |cos angle| between corresponding columns must be ~1 (subspace match up
+/// to sign, which normalize_signs pins, so we check actual equality).
+void expect_triplets_match(const SvdResult& got, const SvdResult& want,
+                           index_t k, double tol) {
+  ASSERT_GE(got.rank(), k);
+  ASSERT_GE(want.rank(), k);
+  for (index_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(got.s[i], want.s[i], tol * std::max(1.0, want.s[0]))
+        << "sigma " << i;
+    // Compare singular subspaces via |u_got . u_want| to stay robust if two
+    // singular values are nearly equal.
+    const double uangle = std::fabs(dot(got.u.col(i), want.u.col(i)));
+    const double vangle = std::fabs(dot(got.v.col(i), want.v.col(i)));
+    if (i + 1 < want.rank() &&
+        want.s[i] - want.s[i + 1] > 1e-3 * want.s[0]) {
+      EXPECT_GT(uangle, 1.0 - 1e-6) << "u " << i;
+      EXPECT_GT(vangle, 1.0 - 1e-6) << "v " << i;
+    }
+  }
+}
+
+TEST(Lanczos, MatchesJacobiOnDenseOperator) {
+  auto a = random_matrix(60, 40, 11);
+  auto want = jacobi_svd(a);
+  DenseOperator op(a);
+  LanczosOptions opts;
+  opts.k = 10;
+  LanczosStats stats;
+  auto got = lanczos_svd(op, opts, &stats);
+  ASSERT_EQ(got.rank(), 10u);
+  expect_triplets_match(got, want, 10, 1e-8);
+  EXPECT_GE(stats.converged, 10u);
+  EXPECT_GT(stats.matvecs, 0u);
+}
+
+TEST(Lanczos, MatchesJacobiOnSparse) {
+  auto s = random_sparse(120, 80, 0.08, 13);
+  auto want = jacobi_svd(s.to_dense());
+  LanczosOptions opts;
+  opts.k = 8;
+  auto got = lanczos_svd(s, opts);
+  expect_triplets_match(got, want, 8, 1e-8);
+}
+
+TEST(Lanczos, FullRankRecoversEverything) {
+  auto a = random_matrix(15, 10, 17);
+  auto want = jacobi_svd(a);
+  DenseOperator op(a);
+  LanczosOptions opts;
+  opts.k = 10;
+  opts.max_dim = 10;
+  auto got = lanczos_svd(op, opts);
+  expect_triplets_match(got, want, 10, 1e-8);
+}
+
+TEST(Lanczos, FactorsOrthonormal) {
+  auto s = random_sparse(90, 70, 0.1, 19);
+  LanczosOptions opts;
+  opts.k = 12;
+  auto got = lanczos_svd(s, opts);
+  EXPECT_LT(orthonormality_error(got.u), 1e-9);
+  EXPECT_LT(orthonormality_error(got.v), 1e-9);
+}
+
+TEST(Lanczos, DeterministicForFixedSeed) {
+  auto s = random_sparse(50, 40, 0.15, 23);
+  LanczosOptions opts;
+  opts.k = 5;
+  auto a = lanczos_svd(s, opts);
+  auto b = lanczos_svd(s, opts);
+  EXPECT_EQ(a.s, b.s);
+  EXPECT_NEAR(max_abs_diff(a.u, b.u), 0.0, 0.0);
+}
+
+TEST(Lanczos, ZeroMatrix) {
+  CooBuilder b(10, 8);
+  auto s = b.to_csc();
+  LanczosOptions opts;
+  opts.k = 3;
+  auto got = lanczos_svd(s, opts);
+  for (double sigma : got.s) EXPECT_NEAR(sigma, 0.0, 1e-12);
+}
+
+TEST(Lanczos, RankOneMatrix) {
+  // A = u v^T with ||u||=2, ||v||=3 -> sigma_1 = 6, everything else 0.
+  CooBuilder b(40, 30);
+  for (index_t i = 0; i < 40; ++i) {
+    for (index_t j = 0; j < 30; ++j) {
+      const double u = (i == 0) ? 2.0 : 0.0;
+      const double v = (j == 0) ? 3.0 : 0.0;
+      if (u * v != 0.0) b.add(i, j, u * v);
+    }
+  }
+  LanczosOptions opts;
+  opts.k = 3;
+  auto got = lanczos_svd(b.to_csc(), opts);
+  EXPECT_NEAR(got.s[0], 6.0, 1e-10);
+  if (got.rank() > 1) {
+    EXPECT_NEAR(got.s[1], 0.0, 1e-8);
+  }
+}
+
+TEST(Lanczos, RepeatedSingularValues) {
+  // Identity-like: all singular values equal; subspace is degenerate but
+  // the values must still be correct.
+  CooBuilder b(20, 20);
+  for (index_t i = 0; i < 20; ++i) b.add(i, i, 2.5);
+  LanczosOptions opts;
+  opts.k = 6;
+  auto got = lanczos_svd(b.to_csc(), opts);
+  for (index_t i = 0; i < 6; ++i) EXPECT_NEAR(got.s[i], 2.5, 1e-9);
+}
+
+TEST(Lanczos, WideMatrix) {
+  auto s = random_sparse(30, 100, 0.1, 29);
+  auto want = jacobi_svd(s.to_dense());
+  LanczosOptions opts;
+  opts.k = 6;
+  auto got = lanczos_svd(s, opts);
+  expect_triplets_match(got, want, 6, 1e-8);
+}
+
+TEST(Lanczos, StatsReportIterationCount) {
+  auto s = random_sparse(80, 60, 0.1, 31);
+  LanczosOptions opts;
+  opts.k = 4;
+  LanczosStats stats;
+  (void)lanczos_svd(s, opts, &stats);
+  EXPECT_GT(stats.steps, 4u);
+  EXPECT_EQ(stats.matvecs, stats.steps);
+  EXPECT_LE(stats.max_residual, 1.0);
+}
+
+TEST(Lanczos, KLargerThanRankIsClamped) {
+  auto s = random_sparse(10, 6, 0.5, 37);
+  LanczosOptions opts;
+  opts.k = 50;
+  auto got = lanczos_svd(s, opts);
+  EXPECT_LE(got.rank(), 6u);
+}
+
+TEST(TruncatedSvd, DispatchesToJacobiForSmall) {
+  auto a = random_matrix(30, 12, 41);
+  auto got = truncated_svd(a, 5);
+  auto want = jacobi_svd(a);
+  expect_triplets_match(got, want, 5, 1e-9);
+  EXPECT_EQ(got.rank(), 5u);
+}
+
+TEST(TruncatedSvd, LanczosPathForLarge) {
+  auto a = random_matrix(150, 120, 43);
+  auto got = truncated_svd(a, 6, /*dense_cutoff=*/32);
+  auto want = jacobi_svd(a);
+  expect_triplets_match(got, want, 6, 1e-7);
+}
+
+}  // namespace

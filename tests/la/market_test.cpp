@@ -1,0 +1,82 @@
+// MatrixMarket I/O tests.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "la/market.hpp"
+#include "synth/sparse_random.hpp"
+
+namespace {
+
+using namespace lsi::la;
+
+TEST(MatrixMarket, RoundTrip) {
+  auto a = lsi::synth::random_sparse_matrix(23, 17, 0.2, 3);
+  std::stringstream buffer;
+  write_matrix_market(buffer, a);
+  auto b = read_matrix_market(buffer);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.cols(), a.cols());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_LT(max_abs_diff(a.to_dense(), b.to_dense()), 1e-15);
+}
+
+TEST(MatrixMarket, EmptyMatrix) {
+  CooBuilder builder(4, 6);
+  std::stringstream buffer;
+  write_matrix_market(buffer, builder.to_csc());
+  auto b = read_matrix_market(buffer);
+  EXPECT_EQ(b.rows(), 4u);
+  EXPECT_EQ(b.cols(), 6u);
+  EXPECT_EQ(b.nnz(), 0u);
+}
+
+TEST(MatrixMarket, ParsesHandWrittenInput) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment line\n"
+      "3 2 3\n"
+      "1 1 1.5\n"
+      "3 1 -2\n"
+      "2 2 4\n");
+  auto a = read_matrix_market(buffer);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+  EXPECT_EQ(a.nnz(), 3u);
+}
+
+TEST(MatrixMarket, SumsDuplicates) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "1 1 2.5\n");
+  auto a = read_matrix_market(buffer);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(MatrixMarket, RejectsBadHeader) {
+  std::stringstream buffer("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(buffer), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndex) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(buffer), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(buffer), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Householder QR tests.
+
+#include <gtest/gtest.h>
+
+#include "la/qr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsi::la;
+
+DenseMatrix random_matrix(index_t m, index_t n, std::uint64_t seed) {
+  lsi::util::Rng rng(seed);
+  DenseMatrix a(m, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) a(i, j) = rng.normal();
+  }
+  return a;
+}
+
+class QrShapes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrShapes, ReconstructsAndOrthogonal) {
+  auto [m, n] = GetParam();
+  auto a = random_matrix(m, n, 17 + m * 31 + n);
+  auto f = qr_decompose(a);
+  EXPECT_EQ(f.q.rows(), static_cast<index_t>(m));
+  EXPECT_EQ(f.q.cols(), static_cast<index_t>(std::min(m, n)));
+  EXPECT_LT(orthonormality_error(f.q), 1e-12);
+  EXPECT_LT(max_abs_diff(multiply(f.q, f.r), a), 1e-11);
+  // R upper triangular.
+  for (index_t i = 0; i < f.r.rows(); ++i) {
+    for (index_t j = 0; j < std::min<index_t>(i, f.r.cols()); ++j) {
+      EXPECT_NEAR(f.r(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrShapes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{5, 5},
+                                           std::pair{10, 4}, std::pair{4, 10},
+                                           std::pair{50, 20},
+                                           std::pair{3, 1}));
+
+TEST(Qr, RankDeficientZeroColumns) {
+  // Two identical columns: the second must be flagged as dependent.
+  DenseMatrix a(4, 2);
+  for (index_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);
+  }
+  auto q = orthonormal_columns(a);
+  EXPECT_NEAR(norm2(q.col(0)), 1.0, 1e-12);
+  EXPECT_NEAR(norm2(q.col(1)), 0.0, 1e-12);
+}
+
+TEST(Qr, OrthonormalColumnsSpanInput) {
+  auto a = random_matrix(8, 3, 99);
+  auto q = orthonormal_columns(a);
+  // Projecting A onto span(Q) must reproduce A.
+  auto coeffs = multiply_at_b(q, a);
+  EXPECT_LT(max_abs_diff(multiply(q, coeffs), a), 1e-11);
+}
+
+TEST(Qr, ZeroMatrix) {
+  DenseMatrix a(3, 2);
+  auto f = qr_decompose(a);
+  EXPECT_LT(f.r.max_abs(), 1e-300);
+}
+
+}  // namespace

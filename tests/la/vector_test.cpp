@@ -1,0 +1,81 @@
+// Level-1 kernel tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+
+namespace {
+
+using namespace lsi::la;
+
+TEST(VectorOps, Dot) {
+  Vector x = {1, 2, 3};
+  Vector y = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 4 - 10 + 18);
+}
+
+TEST(VectorOps, DotEmpty) {
+  Vector x, y;
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+}
+
+TEST(VectorOps, Norm2Simple) {
+  Vector x = {3, 4};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+}
+
+TEST(VectorOps, Norm2AvoidsOverflow) {
+  Vector x = {1e200, 1e200};
+  EXPECT_NEAR(norm2(x) / (std::sqrt(2.0) * 1e200), 1.0, 1e-14);
+}
+
+TEST(VectorOps, Norm2AvoidsUnderflow) {
+  Vector x = {1e-200, 1e-200};
+  EXPECT_NEAR(norm2(x) / (std::sqrt(2.0) * 1e-200), 1.0, 1e-14);
+}
+
+TEST(VectorOps, Axpy) {
+  Vector x = {1, 2};
+  Vector y = {10, 20};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOps, ScaleAndZero) {
+  Vector x = {1, -2, 3};
+  scale(x, -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  set_zero(x);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(VectorOps, NormalizeReturnsNorm) {
+  Vector x = {0, 3, 4};
+  EXPECT_DOUBLE_EQ(normalize(x), 5.0);
+  EXPECT_NEAR(norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOps, NormalizeZeroVectorUntouched) {
+  Vector x = {0, 0};
+  EXPECT_DOUBLE_EQ(normalize(x), 0.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(VectorOps, CosineBounds) {
+  Vector x = {1, 0};
+  Vector y = {1, 1};
+  EXPECT_NEAR(cosine(x, y), 1.0 / std::sqrt(2.0), 1e-15);
+  Vector z = {0, 0};
+  EXPECT_DOUBLE_EQ(cosine(x, z), 0.0);
+}
+
+TEST(VectorOps, CosineAntiparallel) {
+  Vector x = {2, 1};
+  Vector y = {-4, -2};
+  EXPECT_NEAR(cosine(x, y), -1.0, 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Nearest-centroid classification tests (the Section 5.7 extension).
+
+#include <gtest/gtest.h>
+
+#include "lsi/classify.hpp"
+#include "lsi/lsi_index.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+TEST(CentroidClassifier, SeparableTwoClass) {
+  std::vector<la::Vector> features = {
+      {1.0, 0.0}, {0.9, 0.1}, {0.0, 1.0}, {0.1, 0.9}};
+  std::vector<std::size_t> labels = {0, 0, 1, 1};
+  core::CentroidClassifier clf(features, labels, 2);
+  EXPECT_EQ(clf.num_classes(), 2u);
+  EXPECT_EQ(clf.predict(la::Vector{1.0, 0.2}), 0u);
+  EXPECT_EQ(clf.predict(la::Vector{0.2, 1.0}), 1u);
+  EXPECT_DOUBLE_EQ(classification_accuracy(clf, features, labels), 1.0);
+}
+
+TEST(CentroidClassifier, ScoresAreCosines) {
+  std::vector<la::Vector> features = {{1.0, 0.0}, {0.0, 1.0}};
+  std::vector<std::size_t> labels = {0, 1};
+  core::CentroidClassifier clf(features, labels, 2);
+  auto scores = clf.scores(la::Vector{1.0, 0.0});
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0], 1.0, 1e-12);
+  EXPECT_NEAR(scores[1], 0.0, 1e-12);
+}
+
+TEST(CentroidClassifier, EmptyClassYieldsZeroScore) {
+  std::vector<la::Vector> features = {{1.0, 0.0}};
+  std::vector<std::size_t> labels = {0};
+  core::CentroidClassifier clf(features, labels, 3);  // classes 1,2 empty
+  auto scores = clf.scores(la::Vector{1.0, 0.0});
+  EXPECT_NEAR(scores[1], 0.0, 1e-12);
+  EXPECT_NEAR(scores[2], 0.0, 1e-12);
+  EXPECT_EQ(clf.predict(la::Vector{1.0, 0.0}), 0u);
+}
+
+TEST(LsiClassification, TopicsClassifiedOnLsiDimensions) {
+  // Hull / Yang & Chute style: train a centroid classifier on the LSI
+  // coordinates of half the corpus; test on the other half.
+  synth::CorpusSpec spec;
+  spec.topics = 5;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 24;
+  spec.own_topic_prob = 0.75;
+  spec.general_prob = 0.4;
+  spec.seed = 77;
+  spec.consistent_forms_per_doc = true;
+  auto corpus = synth::generate_corpus(spec);
+
+  core::IndexOptions opts;
+  opts.k = 20;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+
+  std::vector<la::Vector> train_x, test_x;
+  std::vector<std::size_t> train_y, test_y;
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    la::Vector coords = index.space().doc_coords(d);
+    if (d % 2 == 0) {
+      train_x.push_back(std::move(coords));
+      train_y.push_back(corpus.doc_topics[d]);
+    } else {
+      test_x.push_back(std::move(coords));
+      test_y.push_back(corpus.doc_topics[d]);
+    }
+  }
+  core::CentroidClassifier clf(train_x, train_y, spec.topics);
+  const double acc = classification_accuracy(clf, test_x, test_y);
+  EXPECT_GT(acc, 0.8);  // well above 1/5 chance
+}
+
+TEST(LsiClassification, ReducedDimensionsCompetitiveWithFullSpace) {
+  // The Section 5.7 point: ~20 LSI dimensions carry the class signal that
+  // the full (hundreds-of-terms) space carries.
+  synth::CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 20;
+  spec.own_topic_prob = 0.7;
+  spec.seed = 78;
+  auto corpus = synth::generate_corpus(spec);
+
+  core::IndexOptions opts;
+  opts.k = 16;
+  auto index = core::LsiIndex::build(corpus.docs, opts);
+
+  // LSI features.
+  std::vector<la::Vector> lsi_train, lsi_test;
+  // Full weighted term-vector features.
+  std::vector<la::Vector> full_train, full_test;
+  std::vector<std::size_t> train_y, test_y;
+  const auto dense = index.weighted_matrix().to_dense();
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    la::Vector full = dense.col(d).size()
+                          ? la::Vector(dense.col(d).begin(),
+                                       dense.col(d).end())
+                          : la::Vector{};
+    if (d % 2 == 0) {
+      lsi_train.push_back(index.space().doc_coords(d));
+      full_train.push_back(std::move(full));
+      train_y.push_back(corpus.doc_topics[d]);
+    } else {
+      lsi_test.push_back(index.space().doc_coords(d));
+      full_test.push_back(std::move(full));
+      test_y.push_back(corpus.doc_topics[d]);
+    }
+  }
+  core::CentroidClassifier lsi_clf(lsi_train, train_y, spec.topics);
+  core::CentroidClassifier full_clf(full_train, train_y, spec.topics);
+  const double lsi_acc = classification_accuracy(lsi_clf, lsi_test, test_y);
+  const double full_acc =
+      classification_accuracy(full_clf, full_test, test_y);
+  EXPECT_GT(lsi_acc, 0.7);
+  EXPECT_GE(lsi_acc, full_acc - 0.1);  // within 10 points of full space
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Exact (residual-carrying) SVD-updating tests: unlike the Section 4.2
+// projection method, these must match recomputing the truncated SVD of the
+// bordered matrix for ARBITRARY new data, even far outside the retained
+// subspaces.
+
+#include <gtest/gtest.h>
+
+#include "lsi/update.hpp"
+#include "synth/sparse_random.hpp"
+#include "util/rng.hpp"
+#include "weighting/weighting.hpp"
+
+namespace {
+
+using namespace lsi;
+using core::SemanticSpace;
+using core::index_t;
+
+void expect_spaces_equivalent(const SemanticSpace& a, const SemanticSpace& b,
+                              double tol) {
+  ASSERT_EQ(a.k(), b.k());
+  for (index_t i = 0; i < a.k(); ++i) {
+    EXPECT_NEAR(a.sigma[i], b.sigma[i], tol) << "sigma " << i;
+  }
+  EXPECT_LT(la::max_abs_diff(a.reconstruct(), b.reconstruct()), tol * 10);
+}
+
+/// Recompute reference: truncated SVD of (A_k | D).
+SemanticSpace recompute_docs(const SemanticSpace& base,
+                             const la::CscMatrix& d, index_t k) {
+  auto bordered = base.reconstruct();
+  bordered.append_cols(d.to_dense());
+  return core::build_semantic_space(la::CscMatrix::from_dense(bordered), k);
+}
+
+TEST(ExactUpdateDocuments, MatchesRecomputeOnTruncatedSpace) {
+  auto a = synth::random_sparse_matrix(30, 20, 0.25, 1);
+  auto d = synth::random_sparse_matrix(30, 5, 0.25, 2);
+  const index_t k = 6;
+  auto space = core::build_semantic_space(a, k);
+  auto reference = recompute_docs(space, d, k);
+  core::update_documents_exact(space, d);
+  expect_spaces_equivalent(space, reference, 1e-9);
+}
+
+TEST(ExactUpdateDocuments, HandlesOutOfSubspaceDocuments) {
+  // D hits term rows that are zero in A: entirely outside span(U_k). The
+  // projection method would erase it; the exact method must not.
+  la::CooBuilder ab(20, 10);
+  for (index_t i = 0; i < 10; ++i) ab.add(i, i, 2.0 + i);
+  auto a = ab.to_csc();  // only rows 0..9 used
+  la::CooBuilder db(20, 2);
+  db.add(15, 0, 30.0);  // rows 15/16 are new territory; values dominate so
+  db.add(16, 1, 40.0);  // the new directions survive the rank-k truncation
+  auto d = db.to_csc();
+
+  const index_t k = 10;
+  auto approx = core::build_semantic_space(a, k);
+  auto exact = approx;
+  core::update_documents(approx, d);
+  core::update_documents_exact(exact, d);
+
+  // Reconstruction of the new documents: exact must reproduce them.
+  auto exact_recon = exact.reconstruct();
+  EXPECT_NEAR(exact_recon(15, 10), 30.0, 1e-8);
+  EXPECT_NEAR(exact_recon(16, 11), 40.0, 1e-8);
+  // The projection method cannot represent them at all.
+  auto approx_recon = approx.reconstruct();
+  EXPECT_NEAR(approx_recon(15, 10), 0.0, 1e-9);
+}
+
+TEST(ExactUpdateDocuments, KeepsOrthogonality) {
+  auto a = synth::random_sparse_matrix(25, 18, 0.3, 3);
+  auto space = core::build_semantic_space(a, 5);
+  core::update_documents_exact(space,
+                               synth::random_sparse_matrix(25, 4, 0.3, 4));
+  EXPECT_LT(core::orthogonality_loss(space.u), 1e-9);
+  EXPECT_LT(core::orthogonality_loss(space.v), 1e-9);
+  EXPECT_EQ(space.num_docs(), 22u);
+}
+
+TEST(ExactUpdateDocuments, EmptyBatchIsNoop) {
+  auto a = synth::random_sparse_matrix(10, 8, 0.4, 5);
+  auto space = core::build_semantic_space(a, 3);
+  const auto sigma = space.sigma;
+  core::update_documents_exact(space, la::CscMatrix(10, 0, {0}, {}, {}));
+  EXPECT_EQ(space.sigma, sigma);
+}
+
+TEST(ExactUpdateTerms, MatchesRecomputeOnTruncatedSpace) {
+  auto a = synth::random_sparse_matrix(22, 16, 0.3, 6);
+  auto t = synth::random_sparse_matrix(4, 16, 0.3, 7);
+  const index_t k = 5;
+  auto space = core::build_semantic_space(a, k);
+
+  auto bordered = space.reconstruct();
+  bordered.append_rows(t.to_dense());
+  auto reference =
+      core::build_semantic_space(la::CscMatrix::from_dense(bordered), k);
+
+  core::update_terms_exact(space, t);
+  expect_spaces_equivalent(space, reference, 1e-9);
+  EXPECT_EQ(space.num_terms(), 26u);
+  EXPECT_LT(core::orthogonality_loss(space.u), 1e-9);
+}
+
+TEST(ExactUpdateTerms, BeatsProjectionOnNovelStructure) {
+  // New terms concentrated on documents the truncated space represents
+  // poorly: exact must reconstruct (A_k ; T) strictly better.
+  auto a = synth::random_sparse_matrix(18, 14, 0.3, 8);
+  auto t = synth::random_sparse_matrix(5, 14, 0.5, 9);
+  const index_t k = 4;
+  auto approx = core::build_semantic_space(a, k);
+  auto exact = approx;
+  auto bordered = approx.reconstruct();
+  bordered.append_rows(t.to_dense());
+
+  core::update_terms(approx, t);
+  core::update_terms_exact(exact, t);
+
+  auto err = [&](const SemanticSpace& s) {
+    auto diff = bordered;
+    diff.add_scaled(s.reconstruct(), -1.0);
+    return diff.frobenius_norm();
+  };
+  EXPECT_LE(err(exact), err(approx) + 1e-12);
+}
+
+TEST(ExactUpdateWeights, MatchesRecomputeOnTruncatedSpace) {
+  auto a = synth::random_sparse_matrix(15, 12, 0.4, 10);
+  const index_t k = 5;
+  auto space = core::build_semantic_space(a, k);
+
+  // Arbitrary rank-2 perturbation (not aligned to the subspaces).
+  lsi::util::Rng rng(11);
+  la::DenseMatrix y(15, 2), z(12, 2);
+  for (index_t c = 0; c < 2; ++c) {
+    for (index_t i = 0; i < 15; ++i) y(i, c) = rng.normal();
+    for (index_t i = 0; i < 12; ++i) z(i, c) = rng.normal();
+  }
+
+  auto w = space.reconstruct();
+  w.add_scaled(la::multiply_a_bt(y, z), 1.0);
+  auto reference =
+      core::build_semantic_space(la::CscMatrix::from_dense(w), k);
+
+  core::update_weights_exact(space, y, z);
+  expect_spaces_equivalent(space, reference, 1e-8);
+}
+
+TEST(ExactUpdateWeights, AgreesWithProjectionWhenAligned) {
+  // Y/Z inside the retained subspaces: both methods must coincide.
+  auto a = synth::random_sparse_matrix(12, 12, 0.6, 12);
+  auto space = core::build_semantic_space(a, 12);
+  lsi::util::Rng rng(13);
+  la::DenseMatrix y(12, 1), z(12, 1);
+  for (index_t i = 0; i < 12; ++i) {
+    y(i, 0) = rng.normal();
+    z(i, 0) = rng.normal();
+  }
+  auto s1 = space;
+  auto s2 = space;
+  core::update_weights(s1, y, z);
+  core::update_weights_exact(s2, y, z);
+  expect_spaces_equivalent(s1, s2, 1e-8);
+}
+
+TEST(ExactUpdate, ChainedMatchesFullRecompute) {
+  auto a = synth::random_sparse_matrix(16, 12, 0.35, 14);
+  auto d = synth::random_sparse_matrix(16, 3, 0.35, 15);
+  const index_t k = 5;
+  auto space = core::build_semantic_space(a, k);
+
+  auto after_docs = space.reconstruct();
+  after_docs.append_cols(d.to_dense());
+  auto ref1 =
+      core::build_semantic_space(la::CscMatrix::from_dense(after_docs), k);
+
+  core::update_documents_exact(space, d);
+  expect_spaces_equivalent(space, ref1, 1e-9);
+
+  auto t = synth::random_sparse_matrix(2, 15, 0.4, 16);
+  auto after_terms = space.reconstruct();
+  after_terms.append_rows(t.to_dense());
+  auto ref2 =
+      core::build_semantic_space(la::CscMatrix::from_dense(after_terms), k);
+  core::update_terms_exact(space, t);
+  expect_spaces_equivalent(space, ref2, 1e-9);
+}
+
+}  // namespace

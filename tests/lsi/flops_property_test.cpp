@@ -1,0 +1,114 @@
+// Properties of the Table 7 flop model: monotonicity in every driving
+// variable and the crossover structure the paper discusses.
+
+#include <gtest/gtest.h>
+
+#include "lsi/flops.hpp"
+
+namespace {
+
+using lsi::core::FlopModelParams;
+
+FlopModelParams base() {
+  FlopModelParams x;
+  x.m = 10000;
+  x.n = 5000;
+  x.k = 100;
+  x.p = 50;
+  x.q = 50;
+  x.j = 10;
+  x.nnz_d = 3000;
+  x.nnz_t = 3000;
+  x.nnz_z = 500;
+  x.nnz_a = 300000;
+  x.iterations = 150;
+  x.triplets = 100;
+  return x;
+}
+
+TEST(FlopsProperty, FoldingLinearInBatch) {
+  auto x = base();
+  const auto f1 = lsi::core::flops_fold_documents(x);
+  x.p *= 3;
+  EXPECT_EQ(lsi::core::flops_fold_documents(x), 3 * f1);
+  auto y = base();
+  const auto t1 = lsi::core::flops_fold_terms(y);
+  y.q *= 4;
+  EXPECT_EQ(lsi::core::flops_fold_terms(y), 4 * t1);
+}
+
+TEST(FlopsProperty, MonotoneInEveryVariable) {
+  const auto x = base();
+  auto bump = [&](auto field_setter) {
+    auto y = x;
+    field_setter(y);
+    return y;
+  };
+  // Documents phase grows with m, k, p, nnz_d, I, trp.
+  const auto d0 = lsi::core::flops_update_documents(x);
+  EXPECT_GT(lsi::core::flops_update_documents(
+                bump([](FlopModelParams& y) { y.m *= 2; })), d0);
+  EXPECT_GT(lsi::core::flops_update_documents(
+                bump([](FlopModelParams& y) { y.k *= 2; })), d0);
+  EXPECT_GT(lsi::core::flops_update_documents(
+                bump([](FlopModelParams& y) { y.nnz_d *= 2; })), d0);
+  EXPECT_GT(lsi::core::flops_update_documents(
+                bump([](FlopModelParams& y) { y.iterations *= 2; })), d0);
+  EXPECT_GT(lsi::core::flops_update_documents(
+                bump([](FlopModelParams& y) { y.triplets *= 2; })), d0);
+  // Terms phase with n, q.
+  const auto t0 = lsi::core::flops_update_terms(x);
+  EXPECT_GT(lsi::core::flops_update_terms(
+                bump([](FlopModelParams& y) { y.n *= 2; })), t0);
+  EXPECT_GT(lsi::core::flops_update_terms(
+                bump([](FlopModelParams& y) { y.q *= 2; })), t0);
+  // Correction with j.
+  const auto w0 = lsi::core::flops_update_weights(x);
+  EXPECT_GT(lsi::core::flops_update_weights(
+                bump([](FlopModelParams& y) { y.j *= 2; })), w0);
+  // Recompute with nnz_a.
+  const auto r0 = lsi::core::flops_recompute(x);
+  EXPECT_GT(lsi::core::flops_recompute(
+                bump([](FlopModelParams& y) { y.nnz_a *= 2; })), r0);
+}
+
+TEST(FlopsProperty, FoldToUpdateCrossoverExists) {
+  // The paper: folding is far cheaper for d << n but the gap closes as the
+  // batch approaches the collection size.
+  auto x = base();
+  x.p = 1;
+  x.nnz_d = 60;
+  const double tiny_ratio =
+      static_cast<double>(lsi::core::flops_fold_documents(x)) /
+      static_cast<double>(lsi::core::flops_update_documents(x));
+  x.p = x.n;  // batch as large as the collection
+  x.nnz_d = 60 * x.n;
+  const double huge_ratio =
+      static_cast<double>(lsi::core::flops_fold_documents(x)) /
+      static_cast<double>(lsi::core::flops_update_documents(x));
+  EXPECT_LT(tiny_ratio, 0.01);
+  EXPECT_GT(huge_ratio, 1.0);
+}
+
+TEST(FlopsProperty, RotationTermMatchesPaperFormula) {
+  // The (2k^2 - k)(m + n) dense-rotation cost must appear verbatim: with
+  // everything else zeroed, updating costs exactly that.
+  FlopModelParams x;
+  x.m = 123;
+  x.n = 45;
+  x.k = 7;
+  EXPECT_EQ(lsi::core::flops_update_documents(x),
+            (2 * 7ull * 7 - 7) * (123 + 45));
+  EXPECT_EQ(lsi::core::flops_update_terms(x),
+            (2 * 7ull * 7 - 7) * (123 + 45));
+}
+
+TEST(FlopsProperty, ZeroEverythingIsZero) {
+  FlopModelParams x;
+  EXPECT_EQ(lsi::core::flops_fold_documents(x), 0u);
+  EXPECT_EQ(lsi::core::flops_fold_terms(x), 0u);
+  EXPECT_EQ(lsi::core::flops_update_documents(x), 0u);
+  EXPECT_EQ(lsi::core::flops_recompute(x), 0u);
+}
+
+}  // namespace

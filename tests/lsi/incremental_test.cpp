@@ -1,0 +1,122 @@
+// Incremental (real-time) indexing tests: fold-now / consolidate-later.
+
+#include <gtest/gtest.h>
+
+#include "lsi/incremental.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+synth::SyntheticCorpus small_corpus(std::uint64_t seed) {
+  synth::CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 15;
+  spec.queries_per_topic = 2;
+  spec.seed = seed;
+  return synth::generate_corpus(spec);
+}
+
+core::LsiIndex base_index(const synth::SyntheticCorpus& corpus,
+                          std::size_t train) {
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+  core::IndexOptions opts;
+  opts.k = 12;
+  return core::LsiIndex::build(head, opts);
+}
+
+TEST(Incremental, DocumentsVisibleImmediately) {
+  auto corpus = small_corpus(1);
+  core::IncrementalIndexer indexer(base_index(corpus, 40));
+  const auto& doc = corpus.docs[40];
+  indexer.add(doc);
+  EXPECT_EQ(indexer.index().space().num_docs(), 41u);
+  EXPECT_EQ(indexer.index().doc_labels().back(), doc.label);
+
+  // Query with the document's own text: it must be findable right away.
+  auto results = indexer.index().query(doc.body);
+  bool found = false;
+  for (std::size_t i = 0; i < 3 && i < results.size(); ++i) {
+    found = found || results[i].label == doc.label;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Incremental, ConsolidationTriggersOnBudget) {
+  auto corpus = small_corpus(2);
+  core::IncrementalOptions opts;
+  opts.consolidate_every = 5;
+  core::IncrementalIndexer indexer(base_index(corpus, 30), opts);
+  int consolidated = 0;
+  for (std::size_t d = 30; d < 45; ++d) {
+    consolidated += indexer.add(corpus.docs[d]);
+  }
+  EXPECT_EQ(consolidated, 3);
+  EXPECT_EQ(indexer.consolidations(), 3u);
+  EXPECT_EQ(indexer.pending(), 0u);
+  EXPECT_EQ(indexer.index().space().num_docs(), 45u);
+}
+
+TEST(Incremental, ConsolidationRestoresOrthogonality) {
+  auto corpus = small_corpus(3);
+  core::IncrementalOptions opts;
+  opts.consolidate_every = 0;  // manual
+  core::IncrementalIndexer indexer(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < 50; ++d) indexer.add(corpus.docs[d]);
+  EXPECT_EQ(indexer.pending(), 20u);
+  const double loss_before =
+      core::orthogonality_loss(indexer.index().space().v);
+  EXPECT_GT(loss_before, 1e-8);  // folding corrupted the basis
+
+  indexer.consolidate();
+  EXPECT_EQ(indexer.pending(), 0u);
+  EXPECT_LT(core::orthogonality_loss(indexer.index().space().v), 1e-9);
+  EXPECT_EQ(indexer.index().space().num_docs(), 50u);
+}
+
+TEST(Incremental, ExactConsolidationAlsoWorks) {
+  auto corpus = small_corpus(4);
+  core::IncrementalOptions opts;
+  opts.consolidate_every = 8;
+  opts.exact_update = true;
+  core::IncrementalIndexer indexer(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < 46; ++d) indexer.add(corpus.docs[d]);
+  EXPECT_EQ(indexer.consolidations(), 2u);
+  EXPECT_LT(core::orthogonality_loss(indexer.index().space().v), 1e-9);
+}
+
+TEST(Incremental, LabelsStayAlignedAcrossConsolidation) {
+  auto corpus = small_corpus(5);
+  core::IncrementalOptions opts;
+  opts.consolidate_every = 4;
+  core::IncrementalIndexer indexer(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < 42; ++d) indexer.add(corpus.docs[d]);
+  const auto& labels = indexer.index().doc_labels();
+  ASSERT_EQ(labels.size(), 42u);
+  for (std::size_t d = 0; d < 42; ++d) {
+    EXPECT_EQ(labels[d], corpus.docs[d].label);
+  }
+  EXPECT_EQ(indexer.index().space().num_docs(), 42u);
+}
+
+TEST(Incremental, RetrievalQualitySurvivesStreaming) {
+  auto corpus = small_corpus(6);
+  core::IncrementalOptions opts;
+  opts.consolidate_every = 10;
+  core::IncrementalIndexer indexer(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < corpus.docs.size(); ++d) {
+    indexer.add(corpus.docs[d]);
+  }
+  // Every query's top hit should be topical.
+  std::size_t topical = 0;
+  for (const auto& q : corpus.queries) {
+    auto results = indexer.index().query(q.text);
+    if (results.empty()) continue;
+    topical += q.relevant.count(results[0].doc) > 0;
+  }
+  EXPECT_GE(topical * 2, corpus.queries.size());
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Edge-case coverage for the synthetic generators: degenerate specs,
+// knob monotonicity, and option interactions.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "synth/bilingual.hpp"
+#include "synth/corpus.hpp"
+#include "synth/spelling.hpp"
+#include "text/parser.hpp"
+
+namespace {
+
+using namespace lsi;
+using namespace lsi::synth;
+
+TEST(CorpusEdge, SingleTopicSingleDoc) {
+  CorpusSpec spec;
+  spec.topics = 1;
+  spec.concepts_per_topic = 3;
+  spec.docs_per_topic = 1;
+  spec.queries_per_topic = 1;
+  spec.shared_concepts = 0;
+  spec.seed = 1;
+  auto corpus = generate_corpus(spec);
+  EXPECT_EQ(corpus.docs.size(), 1u);
+  EXPECT_EQ(corpus.queries.size(), 1u);
+  EXPECT_EQ(corpus.queries[0].relevant.size(), 1u);
+  EXPECT_FALSE(corpus.docs[0].body.empty());
+}
+
+TEST(CorpusEdge, NoGeneralVocabulary) {
+  CorpusSpec spec;
+  spec.topics = 3;
+  spec.shared_concepts = 0;
+  spec.general_prob = 0.9;  // must be ignored with no shared concepts
+  spec.docs_per_topic = 4;
+  spec.seed = 2;
+  auto corpus = generate_corpus(spec);
+  for (const auto& d : corpus.docs) {
+    EXPECT_EQ(d.body.find('g'), std::string::npos)
+        << "general token leaked: " << d.body;
+  }
+}
+
+TEST(CorpusEdge, SingleFormDisablesSynonymy) {
+  CorpusSpec spec;
+  spec.topics = 2;
+  spec.forms_per_concept = 1;
+  spec.query_offform_prob = 1.0;  // nothing rarer to pick
+  spec.docs_per_topic = 5;
+  spec.seed = 3;
+  auto corpus = generate_corpus(spec);
+  for (const auto& forms : corpus.concept_forms) {
+    EXPECT_EQ(forms.size(), 1u);
+  }
+  EXPECT_FALSE(corpus.queries.empty());
+}
+
+TEST(CorpusEdge, OwnTopicProbOneMeansNoLeakage) {
+  CorpusSpec spec;
+  spec.topics = 4;
+  spec.own_topic_prob = 1.0;
+  spec.general_prob = 0.0;
+  spec.polysemy_prob = 0.0;
+  spec.docs_per_topic = 6;
+  spec.seed = 4;
+  auto corpus = generate_corpus(spec);
+  // Every topical token of a topic-t document must belong to topic t.
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    const std::size_t topic = corpus.doc_topics[d];
+    std::set<std::string> own;
+    for (std::size_t c = 0; c < corpus.concept_forms.size(); ++c) {
+      if (corpus.concept_topic[c] == topic) {
+        own.insert(corpus.concept_forms[c].begin(),
+                   corpus.concept_forms[c].end());
+      }
+    }
+    text::ParserOptions popts;
+    popts.remove_stopwords = false;
+    for (const auto& token : text::tokenize(corpus.docs[d].body)) {
+      EXPECT_TRUE(own.count(token)) << token << " leaked into topic "
+                                    << topic;
+    }
+  }
+}
+
+TEST(CorpusEdge, MorphologicalFormsAreSuffixedVariants) {
+  CorpusSpec spec;
+  spec.topics = 2;
+  spec.forms_per_concept = 4;
+  spec.morphological_forms = true;
+  spec.polysemy_prob = 0.0;
+  spec.seed = 5;
+  auto corpus = generate_corpus(spec);
+  for (const auto& forms : corpus.concept_forms) {
+    ASSERT_EQ(forms.size(), 4u);
+    const std::string& root = forms[0];
+    EXPECT_EQ(forms[1], root + "s");
+    EXPECT_EQ(forms[2], root + "ed");
+    EXPECT_EQ(forms[3], root + "ing");
+    // Roots are alphabetic (so the Porter stemmer's vowel logic applies).
+    for (char c : root) EXPECT_TRUE(std::isalpha(c)) << root;
+  }
+}
+
+TEST(CorpusEdge, PetWordsIncreaseMaxTermFrequency) {
+  CorpusSpec base;
+  base.topics = 4;
+  base.docs_per_topic = 10;
+  base.mean_doc_len = 60;
+  base.general_prob = 0.6;
+  base.shared_concepts = 30;
+  base.seed = 6;
+  CorpusSpec bursty = base;
+  bursty.pet_word_prob = 0.8;
+
+  auto max_tf = [](const SyntheticCorpus& corpus) {
+    auto tdm = text::build_term_document_matrix(corpus.docs, {});
+    double best = 0.0;
+    for (double v : tdm.counts.values()) best = std::max(best, v);
+    return best;
+  };
+  EXPECT_GT(max_tf(generate_corpus(bursty)),
+            max_tf(generate_corpus(base)));
+}
+
+TEST(BilingualEdge, TopicMixingProducesCrossTopicTokens) {
+  BilingualSpec pure;
+  pure.topics = 4;
+  pure.docs_per_topic = 6;
+  pure.own_topic_prob = 1.0;
+  pure.seed = 7;
+  BilingualSpec mixed = pure;
+  mixed.own_topic_prob = 0.4;
+
+  auto distinct_concepts_in_doc0 = [](const BilingualCorpus& corpus) {
+    std::set<std::string> tokens;
+    for (const auto& t : text::tokenize(corpus.mono_a[0].body)) {
+      tokens.insert(t.substr(0, t.find('f')));  // concept prefix "aNN"
+    }
+    return tokens.size();
+  };
+  EXPECT_GT(distinct_concepts_in_doc0(generate_bilingual_corpus(mixed)),
+            distinct_concepts_in_doc0(generate_bilingual_corpus(pure)) / 2);
+}
+
+TEST(SpellingEdge, SingleCharacterWord) {
+  auto grams = word_ngrams("a");
+  // "#a#": bigrams #a a#, trigram #a#.
+  EXPECT_EQ(grams.size(), 3u);
+}
+
+TEST(SpellingEdge, UnknownNgramsYieldNoCrash) {
+  auto model = build_spelling_model({"alpha", "beta"}, 2);
+  auto suggestions = suggest_corrections(model, "zzzzqqq", 2);
+  // All n-grams unknown: projection is zero; cosines are zero; no crash.
+  for (const auto& s : suggestions) EXPECT_DOUBLE_EQ(s.cosine, 0.0);
+}
+
+}  // namespace

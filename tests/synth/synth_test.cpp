@@ -1,0 +1,248 @@
+// Synthetic-corpus generator tests: structure, determinism, and the
+// statistical properties the experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/bilingual.hpp"
+#include "synth/corpus.hpp"
+#include "synth/noise.hpp"
+#include "synth/sparse_random.hpp"
+#include "synth/spelling.hpp"
+#include "synth/synonym_test.hpp"
+#include "text/parser.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lsi;
+using namespace lsi::synth;
+
+CorpusSpec small_spec() {
+  CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 6;
+  spec.shared_concepts = 8;
+  spec.docs_per_topic = 10;
+  spec.mean_doc_len = 25;
+  spec.queries_per_topic = 2;
+  spec.seed = 99;
+  return spec;
+}
+
+TEST(Corpus, ShapesMatchSpec) {
+  auto corpus = generate_corpus(small_spec());
+  EXPECT_EQ(corpus.docs.size(), 40u);
+  EXPECT_EQ(corpus.doc_topics.size(), 40u);
+  EXPECT_EQ(corpus.queries.size(), 8u);
+  EXPECT_EQ(corpus.concept_forms.size(), 24u);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  auto a = generate_corpus(small_spec());
+  auto b = generate_corpus(small_spec());
+  ASSERT_EQ(a.docs.size(), b.docs.size());
+  for (std::size_t i = 0; i < a.docs.size(); ++i) {
+    EXPECT_EQ(a.docs[i].body, b.docs[i].body);
+  }
+  auto spec2 = small_spec();
+  spec2.seed = 100;
+  auto c = generate_corpus(spec2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.docs.size(); ++i) {
+    any_diff = any_diff || a.docs[i].body != c.docs[i].body;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, QueriesHaveRelevantSets) {
+  auto corpus = generate_corpus(small_spec());
+  for (const auto& q : corpus.queries) {
+    EXPECT_EQ(q.relevant.size(), 10u);  // docs_per_topic
+    EXPECT_FALSE(q.text.empty());
+    for (auto d : q.relevant) {
+      EXPECT_EQ(corpus.doc_topics[d], q.topic);
+    }
+  }
+}
+
+TEST(Corpus, TopicalTermsConcentrateInTopic) {
+  // Documents of topic 0 should contain topic-0 concept forms far more
+  // often than documents of other topics do.
+  auto corpus = generate_corpus(small_spec());
+  const std::string probe = corpus.concept_forms[0][0];  // topic 0, dominant
+  std::size_t in_topic = 0, out_topic = 0;
+  for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
+    const bool contains =
+        corpus.docs[d].body.find(probe) != std::string::npos;
+    if (!contains) continue;
+    if (corpus.doc_topics[d] == 0) {
+      ++in_topic;
+    } else {
+      ++out_topic;
+    }
+  }
+  EXPECT_GT(in_topic, 3u);
+  EXPECT_LE(out_topic, in_topic / 2);
+}
+
+TEST(Corpus, ZeroPolysemyKeepsFormsUnique) {
+  auto spec = small_spec();
+  spec.polysemy_prob = 0.0;
+  auto corpus = generate_corpus(spec);
+  std::set<std::string> seen;
+  for (const auto& forms : corpus.concept_forms) {
+    for (const auto& f : forms) {
+      EXPECT_TRUE(seen.insert(f).second) << "duplicate form " << f;
+    }
+  }
+}
+
+TEST(Corpus, ParsesIntoTermDocumentMatrix) {
+  auto corpus = generate_corpus(small_spec());
+  auto tdm = text::build_term_document_matrix(corpus.docs, {});
+  EXPECT_EQ(tdm.counts.cols(), corpus.docs.size());
+  EXPECT_GT(tdm.vocabulary.size(), 20u);
+}
+
+TEST(Bilingual, ViewsAreIndexAligned) {
+  BilingualSpec spec;
+  spec.topics = 3;
+  spec.docs_per_topic = 5;
+  spec.seed = 7;
+  auto corpus = generate_bilingual_corpus(spec);
+  EXPECT_EQ(corpus.dual.size(), 15u);
+  EXPECT_EQ(corpus.mono_a.size(), 15u);
+  EXPECT_EQ(corpus.mono_b.size(), 15u);
+  // Dual text contains both renderings.
+  EXPECT_NE(corpus.dual[0].body.find(corpus.mono_a[0].body),
+            std::string::npos);
+  EXPECT_NE(corpus.dual[0].body.find(corpus.mono_b[0].body),
+            std::string::npos);
+}
+
+TEST(Bilingual, LanguagesAreDisjoint) {
+  BilingualSpec spec;
+  spec.seed = 8;
+  auto corpus = generate_bilingual_corpus(spec);
+  for (const auto& d : corpus.mono_a) {
+    EXPECT_EQ(d.body.find(" b"), std::string::npos)
+        << "language B token in mono_a";
+    EXPECT_NE(d.body[0], 'b');
+  }
+  EXPECT_FALSE(corpus.queries_a.empty());
+  EXPECT_FALSE(corpus.queries_b.empty());
+  EXPECT_EQ(corpus.queries_a[0].text[0], 'a');
+  EXPECT_EQ(corpus.queries_b[0].text[0], 'b');
+}
+
+TEST(Noise, ZeroRateIsIdentity) {
+  util::Rng rng(1);
+  NoiseSpec spec;
+  spec.word_error_rate = 0.0;
+  EXPECT_EQ(corrupt_text("hello world", spec, rng), "hello world");
+}
+
+TEST(Noise, FullRateCorruptsMostWords) {
+  util::Rng rng(2);
+  NoiseSpec spec;
+  spec.word_error_rate = 1.0;
+  const std::string original =
+      "alpha bravo charlie delta echo foxtrot golf hotel india juliet";
+  const std::string corrupted = corrupt_text(original, spec, rng);
+  EXPECT_GT(word_error_fraction(original, corrupted), 0.5);
+}
+
+TEST(Noise, RateApproximatelyRespected) {
+  util::Rng rng(3);
+  NoiseSpec spec;
+  spec.word_error_rate = 0.088;  // the paper's pen-machine rate
+  std::string big;
+  for (int i = 0; i < 3000; ++i) big += "word" + std::to_string(i % 50) + " ";
+  const std::string corrupted = corrupt_text(big, spec, rng);
+  const double rate = word_error_fraction(big, corrupted);
+  EXPECT_NEAR(rate, 0.088, 0.025);
+}
+
+TEST(SynonymTest, ItemsWellFormed) {
+  auto corpus = generate_corpus(small_spec());
+  auto items = make_synonym_test(corpus, 10, 5);
+  ASSERT_FALSE(items.empty());
+  for (const auto& item : items) {
+    EXPECT_EQ(item.choices.size(), 4u);
+    EXPECT_LT(item.correct, 4u);
+    // The stem is never among the choices.
+    for (const auto& c : item.choices) EXPECT_NE(c, item.stem);
+    // Choices are distinct.
+    std::set<std::string> uniq(item.choices.begin(), item.choices.end());
+    EXPECT_EQ(uniq.size(), 4u);
+  }
+}
+
+TEST(SynonymTest, CorrectChoiceSharesConcept) {
+  auto spec = small_spec();
+  spec.polysemy_prob = 0.0;
+  auto corpus = generate_corpus(spec);
+  auto items = make_synonym_test(corpus, 10, 6);
+  for (const auto& item : items) {
+    // Find the stem's concept; the correct choice must be its form 0.
+    bool verified = false;
+    for (std::size_t c = 0; c < corpus.concept_forms.size(); ++c) {
+      if (corpus.concept_forms[c].size() >= 2 &&
+          corpus.concept_forms[c][1] == item.stem) {
+        EXPECT_EQ(item.choices[item.correct], corpus.concept_forms[c][0]);
+        verified = true;
+      }
+    }
+    EXPECT_TRUE(verified);
+  }
+}
+
+TEST(Spelling, NgramsIncludeBoundaries) {
+  auto grams = word_ngrams("cat");
+  // "#cat#": bigrams #c ca at t#, trigrams #ca cat at#.
+  EXPECT_EQ(grams.size(), 7u);
+  EXPECT_EQ(grams.front(), "#c");
+  EXPECT_EQ(grams.back(), "at#");
+}
+
+TEST(Spelling, CorrectsSingleTypo) {
+  std::vector<std::string> lexicon = {
+      "retrieval", "indexing",  "semantic", "latent",   "matrix",
+      "singular",  "document",  "query",    "vector",   "factor",
+      "updating",  "folding",   "culture",  "pressure", "patients"};
+  auto model = build_spelling_model(lexicon, 8);
+  auto suggestions = suggest_corrections(model, "retreival", 3);  // swapped
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].word, "retrieval");
+  suggestions = suggest_corrections(model, "semantik", 3);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_EQ(suggestions[0].word, "semantic");
+}
+
+TEST(Spelling, ExactWordScoresHighest) {
+  std::vector<std::string> lexicon = {"alpha", "beta", "gamma", "delta"};
+  auto model = build_spelling_model(lexicon, 4);
+  auto suggestions = suggest_corrections(model, "gamma", 1);
+  ASSERT_EQ(suggestions.size(), 1u);
+  EXPECT_EQ(suggestions[0].word, "gamma");
+  EXPECT_GT(suggestions[0].cosine, 0.99);
+}
+
+TEST(SparseRandom, DensityApproximatelyMet) {
+  auto a = random_sparse_matrix(200, 100, 0.05, 42);
+  EXPECT_EQ(a.rows(), 200u);
+  EXPECT_EQ(a.cols(), 100u);
+  EXPECT_NEAR(a.density(), 0.05, 0.01);
+  for (double v : a.values()) EXPECT_GE(v, 1.0);
+}
+
+TEST(SparseRandom, Deterministic) {
+  auto a = random_sparse_matrix(50, 40, 0.1, 7);
+  auto b = random_sparse_matrix(50, 40, 0.1, 7);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_LT(la::max_abs_diff(a.to_dense(), b.to_dense()), 1e-15);
+}
+
+}  // namespace

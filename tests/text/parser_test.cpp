@@ -1,0 +1,161 @@
+// Parser tests, including the headline reproduction of the paper's Table 3
+// from the raw Table 2 topic texts.
+
+#include <gtest/gtest.h>
+
+#include "data/med_topics.hpp"
+#include "text/parser.hpp"
+
+namespace {
+
+using namespace lsi::text;
+using lsi::la::index_t;
+
+ParserOptions paper_options() {
+  ParserOptions opts;
+  opts.min_document_frequency = 2;  // "keywords appear in more than one topic"
+  opts.fold_plurals = true;         // "cultures" (M8) indexes under "culture"
+  return opts;
+}
+
+TEST(Parser, ReproducesTable3Vocabulary) {
+  auto tdm = build_term_document_matrix(lsi::data::med_topics(),
+                                        paper_options());
+  ASSERT_EQ(tdm.vocabulary.size(), 18u);
+  const auto& expect = lsi::data::table3_terms();
+  for (index_t i = 0; i < 18; ++i) {
+    EXPECT_EQ(tdm.vocabulary.term(i), expect[i]) << "row " << i;
+  }
+}
+
+TEST(Parser, ReproducesTable3CountsUpToKnownTypo) {
+  // The parsed matrix must equal the printed Table 3 everywhere except the
+  // documented "respect" row: the topic *text* places it in M9 while the
+  // printed table marks M8.
+  auto tdm = build_term_document_matrix(lsi::data::med_topics(),
+                                        paper_options());
+  const auto& printed = lsi::data::table3_counts();
+  ASSERT_EQ(tdm.counts.rows(), printed.rows());
+  ASSERT_EQ(tdm.counts.cols(), printed.cols());
+  const index_t respect_row = 15;
+  int diffs = 0;
+  for (index_t i = 0; i < printed.rows(); ++i) {
+    for (index_t j = 0; j < printed.cols(); ++j) {
+      if (tdm.counts.at(i, j) != printed.at(i, j)) {
+        ++diffs;
+        EXPECT_EQ(i, respect_row) << "unexpected diff at row " << i;
+      }
+    }
+  }
+  EXPECT_EQ(diffs, 2);  // respect@M8 (printed only) and respect@M9 (text only)
+  EXPECT_EQ(tdm.counts.at(respect_row, 8), 1.0);   // M9 per the text
+  EXPECT_EQ(tdm.counts.at(respect_row, 11), 1.0);  // M12 in both
+  EXPECT_EQ(tdm.counts.at(respect_row, 7), 0.0);   // not M8 per the text
+}
+
+TEST(Parser, PluralFoldingOnlyWhenStemExists) {
+  Collection docs = {{"A", "culture tests"}, {"B", "cultures of patients"},
+                     {"C", "patients again"}};
+  ParserOptions opts;
+  opts.fold_plurals = true;
+  auto tdm = build_term_document_matrix(docs, opts);
+  // "cultures" folds onto "culture" (stem occurs in A); "patients" does not
+  // fold ("patient" never occurs).
+  EXPECT_TRUE(tdm.vocabulary.find("culture").has_value());
+  EXPECT_FALSE(tdm.vocabulary.find("cultures").has_value());
+  EXPECT_TRUE(tdm.vocabulary.find("patients").has_value());
+  EXPECT_FALSE(tdm.vocabulary.find("patient").has_value());
+  EXPECT_EQ(tdm.counts.at(*tdm.vocabulary.find("culture"), 1), 1.0);
+}
+
+TEST(Parser, MinDocumentFrequencyFilters) {
+  Collection docs = {{"A", "apple banana"}, {"B", "apple cherry"}};
+  ParserOptions opts;
+  opts.min_document_frequency = 2;
+  auto tdm = build_term_document_matrix(docs, opts);
+  EXPECT_EQ(tdm.vocabulary.size(), 1u);
+  EXPECT_TRUE(tdm.vocabulary.find("apple").has_value());
+}
+
+TEST(Parser, StopwordsRemoved) {
+  Collection docs = {{"A", "the cat of the house"},
+                     {"B", "the dog of the cat"}};
+  auto tdm = build_term_document_matrix(docs, {});
+  EXPECT_FALSE(tdm.vocabulary.find("the").has_value());
+  EXPECT_FALSE(tdm.vocabulary.find("of").has_value());
+  EXPECT_TRUE(tdm.vocabulary.find("cat").has_value());
+}
+
+TEST(Parser, StopwordRemovalCanBeDisabled) {
+  Collection docs = {{"A", "the the cat"}};
+  ParserOptions opts;
+  opts.remove_stopwords = false;
+  auto tdm = build_term_document_matrix(docs, opts);
+  ASSERT_TRUE(tdm.vocabulary.find("the").has_value());
+  EXPECT_EQ(tdm.counts.at(*tdm.vocabulary.find("the"), 0), 2.0);
+}
+
+TEST(Parser, CountsTermFrequencies) {
+  Collection docs = {{"A", "fast fast fast cell"}};
+  auto tdm = build_term_document_matrix(docs, {});
+  EXPECT_EQ(tdm.counts.at(*tdm.vocabulary.find("fast"), 0), 3.0);
+  EXPECT_EQ(tdm.counts.at(*tdm.vocabulary.find("cell"), 0), 1.0);
+}
+
+TEST(Parser, AlphabeticalRowOrder) {
+  Collection docs = {{"A", "zebra apple mango"}};
+  auto tdm = build_term_document_matrix(docs, {});
+  EXPECT_EQ(tdm.vocabulary.term(0), "apple");
+  EXPECT_EQ(tdm.vocabulary.term(1), "mango");
+  EXPECT_EQ(tdm.vocabulary.term(2), "zebra");
+}
+
+TEST(Parser, DocLabelsPreserved) {
+  auto tdm = build_term_document_matrix(lsi::data::med_topics(),
+                                        paper_options());
+  ASSERT_EQ(tdm.doc_labels.size(), 14u);
+  EXPECT_EQ(tdm.doc_labels.front(), "M1");
+  EXPECT_EQ(tdm.doc_labels.back(), "M14");
+}
+
+TEST(Parser, EmptyCollection) {
+  auto tdm = build_term_document_matrix({}, {});
+  EXPECT_EQ(tdm.vocabulary.size(), 0u);
+  EXPECT_EQ(tdm.counts.cols(), 0u);
+}
+
+TEST(TextToTermVector, MapsQueryWords) {
+  auto tdm = build_term_document_matrix(lsi::data::med_topics(),
+                                        paper_options());
+  // "of children with" are not indexed terms and must vanish, exactly as in
+  // the paper's Section 3.1 example.
+  auto q = text_to_term_vector(tdm, lsi::data::kQueryText, paper_options());
+  double total = 0.0;
+  for (double v : q) total += v;
+  EXPECT_DOUBLE_EQ(total, 3.0);
+  EXPECT_EQ(q[*tdm.vocabulary.find("age")], 1.0);
+  EXPECT_EQ(q[*tdm.vocabulary.find("blood")], 1.0);
+  EXPECT_EQ(q[*tdm.vocabulary.find("abnormalities")], 1.0);
+}
+
+TEST(TextToTermVector, UnknownWordsIgnored) {
+  auto tdm = build_term_document_matrix(lsi::data::med_topics(),
+                                        paper_options());
+  auto q = text_to_term_vector(tdm, "elephant automobile", paper_options());
+  for (double v : q) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Frequencies, DocumentAndGlobal) {
+  Collection docs = {{"A", "cat cat dog"}, {"B", "cat fish"}};
+  auto tdm = build_term_document_matrix(docs, {});
+  auto df = document_frequencies(tdm.counts);
+  auto gf = global_frequencies(tdm.counts);
+  const auto cat = *tdm.vocabulary.find("cat");
+  const auto dog = *tdm.vocabulary.find("dog");
+  EXPECT_EQ(df[cat], 2u);
+  EXPECT_EQ(df[dog], 1u);
+  EXPECT_DOUBLE_EQ(gf[cat], 3.0);
+  EXPECT_DOUBLE_EQ(gf[dog], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Passage splitting / aggregation tests, plus an end-to-end check that
+// passage-level indexing retrieves long mixed-topic documents by their
+// relevant part.
+
+#include <gtest/gtest.h>
+
+#include "lsi/lsi_index.hpp"
+#include "text/passages.hpp"
+
+namespace {
+
+using namespace lsi::text;
+
+TEST(Passages, SplitsOnBlankLines) {
+  Collection docs = {{"D", "first paragraph here\n\nsecond paragraph"}};
+  auto pc = split_into_passages(docs);
+  ASSERT_EQ(pc.passages.size(), 2u);
+  EXPECT_EQ(pc.passages[0].label, "D#0");
+  EXPECT_EQ(pc.passages[1].label, "D#1");
+  EXPECT_EQ(pc.passages[0].body, "first paragraph here");
+  EXPECT_EQ(pc.parent[0], 0u);
+  EXPECT_EQ(pc.parent[1], 0u);
+  EXPECT_EQ(pc.num_documents, 1u);
+}
+
+TEST(Passages, WindowsLongChunksWithOverlap) {
+  std::string body;
+  for (int i = 0; i < 100; ++i) body += "w" + std::to_string(i) + " ";
+  PassageOptions opts;
+  opts.max_words = 40;
+  opts.overlap_words = 10;
+  auto pc = split_into_passages({{"D", body}}, opts);
+  // step 30: windows [0,40) [30,70) [60,100) -> 3, maybe 4 passages.
+  EXPECT_GE(pc.passages.size(), 3u);
+  // Overlap: last word of window 0 appears in window 1.
+  EXPECT_NE(pc.passages[1].body.find("w30"), std::string::npos);
+  EXPECT_NE(pc.passages[0].body.find("w30"), std::string::npos);
+}
+
+TEST(Passages, EmptyDocumentKeepsDenseIndices) {
+  auto pc = split_into_passages({{"A", ""}, {"B", "content"}});
+  ASSERT_EQ(pc.passages.size(), 2u);
+  EXPECT_EQ(pc.parent[0], 0u);
+  EXPECT_EQ(pc.parent[1], 1u);
+}
+
+TEST(Passages, AggregateTakesBestPassagePerParent) {
+  PassageCollection pc;
+  pc.num_documents = 2;
+  pc.passages = {{"A#0", ""}, {"A#1", ""}, {"B#0", ""}};
+  pc.parent = {0, 0, 1};
+  auto ranked = aggregate_to_parents(
+      pc, {{0, 0.3}, {1, 0.9}, {2, 0.5}});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].document, 0u);
+  EXPECT_DOUBLE_EQ(ranked[0].score, 0.9);
+  EXPECT_EQ(ranked[0].best_passage, 1u);
+  EXPECT_EQ(ranked[1].document, 1u);
+}
+
+TEST(Passages, AggregateSkipsUnscoredParents) {
+  PassageCollection pc;
+  pc.num_documents = 3;
+  pc.passages = {{"A#0", ""}, {"B#0", ""}, {"C#0", ""}};
+  pc.parent = {0, 1, 2};
+  auto ranked = aggregate_to_parents(pc, {{2, 0.4}});
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].document, 2u);
+}
+
+TEST(Passages, MixedTopicDocumentFoundByItsRelevantPart) {
+  // One long document concatenates an elephant paragraph onto many car
+  // paragraphs. Whole-document indexing dilutes the elephant signal;
+  // passage-level indexing surfaces the document for an elephant query via
+  // its best passage.
+  std::string car_part;
+  for (int i = 0; i < 6; ++i) {
+    car_part +=
+        "the car dealer sells sedans with motors and engines to drivers "
+        "who like a powerful automobile with chassis upgrades\n\n";
+  }
+  Collection docs = {
+      {"mixed", car_part +
+                    "elephants roam the savanna and the elephant herd "
+                    "drinks at the river at dusk"},
+      {"cars", "automobile makers improve engines and sedans daily"},
+      {"more_cars", "drivers prefer a car with responsive brakes"},
+  };
+
+  auto pc = split_into_passages(docs);
+  lsi::core::IndexOptions opts;
+  opts.k = 4;
+  auto index = lsi::core::LsiIndex::build(pc.passages, opts);
+
+  std::vector<std::pair<std::size_t, double>> passage_scores;
+  for (const auto& r : index.query("elephant savanna")) {
+    passage_scores.push_back({r.doc, r.cosine});
+  }
+  auto ranked = aggregate_to_parents(pc, passage_scores);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked[0].document, 0u);  // the mixed doc wins...
+  // ...through its elephant passage, not a car one.
+  EXPECT_NE(pc.passages[ranked[0].best_passage].body.find("elephant"),
+            std::string::npos);
+}
+
+}  // namespace

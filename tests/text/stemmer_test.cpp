@@ -1,0 +1,142 @@
+// Porter stemmer tests against the canonical examples from Porter (1980).
+
+#include <gtest/gtest.h>
+
+#include "text/parser.hpp"
+#include "text/stemmer.hpp"
+
+namespace {
+
+using lsi::text::porter_stem;
+
+struct Pair {
+  const char* in;
+  const char* out;
+};
+
+TEST(Porter, Step1aPlurals) {
+  const Pair cases[] = {{"caresses", "caress"}, {"ponies", "poni"},
+                        {"ties", "ti"},         {"caress", "caress"},
+                        {"cats", "cat"}};
+  for (const auto& c : cases) EXPECT_EQ(porter_stem(c.in), c.out) << c.in;
+}
+
+TEST(Porter, Step1bPastAndGerund) {
+  const Pair cases[] = {
+      {"feed", "feed"},       {"agreed", "agre"},   {"plastered", "plaster"},
+      {"bled", "bled"},       {"motoring", "motor"}, {"sing", "sing"},
+      {"conflated", "conflat"}, {"troubled", "troubl"}, {"sized", "size"},
+      {"hopping", "hop"},     {"tanned", "tan"},    {"falling", "fall"},
+      {"hissing", "hiss"},    {"fizzed", "fizz"},   {"failing", "fail"},
+      {"filing", "file"}};
+  for (const auto& c : cases) EXPECT_EQ(porter_stem(c.in), c.out) << c.in;
+}
+
+TEST(Porter, Step1cYToI) {
+  EXPECT_EQ(porter_stem("happy"), "happi");
+  EXPECT_EQ(porter_stem("sky"), "sky");
+}
+
+TEST(Porter, Step2DoubleSuffixes) {
+  const Pair cases[] = {{"relational", "relat"},
+                        {"conditional", "condit"},
+                        {"rational", "ration"},
+                        {"valenci", "valenc"},
+                        {"digitizer", "digit"},
+                        {"operator", "oper"},
+                        {"feudalism", "feudal"},
+                        {"decisiveness", "decis"},
+                        {"hopefulness", "hope"},
+                        {"formaliti", "formal"},
+                        {"sensitiviti", "sensit"}};
+  for (const auto& c : cases) EXPECT_EQ(porter_stem(c.in), c.out) << c.in;
+}
+
+TEST(Porter, Step3And4) {
+  const Pair cases[] = {{"triplicate", "triplic"}, {"formative", "form"},
+                        {"formalize", "formal"},   {"electriciti", "electr"},
+                        {"electrical", "electr"},  {"hopeful", "hope"},
+                        {"goodness", "good"},      {"revival", "reviv"},
+                        {"allowance", "allow"},    {"inference", "infer"},
+                        {"adjustable", "adjust"},  {"defensible", "defens"},
+                        {"replacement", "replac"}, {"adoption", "adopt"},
+                        {"communism", "commun"},   {"activate", "activ"},
+                        {"effective", "effect"}};
+  for (const auto& c : cases) EXPECT_EQ(porter_stem(c.in), c.out) << c.in;
+}
+
+TEST(Porter, Step5FinalE) {
+  EXPECT_EQ(porter_stem("probate"), "probat");
+  EXPECT_EQ(porter_stem("rate"), "rate");
+  EXPECT_EQ(porter_stem("controll"), "control");
+  EXPECT_EQ(porter_stem("roll"), "roll");
+}
+
+TEST(Porter, ShortWordsUnchanged) {
+  EXPECT_EQ(porter_stem("at"), "at");
+  EXPECT_EQ(porter_stem("by"), "by");
+  EXPECT_EQ(porter_stem(""), "");
+}
+
+TEST(Porter, PaperDoctorExample) {
+  // Section 5.4: stemming would conflate "doctor"/"doctors" but also pull
+  // in "doctoral" territory; verify the stemmer behaves as stated.
+  EXPECT_EQ(porter_stem("doctors"), porter_stem("doctor"));
+  EXPECT_EQ(porter_stem("doctor"), "doctor");
+}
+
+TEST(Porter, MedicalVocabularyConflation) {
+  EXPECT_EQ(porter_stem("cultures"), porter_stem("culture"));
+  EXPECT_EQ(porter_stem("patients"), porter_stem("patient"));
+  EXPECT_EQ(porter_stem("abnormalities"), porter_stem("abnormality"));
+}
+
+TEST(Porter, Idempotent) {
+  for (const char* w : {"relational", "hopefulness", "motoring", "studies",
+                        "generation", "discharge"}) {
+    const std::string once = porter_stem(w);
+    EXPECT_EQ(porter_stem(once), once) << w;
+  }
+}
+
+TEST(ParserStemming, ConflatesAcrossDocuments) {
+  lsi::text::Collection docs = {{"A", "the doctor studies cultures"},
+                                {"B", "doctors study culture daily"}};
+  lsi::text::ParserOptions opts;
+  opts.stem = true;
+  auto tdm = lsi::text::build_term_document_matrix(docs, opts);
+  // "doctor"/"doctors" -> one row; "studies"/"study" -> one row;
+  // "cultures"/"culture" -> one row.
+  ASSERT_TRUE(tdm.vocabulary.find("doctor").has_value());
+  EXPECT_FALSE(tdm.vocabulary.find("doctors").has_value());
+  const auto doctor = *tdm.vocabulary.find("doctor");
+  EXPECT_EQ(tdm.counts.at(doctor, 0), 1.0);
+  EXPECT_EQ(tdm.counts.at(doctor, 1), 1.0);
+}
+
+TEST(ParserBigrams, AdjacentContentWordsIndexed) {
+  lsi::text::Collection docs = {{"A", "blood pressure rises"},
+                                {"B", "the blood pressure of rats"}};
+  lsi::text::ParserOptions opts;
+  opts.add_bigrams = true;
+  auto tdm = lsi::text::build_term_document_matrix(docs, opts);
+  ASSERT_TRUE(tdm.vocabulary.find("blood_pressure").has_value());
+  const auto bp = *tdm.vocabulary.find("blood_pressure");
+  EXPECT_EQ(tdm.counts.at(bp, 0), 1.0);
+  EXPECT_EQ(tdm.counts.at(bp, 1), 1.0);
+  // Stop words never participate in bigrams ("the_blood" must not exist).
+  EXPECT_FALSE(tdm.vocabulary.find("the_blood").has_value());
+}
+
+TEST(ParserBigrams, QueryVectorSeesBigrams) {
+  lsi::text::Collection docs = {{"A", "blood pressure rises"},
+                                {"B", "blood pressure of rats"}};
+  lsi::text::ParserOptions opts;
+  opts.add_bigrams = true;
+  auto tdm = lsi::text::build_term_document_matrix(docs, opts);
+  auto q = lsi::text::text_to_term_vector(tdm, "blood pressure", opts);
+  EXPECT_EQ(q[*tdm.vocabulary.find("blood_pressure")], 1.0);
+  EXPECT_EQ(q[*tdm.vocabulary.find("blood")], 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+// Tokenizer, stop words, and vocabulary tests.
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+
+namespace {
+
+using namespace lsi::text;
+
+TEST(Tokenizer, SplitsOnPunctuationAndWhitespace) {
+  auto toks = tokenize("Hello, world! foo-bar");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "foo");
+  EXPECT_EQ(toks[3], "bar");
+}
+
+TEST(Tokenizer, LowercasesEverything) {
+  auto toks = tokenize("LSI Svd MATRIX");
+  EXPECT_EQ(toks[0], "lsi");
+  EXPECT_EQ(toks[1], "svd");
+  EXPECT_EQ(toks[2], "matrix");
+}
+
+TEST(Tokenizer, DropsShortTokens) {
+  // Default min length 2 removes the possessive fragment in "children s".
+  auto toks = tokenize("children s behavior");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "children");
+  EXPECT_EQ(toks[1], "behavior");
+}
+
+TEST(Tokenizer, KeepsNumbers) {
+  auto toks = tokenize("patent 4521 filed 1995");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[1], "4521");
+}
+
+TEST(Tokenizer, MinLengthConfigurable) {
+  TokenizerOptions opts;
+  opts.min_length = 1;
+  auto toks = tokenize("a b cd", opts);
+  EXPECT_EQ(toks.size(), 3u);
+}
+
+TEST(Tokenizer, EmptyInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("  ,.;  ").empty());
+}
+
+TEST(Stopwords, CoversFunctionWords) {
+  for (const char* w :
+       {"of", "the", "with", "to", "and", "in", "by", "a", "after", "who",
+        "while", "between", "during", "not", "for", "from", "is", "out"}) {
+    EXPECT_TRUE(is_stopword(w)) << w;
+  }
+}
+
+TEST(Stopwords, KeepsContentWords) {
+  for (const char* w :
+       {"blood", "culture", "depressed", "fast", "oestrogen", "study"}) {
+    EXPECT_FALSE(is_stopword(w)) << w;
+  }
+}
+
+TEST(Vocabulary, AddAndFind) {
+  Vocabulary v;
+  EXPECT_EQ(v.add("alpha"), 0u);
+  EXPECT_EQ(v.add("beta"), 1u);
+  EXPECT_EQ(v.add("alpha"), 0u);  // idempotent
+  EXPECT_EQ(v.size(), 2u);
+  ASSERT_TRUE(v.find("beta").has_value());
+  EXPECT_EQ(*v.find("beta"), 1u);
+  EXPECT_FALSE(v.find("gamma").has_value());
+}
+
+TEST(Vocabulary, ConstructFromList) {
+  Vocabulary v({"x", "y", "z"});
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(*v.find("z"), 2u);
+  EXPECT_EQ(v.term(0), "x");
+}
+
+}  // namespace
