@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_choosing_k"
+  "../bench/bench_choosing_k.pdb"
+  "CMakeFiles/bench_choosing_k.dir/bench_choosing_k.cpp.o"
+  "CMakeFiles/bench_choosing_k.dir/bench_choosing_k.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_choosing_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

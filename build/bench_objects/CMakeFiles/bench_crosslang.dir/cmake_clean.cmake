@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crosslang"
+  "../bench/bench_crosslang.pdb"
+  "CMakeFiles/bench_crosslang.dir/bench_crosslang.cpp.o"
+  "CMakeFiles/bench_crosslang.dir/bench_crosslang.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosslang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_plot"
+  "../bench/bench_fig4_plot.pdb"
+  "CMakeFiles/bench_fig4_plot.dir/bench_fig4_plot.cpp.o"
+  "CMakeFiles/bench_fig4_plot.dir/bench_fig4_plot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_query"
+  "../bench/bench_fig5_query.pdb"
+  "CMakeFiles/bench_fig5_query.dir/bench_fig5_query.cpp.o"
+  "CMakeFiles/bench_fig5_query.dir/bench_fig5_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

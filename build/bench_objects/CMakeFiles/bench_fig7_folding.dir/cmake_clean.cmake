@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_folding"
+  "../bench/bench_fig7_folding.pdb"
+  "CMakeFiles/bench_fig7_folding.dir/bench_fig7_folding.cpp.o"
+  "CMakeFiles/bench_fig7_folding.dir/bench_fig7_folding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

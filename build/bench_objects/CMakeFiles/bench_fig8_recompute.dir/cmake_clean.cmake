@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_recompute"
+  "../bench/bench_fig8_recompute.pdb"
+  "CMakeFiles/bench_fig8_recompute.dir/bench_fig8_recompute.cpp.o"
+  "CMakeFiles/bench_fig8_recompute.dir/bench_fig8_recompute.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_recompute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

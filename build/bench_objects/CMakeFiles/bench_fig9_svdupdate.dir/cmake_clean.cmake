@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_svdupdate"
+  "../bench/bench_fig9_svdupdate.pdb"
+  "CMakeFiles/bench_fig9_svdupdate.dir/bench_fig9_svdupdate.cpp.o"
+  "CMakeFiles/bench_fig9_svdupdate.dir/bench_fig9_svdupdate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_svdupdate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_near_neighbors"
+  "../bench/bench_near_neighbors.pdb"
+  "CMakeFiles/bench_near_neighbors.dir/bench_near_neighbors.cpp.o"
+  "CMakeFiles/bench_near_neighbors.dir/bench_near_neighbors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_near_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

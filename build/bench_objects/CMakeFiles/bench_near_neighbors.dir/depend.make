@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_near_neighbors.
+# This may be replaced when dependencies are built.

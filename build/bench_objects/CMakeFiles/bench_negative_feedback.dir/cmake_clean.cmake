@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_negative_feedback"
+  "../bench/bench_negative_feedback.pdb"
+  "CMakeFiles/bench_negative_feedback.dir/bench_negative_feedback.cpp.o"
+  "CMakeFiles/bench_negative_feedback.dir/bench_negative_feedback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_negative_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

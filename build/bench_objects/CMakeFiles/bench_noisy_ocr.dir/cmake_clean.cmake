@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_noisy_ocr"
+  "../bench/bench_noisy_ocr.pdb"
+  "CMakeFiles/bench_noisy_ocr.dir/bench_noisy_ocr.cpp.o"
+  "CMakeFiles/bench_noisy_ocr.dir/bench_noisy_ocr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noisy_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

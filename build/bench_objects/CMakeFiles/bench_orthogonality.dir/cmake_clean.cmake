@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_orthogonality"
+  "../bench/bench_orthogonality.pdb"
+  "CMakeFiles/bench_orthogonality.dir/bench_orthogonality.cpp.o"
+  "CMakeFiles/bench_orthogonality.dir/bench_orthogonality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orthogonality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_passages"
+  "../bench/bench_passages.pdb"
+  "CMakeFiles/bench_passages.dir/bench_passages.cpp.o"
+  "CMakeFiles/bench_passages.dir/bench_passages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_passages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pr_curves"
+  "../bench/bench_pr_curves.pdb"
+  "CMakeFiles/bench_pr_curves.dir/bench_pr_curves.cpp.o"
+  "CMakeFiles/bench_pr_curves.dir/bench_pr_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pr_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

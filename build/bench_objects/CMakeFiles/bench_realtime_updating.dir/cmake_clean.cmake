@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_realtime_updating"
+  "../bench/bench_realtime_updating.pdb"
+  "CMakeFiles/bench_realtime_updating.dir/bench_realtime_updating.cpp.o"
+  "CMakeFiles/bench_realtime_updating.dir/bench_realtime_updating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realtime_updating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

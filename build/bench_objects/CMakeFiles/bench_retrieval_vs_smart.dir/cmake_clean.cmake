@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_retrieval_vs_smart"
+  "../bench/bench_retrieval_vs_smart.pdb"
+  "CMakeFiles/bench_retrieval_vs_smart.dir/bench_retrieval_vs_smart.cpp.o"
+  "CMakeFiles/bench_retrieval_vs_smart.dir/bench_retrieval_vs_smart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval_vs_smart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spelling"
+  "../bench/bench_spelling.pdb"
+  "CMakeFiles/bench_spelling.dir/bench_spelling.cpp.o"
+  "CMakeFiles/bench_spelling.dir/bench_spelling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spelling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

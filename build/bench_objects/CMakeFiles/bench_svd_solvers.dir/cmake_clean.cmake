@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_svd_solvers"
+  "../bench/bench_svd_solvers.pdb"
+  "CMakeFiles/bench_svd_solvers.dir/bench_svd_solvers.cpp.o"
+  "CMakeFiles/bench_svd_solvers.dir/bench_svd_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svd_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

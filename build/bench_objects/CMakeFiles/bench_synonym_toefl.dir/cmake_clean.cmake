@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_synonym_toefl"
+  "../bench/bench_synonym_toefl.pdb"
+  "CMakeFiles/bench_synonym_toefl.dir/bench_synonym_toefl.cpp.o"
+  "CMakeFiles/bench_synonym_toefl.dir/bench_synonym_toefl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synonym_toefl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_synonym_toefl.
+# This may be replaced when dependencies are built.

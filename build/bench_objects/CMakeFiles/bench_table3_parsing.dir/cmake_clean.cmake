@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_parsing"
+  "../bench/bench_table3_parsing.pdb"
+  "CMakeFiles/bench_table3_parsing.dir/bench_table3_parsing.cpp.o"
+  "CMakeFiles/bench_table3_parsing.dir/bench_table3_parsing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_parsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

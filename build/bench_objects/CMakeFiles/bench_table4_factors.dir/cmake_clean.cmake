@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_factors"
+  "../bench/bench_table4_factors.pdb"
+  "CMakeFiles/bench_table4_factors.dir/bench_table4_factors.cpp.o"
+  "CMakeFiles/bench_table4_factors.dir/bench_table4_factors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_complexity"
+  "../bench/bench_table7_complexity.pdb"
+  "CMakeFiles/bench_table7_complexity.dir/bench_table7_complexity.cpp.o"
+  "CMakeFiles/bench_table7_complexity.dir/bench_table7_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_weighting"
+  "../bench/bench_weighting.pdb"
+  "CMakeFiles/bench_weighting.dir/bench_weighting.cpp.o"
+  "CMakeFiles/bench_weighting.dir/bench_weighting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

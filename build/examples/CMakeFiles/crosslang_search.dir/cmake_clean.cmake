@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosslang_search.dir/crosslang_search.cpp.o"
+  "CMakeFiles/crosslang_search.dir/crosslang_search.cpp.o.d"
+  "crosslang_search"
+  "crosslang_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosslang_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

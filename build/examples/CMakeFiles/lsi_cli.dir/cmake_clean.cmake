@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_cli.dir/lsi_cli.cpp.o"
+  "CMakeFiles/lsi_cli.dir/lsi_cli.cpp.o.d"
+  "lsi_cli"
+  "lsi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

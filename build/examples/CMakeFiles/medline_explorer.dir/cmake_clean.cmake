@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medline_explorer.dir/medline_explorer.cpp.o"
+  "CMakeFiles/medline_explorer.dir/medline_explorer.cpp.o.d"
+  "medline_explorer"
+  "medline_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medline_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

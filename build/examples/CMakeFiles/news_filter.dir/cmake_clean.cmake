@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_filter.dir/news_filter.cpp.o"
+  "CMakeFiles/news_filter.dir/news_filter.cpp.o.d"
+  "news_filter"
+  "news_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reviewer_matching.dir/reviewer_matching.cpp.o"
+  "CMakeFiles/reviewer_matching.dir/reviewer_matching.cpp.o.d"
+  "reviewer_matching"
+  "reviewer_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reviewer_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_baseline.dir/lexical.cpp.o"
+  "CMakeFiles/lsi_baseline.dir/lexical.cpp.o.d"
+  "CMakeFiles/lsi_baseline.dir/vector_model.cpp.o"
+  "CMakeFiles/lsi_baseline.dir/vector_model.cpp.o.d"
+  "liblsi_baseline.a"
+  "liblsi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/med_topics.cpp" "src/data/CMakeFiles/lsi_data.dir/med_topics.cpp.o" "gcc" "src/data/CMakeFiles/lsi_data.dir/med_topics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/lsi_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

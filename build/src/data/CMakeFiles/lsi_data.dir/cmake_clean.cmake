@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_data.dir/med_topics.cpp.o"
+  "CMakeFiles/lsi_data.dir/med_topics.cpp.o.d"
+  "liblsi_data.a"
+  "liblsi_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_eval.dir/metrics.cpp.o"
+  "CMakeFiles/lsi_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/lsi_eval.dir/significance.cpp.o"
+  "CMakeFiles/lsi_eval.dir/significance.cpp.o.d"
+  "liblsi_eval.a"
+  "liblsi_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

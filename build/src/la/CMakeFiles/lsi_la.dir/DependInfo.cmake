@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/dense.cpp" "src/la/CMakeFiles/lsi_la.dir/dense.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/dense.cpp.o.d"
+  "/root/repo/src/la/jacobi_svd.cpp" "src/la/CMakeFiles/lsi_la.dir/jacobi_svd.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/jacobi_svd.cpp.o.d"
+  "/root/repo/src/la/lanczos.cpp" "src/la/CMakeFiles/lsi_la.dir/lanczos.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/lanczos.cpp.o.d"
+  "/root/repo/src/la/market.cpp" "src/la/CMakeFiles/lsi_la.dir/market.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/market.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/la/CMakeFiles/lsi_la.dir/qr.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/qr.cpp.o.d"
+  "/root/repo/src/la/sparse.cpp" "src/la/CMakeFiles/lsi_la.dir/sparse.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/sparse.cpp.o.d"
+  "/root/repo/src/la/subspace.cpp" "src/la/CMakeFiles/lsi_la.dir/subspace.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/subspace.cpp.o.d"
+  "/root/repo/src/la/tridiag_eig.cpp" "src/la/CMakeFiles/lsi_la.dir/tridiag_eig.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/tridiag_eig.cpp.o.d"
+  "/root/repo/src/la/vector_ops.cpp" "src/la/CMakeFiles/lsi_la.dir/vector_ops.cpp.o" "gcc" "src/la/CMakeFiles/lsi_la.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

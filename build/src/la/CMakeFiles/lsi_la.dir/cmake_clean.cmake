@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_la.dir/dense.cpp.o"
+  "CMakeFiles/lsi_la.dir/dense.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/jacobi_svd.cpp.o"
+  "CMakeFiles/lsi_la.dir/jacobi_svd.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/lanczos.cpp.o"
+  "CMakeFiles/lsi_la.dir/lanczos.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/market.cpp.o"
+  "CMakeFiles/lsi_la.dir/market.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/qr.cpp.o"
+  "CMakeFiles/lsi_la.dir/qr.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/sparse.cpp.o"
+  "CMakeFiles/lsi_la.dir/sparse.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/subspace.cpp.o"
+  "CMakeFiles/lsi_la.dir/subspace.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/tridiag_eig.cpp.o"
+  "CMakeFiles/lsi_la.dir/tridiag_eig.cpp.o.d"
+  "CMakeFiles/lsi_la.dir/vector_ops.cpp.o"
+  "CMakeFiles/lsi_la.dir/vector_ops.cpp.o.d"
+  "liblsi_la.a"
+  "liblsi_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsi/classify.cpp" "src/lsi/CMakeFiles/lsi_core.dir/classify.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/classify.cpp.o.d"
+  "/root/repo/src/lsi/feedback.cpp" "src/lsi/CMakeFiles/lsi_core.dir/feedback.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/feedback.cpp.o.d"
+  "/root/repo/src/lsi/flops.cpp" "src/lsi/CMakeFiles/lsi_core.dir/flops.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/flops.cpp.o.d"
+  "/root/repo/src/lsi/folding.cpp" "src/lsi/CMakeFiles/lsi_core.dir/folding.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/folding.cpp.o.d"
+  "/root/repo/src/lsi/incremental.cpp" "src/lsi/CMakeFiles/lsi_core.dir/incremental.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/incremental.cpp.o.d"
+  "/root/repo/src/lsi/io.cpp" "src/lsi/CMakeFiles/lsi_core.dir/io.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/io.cpp.o.d"
+  "/root/repo/src/lsi/lsi_index.cpp" "src/lsi/CMakeFiles/lsi_core.dir/lsi_index.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/lsi_index.cpp.o.d"
+  "/root/repo/src/lsi/neighbors.cpp" "src/lsi/CMakeFiles/lsi_core.dir/neighbors.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/neighbors.cpp.o.d"
+  "/root/repo/src/lsi/retrieval.cpp" "src/lsi/CMakeFiles/lsi_core.dir/retrieval.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/retrieval.cpp.o.d"
+  "/root/repo/src/lsi/semantic_space.cpp" "src/lsi/CMakeFiles/lsi_core.dir/semantic_space.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/semantic_space.cpp.o.d"
+  "/root/repo/src/lsi/update.cpp" "src/lsi/CMakeFiles/lsi_core.dir/update.cpp.o" "gcc" "src/lsi/CMakeFiles/lsi_core.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/lsi_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/weighting/CMakeFiles/lsi_weighting.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

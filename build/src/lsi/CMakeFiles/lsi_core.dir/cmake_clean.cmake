@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_core.dir/classify.cpp.o"
+  "CMakeFiles/lsi_core.dir/classify.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/feedback.cpp.o"
+  "CMakeFiles/lsi_core.dir/feedback.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/flops.cpp.o"
+  "CMakeFiles/lsi_core.dir/flops.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/folding.cpp.o"
+  "CMakeFiles/lsi_core.dir/folding.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/incremental.cpp.o"
+  "CMakeFiles/lsi_core.dir/incremental.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/io.cpp.o"
+  "CMakeFiles/lsi_core.dir/io.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/lsi_index.cpp.o"
+  "CMakeFiles/lsi_core.dir/lsi_index.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/neighbors.cpp.o"
+  "CMakeFiles/lsi_core.dir/neighbors.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/retrieval.cpp.o"
+  "CMakeFiles/lsi_core.dir/retrieval.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/semantic_space.cpp.o"
+  "CMakeFiles/lsi_core.dir/semantic_space.cpp.o.d"
+  "CMakeFiles/lsi_core.dir/update.cpp.o"
+  "CMakeFiles/lsi_core.dir/update.cpp.o.d"
+  "liblsi_core.a"
+  "liblsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bilingual.cpp" "src/synth/CMakeFiles/lsi_synth.dir/bilingual.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/bilingual.cpp.o.d"
+  "/root/repo/src/synth/corpus.cpp" "src/synth/CMakeFiles/lsi_synth.dir/corpus.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/corpus.cpp.o.d"
+  "/root/repo/src/synth/noise.cpp" "src/synth/CMakeFiles/lsi_synth.dir/noise.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/noise.cpp.o.d"
+  "/root/repo/src/synth/sparse_random.cpp" "src/synth/CMakeFiles/lsi_synth.dir/sparse_random.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/sparse_random.cpp.o.d"
+  "/root/repo/src/synth/spelling.cpp" "src/synth/CMakeFiles/lsi_synth.dir/spelling.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/spelling.cpp.o.d"
+  "/root/repo/src/synth/synonym_test.cpp" "src/synth/CMakeFiles/lsi_synth.dir/synonym_test.cpp.o" "gcc" "src/synth/CMakeFiles/lsi_synth.dir/synonym_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsi/CMakeFiles/lsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lsi_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lsi_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/weighting/CMakeFiles/lsi_weighting.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

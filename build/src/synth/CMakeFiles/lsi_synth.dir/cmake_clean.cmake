@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_synth.dir/bilingual.cpp.o"
+  "CMakeFiles/lsi_synth.dir/bilingual.cpp.o.d"
+  "CMakeFiles/lsi_synth.dir/corpus.cpp.o"
+  "CMakeFiles/lsi_synth.dir/corpus.cpp.o.d"
+  "CMakeFiles/lsi_synth.dir/noise.cpp.o"
+  "CMakeFiles/lsi_synth.dir/noise.cpp.o.d"
+  "CMakeFiles/lsi_synth.dir/sparse_random.cpp.o"
+  "CMakeFiles/lsi_synth.dir/sparse_random.cpp.o.d"
+  "CMakeFiles/lsi_synth.dir/spelling.cpp.o"
+  "CMakeFiles/lsi_synth.dir/spelling.cpp.o.d"
+  "CMakeFiles/lsi_synth.dir/synonym_test.cpp.o"
+  "CMakeFiles/lsi_synth.dir/synonym_test.cpp.o.d"
+  "liblsi_synth.a"
+  "liblsi_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

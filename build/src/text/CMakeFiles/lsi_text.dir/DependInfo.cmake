@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/parser.cpp" "src/text/CMakeFiles/lsi_text.dir/parser.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/parser.cpp.o.d"
+  "/root/repo/src/text/passages.cpp" "src/text/CMakeFiles/lsi_text.dir/passages.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/passages.cpp.o.d"
+  "/root/repo/src/text/stemmer.cpp" "src/text/CMakeFiles/lsi_text.dir/stemmer.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/stemmer.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/text/CMakeFiles/lsi_text.dir/stopwords.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/text/CMakeFiles/lsi_text.dir/tokenizer.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "src/text/CMakeFiles/lsi_text.dir/vocabulary.cpp.o" "gcc" "src/text/CMakeFiles/lsi_text.dir/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/lsi_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_text.dir/parser.cpp.o"
+  "CMakeFiles/lsi_text.dir/parser.cpp.o.d"
+  "CMakeFiles/lsi_text.dir/passages.cpp.o"
+  "CMakeFiles/lsi_text.dir/passages.cpp.o.d"
+  "CMakeFiles/lsi_text.dir/stemmer.cpp.o"
+  "CMakeFiles/lsi_text.dir/stemmer.cpp.o.d"
+  "CMakeFiles/lsi_text.dir/stopwords.cpp.o"
+  "CMakeFiles/lsi_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/lsi_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/lsi_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/lsi_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/lsi_text.dir/vocabulary.cpp.o.d"
+  "liblsi_text.a"
+  "liblsi_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

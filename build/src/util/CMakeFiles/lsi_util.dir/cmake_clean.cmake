@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/lsi_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/lsi_util.dir/rng.cpp.o"
+  "CMakeFiles/lsi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/lsi_util.dir/strings.cpp.o"
+  "CMakeFiles/lsi_util.dir/strings.cpp.o.d"
+  "CMakeFiles/lsi_util.dir/table.cpp.o"
+  "CMakeFiles/lsi_util.dir/table.cpp.o.d"
+  "CMakeFiles/lsi_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/lsi_util.dir/thread_pool.cpp.o.d"
+  "liblsi_util.a"
+  "liblsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

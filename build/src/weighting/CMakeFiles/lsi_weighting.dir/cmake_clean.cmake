@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_weighting.dir/weighting.cpp.o"
+  "CMakeFiles/lsi_weighting.dir/weighting.cpp.o.d"
+  "liblsi_weighting.a"
+  "liblsi_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_csr_test.dir/la/csr_test.cpp.o"
+  "CMakeFiles/la_csr_test.dir/la/csr_test.cpp.o.d"
+  "la_csr_test"
+  "la_csr_test.pdb"
+  "la_csr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_csr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

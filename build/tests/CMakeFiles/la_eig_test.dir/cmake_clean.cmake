@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_eig_test.dir/la/eig_test.cpp.o"
+  "CMakeFiles/la_eig_test.dir/la/eig_test.cpp.o.d"
+  "la_eig_test"
+  "la_eig_test.pdb"
+  "la_eig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_eig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

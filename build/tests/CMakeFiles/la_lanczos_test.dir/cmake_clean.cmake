@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_lanczos_test.dir/la/lanczos_test.cpp.o"
+  "CMakeFiles/la_lanczos_test.dir/la/lanczos_test.cpp.o.d"
+  "la_lanczos_test"
+  "la_lanczos_test.pdb"
+  "la_lanczos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_lanczos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_market_test.dir/la/market_test.cpp.o"
+  "CMakeFiles/la_market_test.dir/la/market_test.cpp.o.d"
+  "la_market_test"
+  "la_market_test.pdb"
+  "la_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

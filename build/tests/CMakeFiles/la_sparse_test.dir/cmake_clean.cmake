@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sparse_test.dir/la/sparse_test.cpp.o"
+  "CMakeFiles/la_sparse_test.dir/la/sparse_test.cpp.o.d"
+  "la_sparse_test"
+  "la_sparse_test.pdb"
+  "la_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

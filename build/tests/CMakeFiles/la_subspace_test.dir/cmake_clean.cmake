@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_subspace_test.dir/la/subspace_test.cpp.o"
+  "CMakeFiles/la_subspace_test.dir/la/subspace_test.cpp.o.d"
+  "la_subspace_test"
+  "la_subspace_test.pdb"
+  "la_subspace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_subspace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_svd_test.dir/la/svd_test.cpp.o"
+  "CMakeFiles/la_svd_test.dir/la/svd_test.cpp.o.d"
+  "la_svd_test"
+  "la_svd_test.pdb"
+  "la_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_choosing_k_test.dir/lsi/choosing_k_test.cpp.o"
+  "CMakeFiles/lsi_choosing_k_test.dir/lsi/choosing_k_test.cpp.o.d"
+  "lsi_choosing_k_test"
+  "lsi_choosing_k_test.pdb"
+  "lsi_choosing_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_choosing_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

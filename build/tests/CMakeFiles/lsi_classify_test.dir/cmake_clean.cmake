@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_classify_test.dir/lsi/classify_test.cpp.o"
+  "CMakeFiles/lsi_classify_test.dir/lsi/classify_test.cpp.o.d"
+  "lsi_classify_test"
+  "lsi_classify_test.pdb"
+  "lsi_classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

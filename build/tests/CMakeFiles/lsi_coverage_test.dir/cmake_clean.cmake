@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_coverage_test.dir/lsi/coverage_test.cpp.o"
+  "CMakeFiles/lsi_coverage_test.dir/lsi/coverage_test.cpp.o.d"
+  "lsi_coverage_test"
+  "lsi_coverage_test.pdb"
+  "lsi_coverage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_feedback_test.dir/lsi/feedback_test.cpp.o"
+  "CMakeFiles/lsi_feedback_test.dir/lsi/feedback_test.cpp.o.d"
+  "lsi_feedback_test"
+  "lsi_feedback_test.pdb"
+  "lsi_feedback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_feedback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

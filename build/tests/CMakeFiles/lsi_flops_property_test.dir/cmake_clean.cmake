@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_flops_property_test.dir/lsi/flops_property_test.cpp.o"
+  "CMakeFiles/lsi_flops_property_test.dir/lsi/flops_property_test.cpp.o.d"
+  "lsi_flops_property_test"
+  "lsi_flops_property_test.pdb"
+  "lsi_flops_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_flops_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

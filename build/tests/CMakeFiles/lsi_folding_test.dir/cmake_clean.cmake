@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_folding_test.dir/lsi/folding_test.cpp.o"
+  "CMakeFiles/lsi_folding_test.dir/lsi/folding_test.cpp.o.d"
+  "lsi_folding_test"
+  "lsi_folding_test.pdb"
+  "lsi_folding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_folding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

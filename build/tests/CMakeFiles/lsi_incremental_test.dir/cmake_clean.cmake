@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_incremental_test.dir/lsi/incremental_test.cpp.o"
+  "CMakeFiles/lsi_incremental_test.dir/lsi/incremental_test.cpp.o.d"
+  "lsi_incremental_test"
+  "lsi_incremental_test.pdb"
+  "lsi_incremental_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

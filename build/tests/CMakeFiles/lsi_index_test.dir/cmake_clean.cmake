@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_index_test.dir/lsi/index_test.cpp.o"
+  "CMakeFiles/lsi_index_test.dir/lsi/index_test.cpp.o.d"
+  "lsi_index_test"
+  "lsi_index_test.pdb"
+  "lsi_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_multipoint_test.dir/lsi/multipoint_test.cpp.o"
+  "CMakeFiles/lsi_multipoint_test.dir/lsi/multipoint_test.cpp.o.d"
+  "lsi_multipoint_test"
+  "lsi_multipoint_test.pdb"
+  "lsi_multipoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_multipoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_neighbors_test.dir/lsi/neighbors_test.cpp.o"
+  "CMakeFiles/lsi_neighbors_test.dir/lsi/neighbors_test.cpp.o.d"
+  "lsi_neighbors_test"
+  "lsi_neighbors_test.pdb"
+  "lsi_neighbors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_neighbors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_paper_example_test.dir/lsi/paper_example_test.cpp.o"
+  "CMakeFiles/lsi_paper_example_test.dir/lsi/paper_example_test.cpp.o.d"
+  "lsi_paper_example_test"
+  "lsi_paper_example_test.pdb"
+  "lsi_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_space_test.dir/lsi/space_test.cpp.o"
+  "CMakeFiles/lsi_space_test.dir/lsi/space_test.cpp.o.d"
+  "lsi_space_test"
+  "lsi_space_test.pdb"
+  "lsi_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

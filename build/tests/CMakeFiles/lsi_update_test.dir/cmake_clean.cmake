@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsi_update_test.dir/lsi/update_test.cpp.o"
+  "CMakeFiles/lsi_update_test.dir/lsi/update_test.cpp.o.d"
+  "lsi_update_test"
+  "lsi_update_test.pdb"
+  "lsi_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsi_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

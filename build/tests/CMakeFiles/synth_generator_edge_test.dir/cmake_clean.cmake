@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_generator_edge_test.dir/synth/generator_edge_test.cpp.o"
+  "CMakeFiles/synth_generator_edge_test.dir/synth/generator_edge_test.cpp.o.d"
+  "synth_generator_edge_test"
+  "synth_generator_edge_test.pdb"
+  "synth_generator_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_generator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_passages_test.dir/text/passages_test.cpp.o"
+  "CMakeFiles/text_passages_test.dir/text/passages_test.cpp.o.d"
+  "text_passages_test"
+  "text_passages_test.pdb"
+  "text_passages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_passages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

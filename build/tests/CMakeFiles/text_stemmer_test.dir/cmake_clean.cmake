@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_stemmer_test.dir/text/stemmer_test.cpp.o"
+  "CMakeFiles/text_stemmer_test.dir/text/stemmer_test.cpp.o.d"
+  "text_stemmer_test"
+  "text_stemmer_test.pdb"
+  "text_stemmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/text/tokenizer_test.cpp" "tests/CMakeFiles/text_tokenizer_test.dir/text/tokenizer_test.cpp.o" "gcc" "tests/CMakeFiles/text_tokenizer_test.dir/text/tokenizer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lsi/CMakeFiles/lsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/lsi_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lsi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/lsi_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lsi_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/weighting/CMakeFiles/lsi_weighting.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lsi_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/lsi_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
