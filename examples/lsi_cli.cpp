@@ -5,6 +5,9 @@
 //   lsi_cli build  <docs.tsv> <db.lsi> [--k N] [--scheme raw|log-entropy]
 //                  [--min-df N] [--stem] [--bigrams]
 //   lsi_cli query  <db.lsi> "free text..." [--top N] [--threshold C]
+//   lsi_cli query  <db.lsi> --batch-queries <queries.txt> [--top N]
+//                  [--threshold C]        (one query per line, ranked
+//                  together through the batched retrieval engine)
 //   lsi_cli terms  <db.lsi> <term> [--top N]
 //   lsi_cli add    <db.lsi> <more.tsv>          (fold-in, writes in place)
 //   lsi_cli info   <db.lsi>
@@ -17,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "lsi/batched_retrieval.hpp"
 #include "lsi/folding.hpp"
 #include "lsi/io.hpp"
 #include "lsi/lsi_index.hpp"
@@ -33,6 +37,8 @@ int usage() {
          "  lsi_cli build <docs.tsv> <db.lsi> [--k N] "
          "[--scheme raw|log-entropy] [--min-df N] [--stem] [--bigrams]\n"
          "  lsi_cli query <db.lsi> \"free text\" [--top N] [--threshold C]\n"
+         "  lsi_cli query <db.lsi> --batch-queries <queries.txt> [--top N] "
+         "[--threshold C]\n"
          "  lsi_cli terms <db.lsi> <term> [--top N]\n"
          "  lsi_cli add   <db.lsi> <more.tsv>\n"
          "  lsi_cli info  <db.lsi>\n";
@@ -124,6 +130,29 @@ int cmd_query(const std::vector<std::string>& args) {
   if (const auto th = flag_value(args, "--threshold"); !th.empty()) {
     qopts.min_cosine = std::stod(th);
   }
+
+  if (const auto file = flag_value(args, "--batch-queries"); !file.empty()) {
+    std::ifstream is(file);
+    if (!is) throw std::runtime_error("cannot open " + file);
+    std::vector<std::string> texts;
+    std::string line;
+    while (std::getline(is, line)) {
+      if (!line.empty()) texts.push_back(line);
+    }
+    std::vector<la::Vector> vectors;
+    vectors.reserve(texts.size());
+    for (const auto& t : texts) vectors.push_back(query_vector(db, t));
+    const auto batch = core::QueryBatch::from_term_vectors(db.space, vectors);
+    const auto ranked = core::BatchedRetriever(db.space).rank(batch, qopts);
+    for (std::size_t b = 0; b < ranked.size(); ++b) {
+      std::cout << "# query " << (b + 1) << ": " << texts[b] << '\n';
+      for (const auto& sd : ranked[b]) {
+        std::cout << db.doc_labels[sd.doc] << '\t' << sd.cosine << '\n';
+      }
+    }
+    return 0;
+  }
+
   const auto ranked =
       core::retrieve(db.space, query_vector(db, args[1]), qopts);
   for (const auto& sd : ranked) {

@@ -1,0 +1,160 @@
+#include "lsi/batched_retrieval.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/thread_pool.hpp"
+
+namespace lsi::core {
+
+namespace {
+
+/// The total order every ranking obeys: higher cosine first, then lower
+/// document index. Also the heap ordering for bounded top-z selection.
+inline bool ranks_before(const ScoredDoc& a, const ScoredDoc& b) noexcept {
+  if (a.cosine != b.cosine) return a.cosine > b.cosine;
+  return a.doc < b.doc;
+}
+
+/// Threshold-then-select for one query's score column. The min_cosine
+/// filter runs first, so the bounded heap only ever holds documents that
+/// passed it (threshold before heap selection, per QueryOptions).
+std::vector<ScoredDoc> select_ranked(std::span<const double> scores,
+                                     const QueryOptions& opts) {
+  const std::size_t n = scores.size();
+  const std::size_t z = opts.top_z;
+  std::vector<ScoredDoc> keep;
+  if (z > 0 && z < n) {
+    // Bounded heap of the z best so far; with comparator ranks_before the
+    // heap top is the worst kept candidate.
+    keep.reserve(z + 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      const ScoredDoc cand{j, scores[j]};
+      if (cand.cosine < opts.min_cosine) continue;
+      if (keep.size() < z) {
+        keep.push_back(cand);
+        std::push_heap(keep.begin(), keep.end(), ranks_before);
+      } else if (ranks_before(cand, keep.front())) {
+        std::pop_heap(keep.begin(), keep.end(), ranks_before);
+        keep.back() = cand;
+        std::push_heap(keep.begin(), keep.end(), ranks_before);
+      }
+    }
+    std::sort(keep.begin(), keep.end(), ranks_before);
+  } else {
+    keep.reserve(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (scores[j] >= opts.min_cosine) keep.push_back({j, scores[j]});
+    }
+    std::sort(keep.begin(), keep.end(), ranks_before);
+    if (z > 0 && keep.size() > z) keep.resize(z);
+  }
+  return keep;
+}
+
+}  // namespace
+
+QueryBatch QueryBatch::from_projected(const SemanticSpace& space,
+                                      const std::vector<la::Vector>& qhats) {
+  QueryBatch batch;
+  batch.qhat_ = la::DenseMatrix(space.k(), qhats.size());
+  for (index_t b = 0; b < qhats.size(); ++b) {
+    assert(qhats[b].size() == space.k());
+    auto col = batch.qhat_.col(b);
+    for (index_t i = 0; i < space.k(); ++i) col[i] = qhats[b][i];
+  }
+  return batch;
+}
+
+QueryBatch QueryBatch::from_term_vectors(
+    const SemanticSpace& space, const std::vector<la::Vector>& term_vectors) {
+  la::DenseMatrix q(space.num_terms(), term_vectors.size());
+  for (index_t b = 0; b < term_vectors.size(); ++b) {
+    assert(term_vectors[b].size() == space.num_terms());
+    auto col = q.col(b);
+    for (index_t i = 0; i < space.num_terms(); ++i) col[i] = term_vectors[b][i];
+  }
+  QueryBatch batch;
+  batch.qhat_ = la::multiply_at_b_blocked(space.u, q);  // k x B
+  // S_k^{-1} row scaling; zero singular values map to zero (pseudo-inverse
+  // semantics, matching project_query).
+  for (index_t b = 0; b < batch.qhat_.cols(); ++b) {
+    auto col = batch.qhat_.col(b);
+    for (index_t i = 0; i < space.k(); ++i) {
+      col[i] = space.sigma[i] > 0.0 ? col[i] / space.sigma[i] : 0.0;
+    }
+  }
+  return batch;
+}
+
+la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
+                                         SimilarityMode mode) const {
+  const index_t n = space_.num_docs();
+  const index_t k = space_.k();
+  const index_t bsz = batch.size();
+  assert(bsz == 0 || batch.k() == k);
+
+  // All three modes are cos(q_hat .* s^a, v_j .* s^b): a = 1 only for
+  // kColumnSpace; b = 1 except for kPlainV. The query-side coordinates q'
+  // give the per-query norms; the document-side s^b is then folded into the
+  // sweep weights w = q' .* s^b so the inner loop reads raw V_k entries.
+  la::DenseMatrix w = batch.projected();
+  std::vector<double> query_norm(bsz);
+  for (index_t b = 0; b < bsz; ++b) {
+    auto wb = w.col(b);
+    if (mode == SimilarityMode::kColumnSpace) {
+      for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
+    }
+    query_norm[b] = la::norm2(wb);
+    if (mode != SimilarityMode::kPlainV) {
+      for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
+    }
+  }
+  const std::vector<double>& doc_norm = space_.doc_norms(mode);
+
+  la::DenseMatrix c(n, bsz);
+  if (n == 0 || bsz == 0) return c;
+  // One V_k-panel sweep: factor i's document column is loaded once per
+  // panel and reused by every query. Each scores(j, b) accumulates over i
+  // ascending, independent of panel bounds and batch size, so per-query
+  // results do not depend on who else shares the batch.
+  util::parallel_for_chunks(
+      0, n,
+      [&](std::size_t lo, std::size_t hi) {
+        for (index_t i = 0; i < k; ++i) {
+          const double* vi = space_.v.col(i).data();
+          for (index_t b = 0; b < bsz; ++b) {
+            const double wib = w(i, b);
+            if (wib == 0.0) continue;
+            double* cb = c.col(b).data();
+            for (std::size_t j = lo; j < hi; ++j) cb[j] += wib * vi[j];
+          }
+        }
+        // Normalize the panel in place: cosine = dot / (|q'| * |d'|), with
+        // la::cosine's zero-norm guard.
+        for (index_t b = 0; b < bsz; ++b) {
+          double* cb = c.col(b).data();
+          const double qn = query_norm[b];
+          for (std::size_t j = lo; j < hi; ++j) {
+            cb[j] = (qn == 0.0 || doc_norm[j] == 0.0)
+                        ? 0.0
+                        : cb[j] / (qn * doc_norm[j]);
+          }
+        }
+      },
+      /*grain=*/512);
+  return c;
+}
+
+std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
+    const QueryBatch& batch, const QueryOptions& opts) const {
+  const la::DenseMatrix c = scores(batch, opts.mode);
+  std::vector<std::vector<ScoredDoc>> out(batch.size());
+  util::parallel_for(
+      0, batch.size(),
+      [&](std::size_t b) { out[b] = select_ranked(c.col(b), opts); },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,78 @@
+#pragma once
+// Batched multi-query retrieval — the serving hot path. At TREC scale
+// (Section 4.4) retrieval cost is dominated by projecting and scoring
+// *streams* of queries against a fixed semantic space, so the engine treats
+// B queries as one blocked matrix problem instead of B vector problems:
+//
+//   1. projection: Q_hat = S_k^{-1} (U_k^T Q) for all B queries via one
+//      blocked GEMM (la::multiply_at_b_blocked) — the batched Equation 6;
+//   2. scoring: one sweep over V_k's column panels accumulates
+//          scores(j, b) += w(i, b) * V(j, i)
+//      for every document j and query b, where w folds the query- and
+//      document-side sigma scalings of the SimilarityMode into the k x B
+//      weight matrix, so the inner loop reads V_k's raw entries with
+//      stride 1 and each V panel is reused by all B queries;
+//   3. normalization divides by per-query norms (computed once per batch)
+//      and per-document norms (cached on SemanticSpace per mode);
+//   4. selection keeps the top z per query with a bounded heap instead of
+//      sorting all n scores, after the min_cosine threshold is applied.
+//
+// Per-element accumulation order never depends on the batch size, the panel
+// partitioning, or the thread count, so a query ranked in a batch of 512
+// returns bit-identical results to the same query ranked alone.
+// rank_documents in retrieval.hpp is a batch-size-1 wrapper over this class.
+
+#include <vector>
+
+#include "la/dense.hpp"
+#include "lsi/retrieval.hpp"
+
+namespace lsi::core {
+
+/// A block of B queries stored as the columns of a k x B column-major
+/// matrix of Equation-6 coordinates.
+class QueryBatch {
+ public:
+  QueryBatch() = default;
+
+  /// Wraps already-projected k-vectors, one query per column.
+  static QueryBatch from_projected(const SemanticSpace& space,
+                                   const std::vector<la::Vector>& qhats);
+
+  /// Projects B raw (weighted) m-vectors at once: the batched Equation 6,
+  /// Q_hat = S_k^{-1} (U_k^T Q), via the blocked GEMM.
+  static QueryBatch from_term_vectors(
+      const SemanticSpace& space,
+      const std::vector<la::Vector>& term_vectors);
+
+  index_t size() const noexcept { return qhat_.cols(); }
+  index_t k() const noexcept { return qhat_.rows(); }
+
+  /// k x B matrix of projected queries, one per column.
+  const la::DenseMatrix& projected() const noexcept { return qhat_; }
+
+ private:
+  la::DenseMatrix qhat_;
+};
+
+/// Scores and ranks a QueryBatch against one semantic space.
+class BatchedRetriever {
+ public:
+  explicit BatchedRetriever(const SemanticSpace& space) : space_(space) {}
+
+  /// Full cosine matrix (num_docs x B, one query per column), no
+  /// filtering or selection — the building block for layers that combine
+  /// scores themselves (multi-point queries, fan-out merging).
+  la::DenseMatrix scores(const QueryBatch& batch, SimilarityMode mode) const;
+
+  /// result[b] is query b's ranking: cosine descending, ties broken by
+  /// ascending document index; `opts.min_cosine` is applied before top-z
+  /// selection (see QueryOptions).
+  std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
+                                           const QueryOptions& opts = {}) const;
+
+ private:
+  const SemanticSpace& space_;
+};
+
+}  // namespace lsi::core

@@ -52,4 +52,16 @@ std::uint64_t flops_recompute(const FlopModelParams& x) {
   return x.iterations * per_iter + x.triplets * per_triplet;
 }
 
+std::uint64_t flops_batch_project(const FlopModelParams& x) {
+  return 2 * x.m * x.k * x.b + x.k * x.b;
+}
+
+std::uint64_t flops_batch_score(const FlopModelParams& x) {
+  return 3 * x.k * x.b + 2 * x.n * x.k * x.b + x.n * x.b;
+}
+
+std::uint64_t flops_doc_norm_cache(const FlopModelParams& x) {
+  return 3 * x.n * x.k + x.n;
+}
+
 }  // namespace lsi::core

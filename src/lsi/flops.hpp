@@ -37,6 +37,7 @@ struct FlopModelParams {
   std::uint64_t nnz_a = 0;  ///< nonzeros of the rebuilt matrix A~
   std::uint64_t iterations = 0;  ///< Lanczos iterations I
   std::uint64_t triplets = 0;    ///< accepted triplets trp
+  std::uint64_t b = 0;           ///< queries in a batch (batched retrieval)
 };
 
 /// Folding-in p documents: 2mkp.
@@ -63,5 +64,20 @@ std::uint64_t flops_update_weights(const FlopModelParams& x);
 /// Recomputing the SVD of the rebuilt (m+q) x (n+p) matrix:
 ///   I [4 nnz(A~) + (m+q) + (n+p)] + trp [2 nnz(A~) + (m+q)].
 std::uint64_t flops_recompute(const FlopModelParams& x);
+
+// --- Batched retrieval (the serving hot path; see batched_retrieval.hpp).
+
+/// Projecting a batch of b queries, Q_hat = S_k^{-1} (U_k^T Q): 2mkb for
+/// the blocked GEMM plus kb for the diagonal rescaling.
+std::uint64_t flops_batch_project(const FlopModelParams& x);
+
+/// Scoring b projected queries against all n documents: 3kb to build the
+/// per-query weights and norms, 2nkb for the V_k-panel sweep, nb for the
+/// cosine normalization divides.
+std::uint64_t flops_batch_score(const FlopModelParams& x);
+
+/// Building the per-document norm cache for one similarity mode (paid once
+/// per space per mode, amortized over every later batch): 3nk + n.
+std::uint64_t flops_doc_norm_cache(const FlopModelParams& x);
 
 }  // namespace lsi::core

@@ -19,6 +19,7 @@ void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
     for (index_t i = 0; i < space.k(); ++i) new_rows(j, i) = d_hat[i];
   }
   space.v.append_rows(new_rows);
+  space.invalidate_doc_norms();
 }
 
 void fold_in_terms(SemanticSpace& space, const la::CscMatrix& t) {

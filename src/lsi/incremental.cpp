@@ -43,6 +43,7 @@ void IncrementalIndexer::consolidate() {
     }
   }
   space.v = std::move(v_trunc);
+  space.invalidate_doc_norms();
 
   la::CooBuilder batch(space.num_terms(), p);
   for (std::size_t c = 0; c < p; ++c) {

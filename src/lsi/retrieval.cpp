@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "lsi/batched_retrieval.hpp"
+
 namespace lsi::core {
 
 namespace {
@@ -37,40 +39,22 @@ std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
                                       std::span<const double> query_khat,
                                       const QueryOptions& opts) {
   assert(query_khat.size() == space.k());
-  const index_t k = space.k();
-
-  // All three modes are cos(q_hat .* s^a, v_j .* s^b): a = 1 only for
-  // kColumnSpace; b = 1 except for kPlainV.
-  la::Vector q(query_khat.begin(), query_khat.end());
-  if (opts.mode == SimilarityMode::kColumnSpace) {
-    for (index_t i = 0; i < k; ++i) q[i] *= space.sigma[i];
-  }
-  const bool scale_docs = opts.mode != SimilarityMode::kPlainV;
-
-  std::vector<ScoredDoc> out;
-  out.reserve(space.num_docs());
-  la::Vector doc(k);
-  for (index_t j = 0; j < space.num_docs(); ++j) {
-    for (index_t i = 0; i < k; ++i) {
-      doc[i] = space.v(j, i);
-      if (scale_docs) doc[i] *= space.sigma[i];
-    }
-    const double cos = la::cosine(q, doc);
-    if (cos >= opts.min_cosine) out.push_back({j, cos});
-  }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const ScoredDoc& a, const ScoredDoc& b) {
-                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
-                     return a.doc < b.doc;
-                   });
-  if (opts.top_z > 0 && out.size() > opts.top_z) out.resize(opts.top_z);
-  return out;
+  // Batch-size-1 wrapper over the batched engine — the one scoring path.
+  const QueryBatch one = QueryBatch::from_projected(
+      space, {la::Vector(query_khat.begin(), query_khat.end())});
+  auto ranked = BatchedRetriever(space).rank(one, opts);
+  return std::move(ranked.front());
 }
 
 std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
                                 std::span<const double> term_vector,
                                 const QueryOptions& opts) {
-  return rank_documents(space, project_query(space, term_vector), opts);
+  // Batch-size-1 wrapper over the batched engine, projection included, so
+  // streamed single queries and batched queries share every kernel.
+  const QueryBatch one = QueryBatch::from_term_vectors(
+      space, {la::Vector(term_vector.begin(), term_vector.end())});
+  auto ranked = BatchedRetriever(space).rank(one, opts);
+  return std::move(ranked.front());
 }
 
 double document_similarity(const SemanticSpace& space, index_t a, index_t b) {

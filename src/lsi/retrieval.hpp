@@ -26,15 +26,16 @@
 
 namespace lsi::core {
 
-enum class SimilarityMode {
-  kColumnSpace,  ///< cos(q_hat * S, v_j * S)
-  kProjected,    ///< cos(q_hat,     v_j * S)
-  kPlainV,       ///< cos(q_hat,     v_j)
-};
+// SimilarityMode itself lives in semantic_space.hpp (the per-document norm
+// cache is keyed by it); it is re-exported here for all retrieval callers.
 
 struct QueryOptions {
   SimilarityMode mode = SimilarityMode::kColumnSpace;
-  double min_cosine = -1.0;  ///< cosine threshold; -1 returns everything
+  /// Cosine threshold; -1 returns everything. The threshold is applied
+  /// BEFORE top-z selection: documents below it never enter the candidate
+  /// heap, so `top_z` returns the z best documents *passing the threshold*
+  /// (possibly fewer than z).
+  double min_cosine = -1.0;
   std::size_t top_z = 0;     ///< keep only the z best (0 = unlimited)
 };
 
@@ -55,7 +56,10 @@ la::Vector project_term(const SemanticSpace& space,
 
 /// Cosine between the projected query (Equation 6 coordinates) and every
 /// document, ranked descending, filtered per `opts`. Ties broken by document
-/// index for determinism.
+/// index for determinism. Thin wrapper over the batched engine
+/// (batched_retrieval.hpp) at batch size 1 — there is exactly one scoring
+/// code path, so single-query and batched rankings are identical by
+/// construction.
 std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
                                       std::span<const double> query_khat,
                                       const QueryOptions& opts = {});

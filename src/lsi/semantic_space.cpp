@@ -4,8 +4,40 @@
 #include <cmath>
 
 #include "la/jacobi_svd.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lsi::core {
+
+const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
+  auto& cache = doc_norm_cache_[static_cast<std::size_t>(mode)];
+  // Row-count mismatch means documents were appended (folding) since the
+  // cache was built; same-size mutation must call invalidate_doc_norms().
+  if (cache.size() == num_docs()) return cache;
+  const bool scale_docs = mode != SimilarityMode::kPlainV;
+  std::vector<double> norms(num_docs());
+  util::parallel_for_chunks(
+      0, num_docs(),
+      [&](std::size_t lo, std::size_t hi) {
+        // The scratch row is built exactly like the single-query scorer
+        // builds its document vector, so the cached norm is bit-identical to
+        // what la::cosine would have computed.
+        la::Vector doc(k());
+        for (std::size_t j = lo; j < hi; ++j) {
+          for (index_t i = 0; i < k(); ++i) {
+            doc[i] = v(j, i);
+            if (scale_docs) doc[i] *= sigma[i];
+          }
+          norms[j] = la::norm2(doc);
+        }
+      },
+      /*grain=*/256);
+  cache = std::move(norms);
+  return cache;
+}
+
+void SemanticSpace::invalidate_doc_norms() noexcept {
+  for (auto& cache : doc_norm_cache_) cache.clear();
+}
 
 la::Vector SemanticSpace::doc_coords(index_t j) const {
   la::Vector coords = v.row(j);

@@ -10,6 +10,7 @@
 // Terms live in the rows of U, documents in the rows of V. Everything
 // downstream (queries, folding-in, SVD-updating) operates on this struct.
 
+#include <array>
 #include <vector>
 
 #include "la/lanczos.hpp"
@@ -20,6 +21,17 @@ namespace lsi::core {
 
 using la::index_t;
 
+/// Inner-product convention used when comparing queries to documents (see
+/// retrieval.hpp for the full derivation of the three conventions). Declared
+/// here because SemanticSpace caches per-document norms keyed by mode.
+enum class SimilarityMode {
+  kColumnSpace,  ///< cos(q_hat * S, v_j * S)
+  kProjected,    ///< cos(q_hat,     v_j * S)
+  kPlainV,       ///< cos(q_hat,     v_j)
+};
+
+inline constexpr std::size_t kNumSimilarityModes = 3;
+
 struct SemanticSpace {
   la::DenseMatrix u;           ///< m x k, term vectors in rows
   std::vector<double> sigma;   ///< k singular values, descending
@@ -28,6 +40,21 @@ struct SemanticSpace {
   index_t k() const noexcept { return sigma.size(); }
   index_t num_terms() const noexcept { return u.rows(); }
   index_t num_docs() const noexcept { return v.rows(); }
+
+  /// Per-document 2-norms of the coordinates `mode` compares against
+  /// (||v_j .* sigma|| for the sigma-scaled modes, ||v_j|| for kPlainV),
+  /// computed lazily on first use and cached — the batched scorer divides by
+  /// these instead of renormalizing every document for every query.
+  ///
+  /// Mutators in this library (folding, updating) invalidate the cache; code
+  /// that writes u/sigma/v directly must call invalidate_doc_norms(). A
+  /// row-count guard additionally catches appended documents. The lazy fill
+  /// is not safe under concurrent first use; call once before sharing a
+  /// space across threads.
+  const std::vector<double>& doc_norms(SimilarityMode mode) const;
+
+  /// Drops every cached per-mode norm vector (call after mutating v/sigma).
+  void invalidate_doc_norms() noexcept;
 
   /// Row i of U (term i's k-vector).
   la::Vector term_vector(index_t i) const { return u.row(i); }
@@ -42,6 +69,10 @@ struct SemanticSpace {
 
   /// Reconstructs A_k (tests and small examples only).
   la::DenseMatrix reconstruct() const;
+
+ private:
+  /// One lazily-filled norm vector per SimilarityMode; empty = not computed.
+  mutable std::array<std::vector<double>, kNumSimilarityModes> doc_norm_cache_;
 };
 
 struct BuildOptions {

@@ -69,6 +69,7 @@ void update_documents(SemanticSpace& space, const la::CscMatrix& d) {
   }
   space.v = std::move(new_v);
   space.sigma = std::move(fs.s);
+  space.invalidate_doc_norms();
 }
 
 void update_terms(SemanticSpace& space, const la::CscMatrix& t) {
@@ -113,6 +114,7 @@ void update_terms(SemanticSpace& space, const la::CscMatrix& t) {
   space.u = std::move(new_u);
   space.v = la::multiply(space.v, hs.v);
   space.sigma = std::move(hs.s);
+  space.invalidate_doc_norms();
 }
 
 void update_weights(SemanticSpace& space, const la::DenseMatrix& y,
@@ -134,6 +136,7 @@ void update_weights(SemanticSpace& space, const la::DenseMatrix& y,
   space.u = la::multiply(space.u, qs.u);
   space.v = la::multiply(space.v, qs.v);
   space.sigma = std::move(qs.s);
+  space.invalidate_doc_norms();
 }
 
 void update_documents(SemanticSpace& space, const la::DenseMatrix& d) {
@@ -184,6 +187,7 @@ void update_documents_exact(SemanticSpace& space, const la::CscMatrix& d) {
   }
   space.v = std::move(new_v);
   space.sigma = std::move(ks.s);
+  space.invalidate_doc_norms();
 }
 
 void update_terms_exact(SemanticSpace& space, const la::CscMatrix& t) {
@@ -225,6 +229,7 @@ void update_terms_exact(SemanticSpace& space, const la::CscMatrix& t) {
   // V' = [V Q] V_K.
   space.v = la::multiply(hstack(space.v, rq.q), ks.v);
   space.sigma = std::move(ks.s);
+  space.invalidate_doc_norms();
 }
 
 void update_weights_exact(SemanticSpace& space, const la::DenseMatrix& y,
@@ -261,6 +266,7 @@ void update_weights_exact(SemanticSpace& space, const la::DenseMatrix& y,
   space.u = la::multiply(hstack(space.u, qy.q), ks.u);
   space.v = la::multiply(hstack(space.v, qz.q), ks.v);
   space.sigma = std::move(ks.s);
+  space.invalidate_doc_norms();
 }
 
 }  // namespace lsi::core
