@@ -66,11 +66,22 @@ int main() {
                 "Queries/sec: single-query loop vs batched multi-query "
                 "scoring (MED-scale synthetic collection)");
 
+  // The timed loops below must stay sink-free (the acceptance bar is < 1%
+  // throughput change with the sink off), so the session does not install
+  // its sink; an instrumented pass at the end populates the spans.
+  const bool quick = bench::quick_mode();
+  bench::StatsSession stats("batched_retrieval", /*install=*/false);
+
   const core::index_t m = 5831, n = 1033, k = 100;
-  const std::size_t total_queries = 512;
+  const std::size_t total_queries = quick ? 64 : 512;
   util::Rng rng(42);
   const core::SemanticSpace space = med_scale_space(m, n, k, rng);
   const std::vector<la::Vector> queries = make_queries(m, total_queries, rng);
+  stats.param("m", static_cast<double>(m));
+  stats.param("n", static_cast<double>(n));
+  stats.param("k", static_cast<double>(k));
+  stats.param("queries", static_cast<double>(total_queries));
+  stats.param("quick", quick ? 1.0 : 0.0);
 
   core::QueryOptions opts;
   opts.top_z = 10;
@@ -89,10 +100,12 @@ int main() {
   // Shared machines drift: measure the single-query loop and the batched
   // engine back-to-back inside each row and keep the best of a few reps of
   // each, so a load spike cannot skew the ratio in either direction.
-  constexpr int kReps = 3;
+  const int kReps = quick ? 1 : 3;
   util::WallTimer timer;
 
-  for (const std::size_t batch_size : {1ul, 8ul, 32ul, 128ul, 512ul}) {
+  std::vector<std::size_t> batch_sizes = {1, 8, 32, 128, 512};
+  if (quick) batch_sizes = {1, 8, 32};
+  for (const std::size_t batch_size : batch_sizes) {
     double single_sec = 0.0, batched_sec = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       timer.reset();
@@ -143,13 +156,44 @@ int main() {
     table.add_row({util::fmt_int(static_cast<long long>(batch_size)),
                    util::fmt(single_qps, 0), util::fmt(batched_qps, 0),
                    util::fmt(speedup, 2), util::fmt(mflop_per_query, 2)});
+    const std::string suffix = "_b" + std::to_string(batch_size);
+    stats.param("qps_single" + suffix, single_qps);
+    stats.param("qps_batched" + suffix, batched_qps);
+    stats.param("speedup" + suffix, speedup);
   }
 
-  table.print(std::cout,
-              "Batched retrieval throughput (m = 5831, n = 1033, k = 100, "
-              "top-10, 512 queries)");
+  std::string caption = "Batched retrieval throughput (m = 5831, n = 1033, "
+                        "k = 100, top-10, ";
+  caption += std::to_string(total_queries);
+  caption += " queries)";
+  table.print(std::cout, caption);
   std::cout << "\nAll batched rankings are identical to the single-query "
                "loop's (exact doc order and scores).\n";
+
+  // One instrumented pass (sink installed, outside every timed region)
+  // populates the project/score/select spans and the predicted-vs-measured
+  // flops rows of BENCH_batched_retrieval.json.
+  {
+    obs::ScopedSink scoped(&stats.sink());
+    const std::size_t bsz = std::min<std::size_t>(32, total_queries);
+    const std::vector<la::Vector> block(queries.begin(),
+                                        queries.begin() + bsz);
+    core::QueryStats qs;
+    const auto batch = core::QueryBatch::from_term_vectors(space, block, &qs);
+    const auto ranked = retriever.rank(batch, opts, &qs);
+    if (ranked.size() != bsz) return 1;
+    core::FlopModelParams fp;
+    fp.m = m;
+    fp.n = n;
+    fp.k = k;
+    fp.b = bsz;
+    stats.flop_row("retrieval.batch32",
+                   core::flops_batch_project(fp) + core::flops_batch_score(fp),
+                   qs.flops);
+    stats.param("instrumented_project_s", qs.project_seconds);
+    stats.param("instrumented_score_s", qs.score_seconds);
+    stats.param("instrumented_select_s", qs.select_seconds);
+  }
 
   if (speedup_at_32 < 2.0) {
     std::cerr << "\nFAIL: expected >= 2x speedup at batch 32, got "

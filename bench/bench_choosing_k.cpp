@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("choosing_k");
   bench::banner("Section 5.2",
                 "Retrieval performance vs. number of factors k (the "
                 "paper's rise/peak/slow-decline curve).");
@@ -35,7 +36,7 @@ int main() {
   core::IndexOptions ref_opts;
   ref_opts.scheme = weighting::kLogEntropy;
   ref_opts.k = 2;  // irrelevant for the baseline; reuse the weighting
-  auto ref_index = core::LsiIndex::build(corpus.docs, ref_opts);
+  auto ref_index = core::LsiIndex::try_build(corpus.docs, ref_opts).value();
   baseline::VectorSpaceModel vsm(ref_index.weighted_matrix());
   std::vector<double> smart_scores;
   for (const auto& q : corpus.queries) {
@@ -55,7 +56,7 @@ int main() {
     core::IndexOptions opts;
     opts.scheme = weighting::kLogEntropy;
     opts.k = k;
-    auto index = core::LsiIndex::build(corpus.docs, opts);
+    auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
     std::vector<double> scores;
     for (const auto& q : corpus.queries) {
       std::vector<la::index_t> ranked;

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("classification");
   bench::banner("Section 5.7 (LSI + classification)",
                 "Nearest-centroid topic classification: k LSI dimensions "
                 "vs the full term space.");
@@ -31,7 +32,7 @@ int main() {
   // Full-term-space reference (log x entropy weighted counts).
   core::IndexOptions ref_opts;
   ref_opts.k = 2;
-  auto ref_index = core::LsiIndex::build(corpus.docs, ref_opts);
+  auto ref_index = core::LsiIndex::try_build(corpus.docs, ref_opts).value();
   const auto dense = ref_index.weighted_matrix().to_dense();
 
   std::vector<std::size_t> train_y, test_y;
@@ -58,7 +59,7 @@ int main() {
   for (core::index_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
     core::IndexOptions opts;
     opts.k = k;
-    auto index = core::LsiIndex::build(corpus.docs, opts);
+    auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
     std::vector<la::Vector> lsi_train, lsi_test;
     for (std::size_t d = 0; d < corpus.docs.size(); ++d) {
       if (d % 2 == 0) {

@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("crosslang");
   bench::banner("Section 5.4 (cross-language retrieval)",
                 "Dual-language training; queries in language A retrieving "
                 "documents in language B.");
@@ -30,11 +31,11 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 40;
-  auto dual_index = core::LsiIndex::build(corpus.dual, opts);
+  auto dual_index = core::LsiIndex::try_build(corpus.dual, opts).value();
 
   // Monolingual reference space (language B only) for the "translated
   // query" comparison: queries in B against B documents.
-  auto mono_b_index = core::LsiIndex::build(corpus.mono_b, opts);
+  auto mono_b_index = core::LsiIndex::try_build(corpus.mono_b, opts).value();
 
   // Cross-language: language-A query against the dual space, where each
   // document is ranked by its dual (train) representation. Relevance is
@@ -57,7 +58,7 @@ int main() {
 
   // Fold-in check: fold the monolingual B documents into the dual space and
   // retrieve them with A queries (the Landauer-Littman deployment mode).
-  auto folded = core::LsiIndex::build(corpus.dual, opts);
+  auto folded = core::LsiIndex::try_build(corpus.dual, opts).value();
   folded.add_documents(corpus.mono_b, core::AddMethod::kFoldIn);
   std::vector<double> cross_scores;
   const std::size_t offset = corpus.dual.size();

@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("feedback");
   bench::banner("Section 5.1 (relevance feedback)",
                 "Query replaced by the 1st relevant doc / mean of first 3 "
                 "relevant docs.");
@@ -36,7 +37,7 @@ int main() {
 
     core::IndexOptions opts;
     opts.k = 40;
-    auto index = core::LsiIndex::build(corpus.docs, opts);
+    auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
 
     for (const auto& q : corpus.queries) {
       auto initial = index.query(q.text);

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig4_plot");
   bench::banner("Figure 4",
                 "Two-dimensional plot of terms and documents for the 18 x "
                 "14 example.");

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig5_query");
   bench::banner("Figure 5",
                 "Derived coordinates for the query 'age blood "
                 "abnormalities' (k = 2).");

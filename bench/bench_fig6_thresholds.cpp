@@ -10,6 +10,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig6_thresholds");
   bench::banner("Figure 6 / Section 3.2",
                 "Query 'age blood abnormalities' at cosine thresholds, "
                 "vs. lexical matching.");

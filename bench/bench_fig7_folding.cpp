@@ -10,6 +10,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig7_folding");
   bench::banner("Figure 7",
                 "Two-dimensional plot after folding-in topics M15 and M16.");
 

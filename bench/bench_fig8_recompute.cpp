@@ -9,12 +9,13 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig8_recompute");
   bench::banner("Figure 8",
                 "Recomputed SVD of the 18 x 16 matrix (M15, M16 added).");
 
   const auto full =
       data::table3_counts().with_appended_cols(data::update_document_columns());
-  auto space = core::build_semantic_space(full, 2);
+  auto space = core::try_build_semantic_space(full, 2).value();
   core::align_signs_to(space, data::figure5_u2());
 
   util::AsciiScatter plot(100, 32);

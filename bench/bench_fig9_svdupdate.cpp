@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("fig9_svdupdate");
   bench::banner("Figure 9",
                 "SVD-updating with topics M15 and M16 (documents phase, "
                 "B = (A_k | D)).");
@@ -37,7 +38,7 @@ int main() {
   core::fold_in_documents(folded, data::update_document_columns());
   const auto full = data::table3_counts().with_appended_cols(
       data::update_document_columns());
-  auto recomputed = core::build_semantic_space(full, 2);
+  auto recomputed = core::try_build_semantic_space(full, 2).value();
 
   auto frob_err = [&](const core::SemanticSpace& s) {
     auto diff = full.to_dense();

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("filtering");
   bench::banner("Section 5.3 (information filtering)",
                 "Standing profiles vs. a stream of new documents: LSI vs. "
                 "keyword matching,\nprofiles from query words vs. from "
@@ -50,7 +51,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 40;
-  auto index = core::LsiIndex::build(train, opts);
+  auto index = core::LsiIndex::try_build(train, opts).value();
   baseline::VectorSpaceModel vsm(index.weighted_matrix());
 
   // For each standing interest: rank the stream documents by similarity to

@@ -1,10 +1,18 @@
 // Google-benchmark microbenchmarks of the numerical kernels behind the
 // Section 4.2 cost model I*cost(G^T G x) + trp*cost(G x): sparse matvecs,
 // dense rotations (the (2k^2-k)(m+n) term), and the full Lanczos driver.
+// A custom main additionally runs one instrumented Lanczos solve under an
+// observability sink and emits BENCH_lanczos_perf.json with per-stage spans
+// and the cost model's prediction next to the solver's measured flops.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "la/lanczos.hpp"
+#include "lsi/flops.hpp"
 #include "lsi/semantic_space.hpp"
 #include "lsi/update.hpp"
 #include "synth/sparse_random.hpp"
@@ -78,7 +86,7 @@ BENCHMARK(BM_DenseRotation)->Arg(2000)->Arg(8000);
 void BM_UpdateDocuments(benchmark::State& state) {
   const auto n = static_cast<la::index_t>(state.range(0));
   auto a = synth::random_sparse_matrix(2 * n, n, 0.01, 4);
-  auto base = core::build_semantic_space(a, 30);
+  auto base = core::try_build_semantic_space(a, 30).value();
   auto d = synth::random_sparse_matrix(2 * n, 8, 0.01, 5);
   for (auto _ : state) {
     auto space = base;
@@ -88,6 +96,66 @@ void BM_UpdateDocuments(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateDocuments)->Arg(500)->Arg(1000);
 
+/// One instrumented solve at reproduction scale: spans and counters land in
+/// the session's sink, LanczosStats::flops lands next to the Section 4.2
+/// model prediction.
+void emit_instrumented_run() {
+  const bool quick = bench::quick_mode();
+  const la::index_t n = quick ? 400 : 2000;
+  const la::index_t m = 2 * n;
+  const la::index_t k = quick ? 10 : 50;
+  auto a = synth::random_sparse_matrix(m, n, 0.01, 7);
+
+  bench::StatsSession stats("lanczos_perf");
+  la::LanczosOptions opts;
+  opts.k = k;
+  la::LanczosStats lstats;
+  auto svd = la::lanczos_svd(a, opts, &lstats);
+  benchmark::DoNotOptimize(svd.s.data());
+
+  stats.param("m", static_cast<double>(m));
+  stats.param("n", static_cast<double>(n));
+  stats.param("k", static_cast<double>(k));
+  stats.param("nnz", static_cast<double>(a.nnz()));
+  stats.param("steps", static_cast<double>(lstats.steps));
+  stats.param("matvecs",
+              static_cast<double>(lstats.matvecs + lstats.matvecs_transpose));
+  stats.param("converged", static_cast<double>(lstats.converged));
+  stats.param("max_residual", lstats.max_residual);
+  stats.param("quick", quick ? 1.0 : 0.0);
+
+  core::FlopModelParams fp;
+  fp.m = m;
+  fp.n = n;
+  fp.nnz_a = a.nnz();
+  fp.iterations = lstats.steps;
+  fp.triplets = k;
+  stats.flop_row("lanczos.svd", core::flops_recompute(fp), lstats.flops);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // In quick mode (CI smoke), trim the registered benchmarks to the
+  // smallest shapes unless the caller already passed a filter.
+  std::vector<char*> args(argv, argv + argc);
+  std::string quick_filter = "--benchmark_filter=/(400|500|2000)(/10)?$";
+  bool has_filter = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_filter", 0) == 0) {
+      has_filter = true;
+    }
+  }
+  if (bench::quick_mode() && !has_filter) {
+    args.push_back(quick_filter.data());
+  }
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_instrumented_run();
+  return 0;
+}

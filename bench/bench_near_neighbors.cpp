@@ -14,13 +14,14 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("near_neighbors");
   bench::banner("Section 5.6 (near-neighbor search)",
                 "Cluster-pruned cosine search vs exhaustive scan in "
                 "k-space.");
 
   const la::index_t m = 5000, n = 4000, k = 60;
   auto a = synth::random_sparse_matrix(m, n, 0.004, 2024);
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
 
   core::NeighborIndexOptions nopts;
   nopts.clusters = 64;

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("negative_feedback");
   bench::banner("Section 5.1 (negative relevance feedback, extension)",
                 "Rocchio with gamma > 0: does pushing away from judged-"
                 "irrelevant documents\nhelp beyond positive feedback? (The "
@@ -37,7 +38,7 @@ int main() {
 
     core::IndexOptions opts;
     opts.k = 40;
-    auto index = core::LsiIndex::build(corpus.docs, opts);
+    auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
     const auto& space = index.space();
 
     for (const auto& q : corpus.queries) {

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("noisy_ocr");
   bench::banner("Section 5.4 (noisy/OCR input)",
                 "Retrieval quality vs. word-level corruption of the "
                 "indexed documents.");
@@ -50,7 +51,7 @@ int main() {
     core::IndexOptions opts;
     opts.scheme = weighting::kLogEntropy;
     opts.k = 40;
-    auto index = core::LsiIndex::build(corrupted, opts);
+    auto index = core::LsiIndex::try_build(corrupted, opts).value();
     std::vector<double> scores;
     for (const auto& q : corpus.queries) {
       std::vector<la::index_t> ranked;

@@ -14,6 +14,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("orthogonality");
   bench::banner("Section 4.3",
                 "Orthogonality loss ||V^T V - I||_2 vs. number of folded-in "
                 "documents,\ncorrelated with retrieval quality (the paper's "
@@ -46,8 +47,8 @@ int main() {
 
   core::IndexOptions opts;
   opts.k = 25;
-  auto folded = core::LsiIndex::build(train, opts);
-  auto updated = core::LsiIndex::build(train, opts);
+  auto folded = core::LsiIndex::try_build(train, opts).value();
+  auto updated = core::LsiIndex::try_build(train, opts).value();
 
   // index position -> original corpus id (grows as documents stream in).
   std::vector<std::size_t> position_to_id;

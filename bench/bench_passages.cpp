@@ -13,6 +13,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("passages");
   bench::banner("Section 5.4 (passage-level indexing)",
                 "Whole-document vs passage indexing on long mixed-topic "
                 "documents.");
@@ -52,10 +53,10 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 40;
-  auto whole_index = core::LsiIndex::build(long_docs, opts);
+  auto whole_index = core::LsiIndex::try_build(long_docs, opts).value();
 
   auto pc = text::split_into_passages(long_docs);
-  auto passage_index = core::LsiIndex::build(pc.passages, opts);
+  auto passage_index = core::LsiIndex::try_build(pc.passages, opts).value();
 
   std::vector<double> whole_ap, passage_ap;
   for (const auto& q : sections.queries) {

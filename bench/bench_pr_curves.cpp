@@ -14,6 +14,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("pr_curves");
   bench::banner("Section 5.1 (precision-recall curves)",
                 "11-point interpolated PR curves, LSI vs SMART, with a "
                 "paired randomization\ntest on per-query average "
@@ -37,7 +38,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 50;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
   baseline::VectorSpaceModel vsm(index.weighted_matrix());
 
   std::vector<std::vector<double>> lsi_curves, smart_curves;

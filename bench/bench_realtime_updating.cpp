@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("realtime_updating");
   bench::banner("Section 5.6 (real-time updating)",
                 "Ingestion policies on a live stream: immediate fold-in "
                 "with periodic\nSVD-update consolidation bounds both "
@@ -57,7 +58,7 @@ int main() {
     core::IncrementalOptions opts;
     opts.consolidate_every = policy.consolidate_every;
     opts.exact_update = policy.exact;
-    core::IncrementalIndexer indexer(core::LsiIndex::build(train, iopts),
+    core::IncrementalIndexer indexer(core::LsiIndex::try_build(train, iopts).value(),
                                      opts);
     double total_ms = 0.0, max_ms = 0.0;
     for (std::size_t id : stream_ids) {

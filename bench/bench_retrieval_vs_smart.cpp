@@ -27,7 +27,7 @@ CollectionResult run_collection(const synth::SyntheticCorpus& corpus,
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = k;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
   baseline::VectorSpaceModel vsm(index.weighted_matrix());
 
   CollectionResult out;
@@ -56,6 +56,7 @@ CollectionResult run_collection(const synth::SyntheticCorpus& corpus,
 }  // namespace
 
 int main() {
+  bench::StatsSession session("retrieval_vs_smart");
   bench::banner("Section 5.1 (retrieval)",
                 "LSI vs. SMART keyword vector method over 5 synthetic "
                 "collections\n(3-pt average precision; paper: comparable to "

@@ -12,6 +12,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("spelling");
   bench::banner("Section 5.4 (spelling correction)",
                 "n-gram x word LSI space; corrupted words corrected to the "
                 "nearest lexicon word.");

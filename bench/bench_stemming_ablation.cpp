@@ -26,7 +26,7 @@ Result evaluate(const synth::SyntheticCorpus& corpus, bool stem) {
   opts.parser.stem = stem;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 40;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
   baseline::VectorSpaceModel vsm(index.weighted_matrix());
 
   std::vector<double> kw, li;
@@ -45,6 +45,7 @@ Result evaluate(const synth::SyntheticCorpus& corpus, bool stem) {
 }  // namespace
 
 int main() {
+  bench::StatsSession session("stemming_ablation");
   bench::banner("Stemming ablation (Section 5.4)",
                 "Porter stemming on/off for the keyword vector model and "
                 "for LSI, on corpora\nwhose synonyms are morphological "
@@ -79,7 +80,9 @@ int main() {
         plain.lsi > 0 ? stemmed.lsi / plain.lsi - 1.0 : 0.0;
     kw_gain_total += kw_gain;
     lsi_gain_total += lsi_gain;
-    table.add_row({"C" + std::to_string(s + 1), util::fmt(plain.keyword, 3),
+    std::string collection = "C";
+    collection += std::to_string(s + 1);
+    table.add_row({std::move(collection), util::fmt(plain.keyword, 3),
                    util::fmt(stemmed.keyword, 3), util::fmt_pct(kw_gain),
                    util::fmt(plain.lsi, 3), util::fmt(stemmed.lsi, 3),
                    util::fmt_pct(lsi_gain)});

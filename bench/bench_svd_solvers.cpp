@@ -15,6 +15,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("svd_solvers");
   bench::banner("SVD solver comparison (substrate ablation)",
                 "GKL Lanczos (full reorthogonalization) vs block subspace "
                 "iteration vs dense\none-sided Jacobi.");

@@ -11,6 +11,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("synonym_toefl");
   bench::banner("Section 5.4 (TOEFL synonym test)",
                 "LSI term-term similarity vs. word-overlap on generated "
                 "synonym items.");
@@ -34,7 +35,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 60;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
   const auto& vocab = index.vocabulary();
 
   // Word-overlap baseline: candidates scored by the number of documents in

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("table3_parsing");
   bench::banner("Table 3",
                 "Term-document matrix parsed from the Table 2 topic texts "
                 "(stop words removed,\ndf >= 2, plural folding) vs. the "
@@ -20,7 +21,7 @@ int main() {
   const auto& printed = data::table3_counts();
 
   std::vector<std::string> header = {"Terms"};
-  for (int j = 1; j <= 14; ++j) header.push_back("M" + std::to_string(j));
+  for (int j = 1; j <= 14; ++j) header.push_back(bench::med_label(j - 1));
   util::TextTable table(header);
   int diffs = 0;
   for (la::index_t i = 0; i < tdm.vocabulary.size(); ++i) {

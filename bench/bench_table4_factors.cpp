@@ -8,6 +8,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("table4_factors");
   bench::banner("Table 4",
                 "Returned documents (cosine >= .40) for k = 2, 4, 8 "
                 "factors.");

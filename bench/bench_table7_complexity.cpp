@@ -17,6 +17,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("table7_complexity");
   bench::banner("Table 7",
                 "Computational complexity of updating methods: flop model + "
                 "measured times.");
@@ -82,7 +83,7 @@ int main() {
   {
     const la::index_t m = 3000, n = 1500, k = 50;
     auto a = synth::random_sparse_matrix(m, n, 0.01, 17);
-    auto base = core::build_semantic_space(a, k);
+    auto base = core::try_build_semantic_space(a, k).value();
 
     util::TextTable table({"p (new docs)", "fold-in (ms)",
                            "SVD-update (ms)", "recompute (ms)"});
@@ -100,7 +101,7 @@ int main() {
       const double update_ms = t2.millis();
 
       util::WallTimer t3;
-      auto recomputed = core::build_semantic_space(a.with_appended_cols(d), k);
+      auto recomputed = core::try_build_semantic_space(a.with_appended_cols(d), k).value();
       const double recompute_ms = t3.millis();
 
       table.add_row({std::to_string(p), util::fmt(fold_ms, 1),

@@ -15,6 +15,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("trec_scale");
   bench::banner("Section 5.3/5.6 (TREC-scale computation)",
                 "Lanczos truncated-SVD wall time vs. matrix size, density "
                 "and k.");

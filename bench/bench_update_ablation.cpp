@@ -13,6 +13,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("update_ablation");
   bench::banner("Update-method ablation (extension)",
                 "fold-in vs projection SVD-update vs exact update vs "
                 "recompute:\nreconstruction error against the true bordered "
@@ -20,7 +21,7 @@ int main() {
 
   const la::index_t m = 1200, n = 700, k = 40;
   auto a = synth::random_sparse_matrix(m, n, 0.02, 99);
-  auto base = core::build_semantic_space(a, k);
+  auto base = core::try_build_semantic_space(a, k).value();
 
   util::TextTable table({"p (new docs)", "method", "||B - B_k||_F",
                          "||V^T V - I||_2", "time (ms)"});
@@ -64,7 +65,7 @@ int main() {
     }
     {
       util::WallTimer t;
-      auto s = core::build_semantic_space(a.with_appended_cols(d), k);
+      auto s = core::try_build_semantic_space(a.with_appended_cols(d), k).value();
       const double ms = t.millis();
       table.add_row({std::to_string(p), "recompute", util::fmt(err(s), 3),
                      util::fmt(core::orthogonality_loss(s.v), 6),

@@ -13,6 +13,7 @@
 
 int main() {
   using namespace lsi;
+  bench::StatsSession session("weighting");
   bench::banner("Section 5.1 (term weighting)",
                 "Average precision of 4 local x 5 global weighting schemes "
                 "over 5 collections.");
@@ -47,7 +48,7 @@ int main() {
       core::IndexOptions opts;
       opts.scheme = scheme;
       opts.k = 24;
-      auto index = core::LsiIndex::build(corpus.docs, opts);
+      auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
       std::vector<double> scores;
       for (const auto& q : corpus.queries) {
         std::vector<la::index_t> ranked;

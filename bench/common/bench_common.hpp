@@ -1,18 +1,109 @@
 #pragma once
 // Shared helpers for the reproduction benches: paper-example spaces, labeled
-// rankings, and uniform report headers so every binary's output reads the
-// same way.
+// rankings, uniform report headers, quick-mode detection, and the
+// machine-readable BENCH_<name>.json stats emission CI archives.
 
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "data/med_topics.hpp"
 #include "lsi/retrieval.hpp"
 #include "lsi/semantic_space.hpp"
+#include "obs/export.hpp"
 #include "util/table.hpp"
 
 namespace lsi::bench {
+
+/// True when LSI_BENCH_QUICK is set (and not "0") in the environment:
+/// benches shrink problem sizes and repetitions to smoke-test scale. CI
+/// runs the bench-stats job this way.
+inline bool quick_mode() {
+  const char* q = std::getenv("LSI_BENCH_QUICK");
+  return q != nullptr && *q != '\0' && std::string_view(q) != "0";
+}
+
+/// One observability session per bench binary: owns a Sink, optionally
+/// installs it as the process-active sink for the session's lifetime (so
+/// every instrumented pipeline stage the bench touches aggregates into it),
+/// and on destruction writes the "lsi.stats.v1" document to
+/// BENCH_<name>.json in $LSI_BENCH_OUT_DIR (default: the working
+/// directory). Timing-sensitive benches pass install=false and scope the
+/// sink themselves so their measured regions stay sink-free.
+class StatsSession {
+ public:
+  explicit StatsSession(std::string name, bool install = true)
+      : name_(std::move(name)), installed_(install) {
+    if (install) previous_ = obs::Sink::set_active(&sink_);
+  }
+  ~StatsSession() {
+    if (installed_) obs::Sink::set_active(previous_);
+    emit();
+  }
+  StatsSession(const StatsSession&) = delete;
+  StatsSession& operator=(const StatsSession&) = delete;
+
+  obs::Sink& sink() noexcept { return sink_; }
+
+  /// Free-form numeric result (throughput, shapes, scores) for the params
+  /// section of the document.
+  void param(const std::string& key, double value) {
+    params_.emplace_back(key, value);
+  }
+
+  /// One predicted-vs-measured flops row.
+  void flop_row(std::string row, std::uint64_t predicted,
+                std::uint64_t measured) {
+    flops_.push_back({std::move(row), predicted, measured});
+  }
+
+  /// Writes BENCH_<name>.json (idempotent; also called by the destructor).
+  void emit() {
+    if (emitted_) return;
+    emitted_ = true;
+    obs::StatsDoc doc = obs::StatsDoc::from_sink(name_, sink_);
+    doc.params = params_;
+    doc.flops = flops_;
+    std::string dir = ".";
+    if (const char* d = std::getenv("LSI_BENCH_OUT_DIR");
+        d != nullptr && *d != '\0') {
+      dir = d;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);  // best-effort
+      if (ec) {
+        std::cerr << "stats: cannot create " << dir << ": " << ec.message()
+                  << "\n";
+      }
+    }
+    // Appends rather than chained operator+ (GCC 12's -Wrestrict misfires
+    // on the latter's temporaries).
+    std::string path = dir;
+    path += "/BENCH_";
+    path += name_;
+    path += ".json";
+    std::ofstream os(path);
+    if (os) {
+      obs::write_json(os, doc);
+    } else {
+      std::cerr << "stats: cannot write " << path << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  bool installed_ = false;
+  bool emitted_ = false;
+  obs::Sink sink_;
+  obs::Sink* previous_ = nullptr;
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<obs::FlopComparison> flops_;
+};
 
 /// Prints the standard banner identifying which paper artifact follows.
 inline void banner(const std::string& artifact, const std::string& what) {
@@ -26,7 +117,7 @@ inline void banner(const std::string& artifact, const std::string& what) {
 /// The paper's k-factor space over the verbatim Table 3 matrix, oriented to
 /// the printed Figure 5 signs.
 inline core::SemanticSpace paper_space(core::index_t k) {
-  auto space = core::build_semantic_space(data::table3_counts(), k);
+  auto space = core::try_build_semantic_space(data::table3_counts(), k).value();
   core::align_signs_to(space, data::figure5_u2());
   return space;
 }
@@ -42,7 +133,9 @@ inline la::Vector paper_query() {
 
 /// "M<j+1>" labels for the medical-topic documents.
 inline std::string med_label(core::index_t doc) {
-  return "M" + std::to_string(doc + 1);
+  std::string label = "M";
+  label += std::to_string(doc + 1);
+  return label;
 }
 
 }  // namespace lsi::bench

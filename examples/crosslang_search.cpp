@@ -24,7 +24,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 25;
-  auto index = core::LsiIndex::build(corpus.dual, opts);
+  auto index = core::LsiIndex::try_build(corpus.dual, opts).value();
   std::cout << "trained multilingual space on " << corpus.dual.size()
             << " dual-language documents (" << index.vocabulary().size()
             << " terms across both languages)\n";

@@ -3,7 +3,8 @@
 // neighborhoods, without writing any C++.
 //
 //   lsi_cli build  <docs.tsv> <db.lsi> [--k N] [--scheme raw|log-entropy]
-//                  [--min-df N] [--stem] [--bigrams]
+//                  [--min-df N] [--stem] [--bigrams] [--dense-cutoff N]
+//                  [--probe "free text"]
 //   lsi_cli query  <db.lsi> "free text..." [--top N] [--threshold C]
 //   lsi_cli query  <db.lsi> --batch-queries <queries.txt> [--top N]
 //                  [--threshold C]        (one query per line, ranked
@@ -12,43 +13,71 @@
 //   lsi_cli add    <db.lsi> <more.tsv>          (fold-in, writes in place)
 //   lsi_cli info   <db.lsi>
 //
-// docs.tsv: one document per line, "label<TAB>text".
+// docs.tsv: one document per line, "label<TAB>text". The literal path
+// `@med` names the built-in MEDLINE example collection (the paper's
+// Table 2), so the full pipeline runs without any input files.
+//
+// Every command accepts `--stats[=json|csv]`: an observability sink is
+// installed for the whole run and the aggregated stats document (spans with
+// p50/p95 latencies, counters, predicted-vs-measured flops) is printed to
+// stdout after the command output. `build --dense-cutoff 0 --probe ...`
+// exercises the instrumented Lanczos solver and the retrieval engine in one
+// process, so the document shows build, lanczos, and retrieval spans side
+// by side.
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "lsi/batched_retrieval.hpp"
-#include "lsi/folding.hpp"
-#include "lsi/io.hpp"
-#include "lsi/lsi_index.hpp"
-#include "lsi/retrieval.hpp"
-#include "text/parser.hpp"
+#include "data/med_topics.hpp"
+#include "lsi/lsi.hpp"
 
 namespace {
 
 using namespace lsi;
+
+// --stats state for the whole run: commands append problem-shape params and
+// predicted-vs-measured flop rows; main() assembles and prints the document.
+obs::Sink* g_sink = nullptr;
+std::vector<std::pair<std::string, double>> g_params;
+std::vector<obs::FlopComparison> g_flops;
+
+void stat_param(const std::string& name, double v) {
+  if (g_sink) g_params.emplace_back(name, v);
+}
+
+std::uint64_t counter_value(const obs::Sink& sink, const std::string& name) {
+  for (const auto& [n, v] : sink.metrics().counters()) {
+    if (n == name) return v;
+  }
+  return 0;
+}
 
 int usage() {
   std::cerr
       << "usage:\n"
          "  lsi_cli build <docs.tsv> <db.lsi> [--k N] "
          "[--scheme raw|log-entropy] [--min-df N] [--stem] [--bigrams]\n"
+         "                [--dense-cutoff N] [--probe \"free text\"]\n"
          "  lsi_cli query <db.lsi> \"free text\" [--top N] [--threshold C]\n"
          "  lsi_cli query <db.lsi> --batch-queries <queries.txt> [--top N] "
          "[--threshold C]\n"
          "  lsi_cli terms <db.lsi> <term> [--top N]\n"
          "  lsi_cli add   <db.lsi> <more.tsv>\n"
-         "  lsi_cli info  <db.lsi>\n";
+         "  lsi_cli info  <db.lsi>\n"
+         "Every command also accepts --stats[=json|csv]; <docs.tsv> may be "
+         "@med for the\nbuilt-in MEDLINE example collection.\n";
   return 2;
 }
 
-text::Collection read_tsv(const std::string& path) {
+Collection read_tsv(const std::string& path) {
+  if (path == "@med") return data::med_topics();
   std::ifstream is(path);
   if (!is) throw std::runtime_error("cannot open " + path);
-  text::Collection docs;
+  Collection docs;
   std::string line;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -77,11 +106,31 @@ bool has_flag(const std::vector<std::string>& args, const std::string& flag) {
   return false;
 }
 
+/// Appends the retrieval predicted-vs-measured flop rows for a batch of b
+/// queries just ranked against `space` (model: lsi/flops.hpp).
+void record_retrieval_flops(const SemanticSpace& space, std::uint64_t b,
+                            const QueryStats& stats) {
+  if (!g_sink) return;
+  core::FlopModelParams fp;
+  fp.m = space.num_terms();
+  fp.n = space.num_docs();
+  fp.k = space.k();
+  fp.b = b;
+  // Predict only the stages the stats actually measured: projection is
+  // absent when the query entered pre-projected (project_seconds == 0), and
+  // the norm-cache fill is modeled separately (flops_doc_norm_cache). The
+  // remaining gap is the sweep skipping zero query weights, which the dense
+  // model cannot know about.
+  std::uint64_t predicted = core::flops_batch_score(fp);
+  if (stats.project_seconds > 0.0) predicted += core::flops_batch_project(fp);
+  g_flops.push_back({"retrieval.batch", predicted, stats.flops});
+}
+
 int cmd_build(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const auto docs = read_tsv(args[0]);
 
-  core::IndexOptions opts;
+  IndexOptions opts;
   opts.k = 100;
   if (const auto k = flag_value(args, "--k"); !k.empty()) {
     opts.k = static_cast<core::index_t>(std::stoul(k));
@@ -94,24 +143,57 @@ int cmd_build(const std::vector<std::string>& args) {
   if (const auto df = flag_value(args, "--min-df"); !df.empty()) {
     opts.parser.min_document_frequency = std::stoul(df);
   }
+  if (const auto dc = flag_value(args, "--dense-cutoff"); !dc.empty()) {
+    opts.build.dense_cutoff = static_cast<core::index_t>(std::stoul(dc));
+  }
   opts.parser.stem = has_flag(args, "--stem");
   opts.parser.add_bigrams = has_flag(args, "--bigrams");
 
-  auto index = core::LsiIndex::build(docs, opts);
-  core::LsiDatabase db{index.space(), index.vocabulary(),
-                       index.doc_labels(), index.options().scheme,
-                       index.global_weights()};
-  core::save_database_file(args[1], db);
+  auto index = LsiIndex::try_build(docs, opts).value();
+  LsiDatabase db{index.space(), index.vocabulary(),
+                 index.doc_labels(), index.options().scheme,
+                 index.global_weights()};
+  try_save_database_file(args[1], db).or_throw();
   std::cout << "built " << args[1] << ": " << db.doc_labels.size()
             << " documents, " << db.vocabulary.size() << " terms, k = "
             << db.space.k() << "\n";
+
+  if (g_sink) {
+    stat_param("terms", static_cast<double>(index.space().num_terms()));
+    stat_param("docs", static_cast<double>(index.space().num_docs()));
+    stat_param("k", static_cast<double>(index.space().k()));
+    stat_param("nnz", static_cast<double>(index.weighted_matrix().nnz()));
+    // Section 4.2 cost skeleton for the sparse SVD just computed, using the
+    // iteration count the instrumented solver recorded.
+    const std::uint64_t steps = counter_value(*g_sink, "lanczos.steps");
+    if (steps > 0) {
+      core::FlopModelParams fp;
+      fp.m = index.space().num_terms();
+      fp.n = index.space().num_docs();
+      fp.nnz_a = index.weighted_matrix().nnz();
+      fp.iterations = steps;
+      fp.triplets = index.space().k();
+      g_flops.push_back({"lanczos.svd", core::flops_recompute(fp),
+                         counter_value(*g_sink, "lanczos.flops_measured")});
+    }
+  }
+
+  if (const auto probe = flag_value(args, "--probe"); !probe.empty()) {
+    QueryOptions qopts;
+    qopts.top_z = 10;
+    QueryStats stats;
+    std::cout << "# probe: " << probe << '\n';
+    for (const auto& hit : index.query(probe, qopts, &stats)) {
+      std::cout << hit.label << '\t' << hit.cosine << '\n';
+    }
+    record_retrieval_flops(index.space(), 1, stats);
+  }
   return 0;
 }
 
 /// Weighted query vector against a reloaded database.
-la::Vector query_vector(const core::LsiDatabase& db,
-                        const std::string& text) {
-  text::TermDocumentMatrix shim;
+la::Vector query_vector(const LsiDatabase& db, const std::string& text) {
+  TermDocumentMatrix shim;
   shim.vocabulary = db.vocabulary;  // text_to_term_vector needs the vocab
   la::Vector raw = text::text_to_term_vector(shim, text);
   std::vector<double> g = db.global_weights;
@@ -121,8 +203,8 @@ la::Vector query_vector(const core::LsiDatabase& db,
 
 int cmd_query(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  const auto db = core::load_database_file(args[0]);
-  core::QueryOptions qopts;
+  const auto db = try_load_database_file(args[0]).value();
+  QueryOptions qopts;
   qopts.top_z = 10;
   if (const auto top = flag_value(args, "--top"); !top.empty()) {
     qopts.top_z = std::stoul(top);
@@ -130,6 +212,9 @@ int cmd_query(const std::vector<std::string>& args) {
   if (const auto th = flag_value(args, "--threshold"); !th.empty()) {
     qopts.min_cosine = std::stod(th);
   }
+  stat_param("terms", static_cast<double>(db.space.num_terms()));
+  stat_param("docs", static_cast<double>(db.space.num_docs()));
+  stat_param("k", static_cast<double>(db.space.k()));
 
   if (const auto file = flag_value(args, "--batch-queries"); !file.empty()) {
     std::ifstream is(file);
@@ -142,28 +227,34 @@ int cmd_query(const std::vector<std::string>& args) {
     std::vector<la::Vector> vectors;
     vectors.reserve(texts.size());
     for (const auto& t : texts) vectors.push_back(query_vector(db, t));
-    const auto batch = core::QueryBatch::from_term_vectors(db.space, vectors);
-    const auto ranked = core::BatchedRetriever(db.space).rank(batch, qopts);
+    QueryStats stats;
+    const auto batch =
+        QueryBatch::from_term_vectors(db.space, vectors, &stats);
+    const auto ranked = BatchedRetriever(db.space).rank(batch, qopts, &stats);
     for (std::size_t b = 0; b < ranked.size(); ++b) {
       std::cout << "# query " << (b + 1) << ": " << texts[b] << '\n';
       for (const auto& sd : ranked[b]) {
         std::cout << db.doc_labels[sd.doc] << '\t' << sd.cosine << '\n';
       }
     }
+    stat_param("batch_size", static_cast<double>(texts.size()));
+    record_retrieval_flops(db.space, texts.size(), stats);
     return 0;
   }
 
+  QueryStats stats;
   const auto ranked =
-      core::retrieve(db.space, query_vector(db, args[1]), qopts);
+      retrieve(db.space, query_vector(db, args[1]), qopts, &stats);
   for (const auto& sd : ranked) {
     std::cout << db.doc_labels[sd.doc] << '\t' << sd.cosine << '\n';
   }
+  record_retrieval_flops(db.space, 1, stats);
   return 0;
 }
 
 int cmd_terms(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  const auto db = core::load_database_file(args[0]);
+  const auto db = try_load_database_file(args[0]).value();
   const auto row = db.vocabulary.find(args[1]);
   if (!row) {
     std::cerr << "term not in vocabulary: " << args[1] << "\n";
@@ -174,7 +265,7 @@ int cmd_terms(const std::vector<std::string>& args) {
     top = std::stoul(t);
   }
   const la::Vector anchor = db.space.term_coords(*row);
-  for (const auto& sd : core::rank_terms(db.space, anchor, top + 1)) {
+  for (const auto& sd : rank_terms(db.space, anchor, top + 1)) {
     if (sd.doc == *row) continue;
     std::cout << db.vocabulary.term(sd.doc) << '\t' << sd.cosine << '\n';
   }
@@ -183,9 +274,9 @@ int cmd_terms(const std::vector<std::string>& args) {
 
 int cmd_add(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
-  auto db = core::load_database_file(args[0]);
+  auto db = try_load_database_file(args[0]).value();
   const auto docs = read_tsv(args[1]);
-  lsi::la::CooBuilder builder(db.space.num_terms(), docs.size());
+  la::CooBuilder builder(db.space.num_terms(), docs.size());
   for (std::size_t d = 0; d < docs.size(); ++d) {
     const auto w = query_vector(db, docs[d].body);
     for (core::index_t i = 0; i < w.size(); ++i) {
@@ -193,16 +284,24 @@ int cmd_add(const std::vector<std::string>& args) {
     }
     db.doc_labels.push_back(docs[d].label);
   }
-  core::fold_in_documents(db.space, builder.to_csc());
-  core::save_database_file(args[0], db);
+  fold_in_documents(db.space, builder.to_csc());
+  try_save_database_file(args[0], db).or_throw();
   std::cout << "folded in " << docs.size() << " documents; database now "
             << db.doc_labels.size() << " documents\n";
+  if (g_sink) {
+    core::FlopModelParams fp;
+    fp.m = db.space.num_terms();
+    fp.k = db.space.k();
+    fp.p = docs.size();
+    g_flops.push_back({"foldin.documents", core::flops_fold_documents(fp),
+                       2 * fp.m * fp.k * fp.p});
+  }
   return 0;
 }
 
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
-  const auto db = core::load_database_file(args[0]);
+  const auto db = try_load_database_file(args[0]).value();
   std::cout << "documents: " << db.doc_labels.size() << "\n"
             << "terms:     " << db.vocabulary.size() << "\n"
             << "factors:   " << db.space.k() << "\n"
@@ -220,18 +319,61 @@ int cmd_info(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+
+  // --stats[=json|csv] applies to every command; strip it before dispatch.
+  std::string stats_format;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--stats" || *it == "--stats=json") {
+      stats_format = "json";
+      it = args.erase(it);
+    } else if (*it == "--stats=csv") {
+      stats_format = "csv";
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   if (args.empty()) return usage();
   const std::string cmd = args[0];
   args.erase(args.begin());
+
+  obs::Sink sink;
+  std::optional<obs::ScopedSink> scoped;
+  if (!stats_format.empty()) {
+    g_sink = &sink;
+    scoped.emplace(&sink);
+  }
+
+  int rc = 2;
   try {
-    if (cmd == "build") return cmd_build(args);
-    if (cmd == "query") return cmd_query(args);
-    if (cmd == "terms") return cmd_terms(args);
-    if (cmd == "add") return cmd_add(args);
-    if (cmd == "info") return cmd_info(args);
+    if (cmd == "build") {
+      rc = cmd_build(args);
+    } else if (cmd == "query") {
+      rc = cmd_query(args);
+    } else if (cmd == "terms") {
+      rc = cmd_terms(args);
+    } else if (cmd == "add") {
+      rc = cmd_add(args);
+    } else if (cmd == "info") {
+      rc = cmd_info(args);
+    } else {
+      return usage();
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
-  return usage();
+
+  if (rc == 0 && !stats_format.empty()) {
+    obs::StatsDoc doc = obs::StatsDoc::from_sink("lsi_cli." + cmd, sink);
+    doc.params = g_params;
+    doc.flops = g_flops;
+    if (stats_format == "csv") {
+      obs::write_csv(std::cout, doc);
+    } else {
+      obs::write_json(std::cout, doc);
+    }
+  }
+  return rc;
 }

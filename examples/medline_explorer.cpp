@@ -42,7 +42,7 @@ int main() {
   opts.parser.fold_plurals = true;
   opts.scheme = weighting::kRaw;           // the example is unweighted
   opts.k = 2;
-  auto index = core::LsiIndex::build(data::med_topics(), opts);
+  auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
   core::align_signs_to(index.mutable_space(), data::figure5_u2());
   std::cout << index.vocabulary().size() << " indexed terms, "
             << index.doc_labels().size() << " topics\n\n";
@@ -75,11 +75,14 @@ int main() {
             << "  (updating forms the rats cluster; folding cannot)\n";
 
   std::cout << "\n== 5. Persist and reload the LSI database ==\n";
-  core::LsiDatabase db{updated, index.vocabulary(), index.doc_labels()};
+  core::LsiDatabase db;
+  db.space = updated;
+  db.vocabulary = index.vocabulary();
+  db.doc_labels = index.doc_labels();
   db.doc_labels.push_back("M15");
   db.doc_labels.push_back("M16");
-  core::save_database_file("medline.lsidb", db);
-  auto reloaded = core::load_database_file("medline.lsidb");
+  core::try_save_database_file("medline.lsidb", db).or_throw();
+  auto reloaded = core::try_load_database_file("medline.lsidb").value();
   std::cout << "saved + reloaded: " << reloaded.doc_labels.size()
             << " documents, k = " << reloaded.space.k() << "\n";
   return 0;

@@ -39,7 +39,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 30;
-  auto index = core::LsiIndex::build(archive, opts);
+  auto index = core::LsiIndex::try_build(archive, opts).value();
   std::cout << "archive indexed: " << archive.size() << " articles\n";
 
   // The user's standing interest: the topic-0 query.

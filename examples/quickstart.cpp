@@ -25,7 +25,7 @@ int main() {
   core::IndexOptions opts;
   opts.k = 3;                       // 3 latent factors are plenty here
   opts.scheme = weighting::kLogEntropy;
-  auto index = core::LsiIndex::build(docs, opts);
+  auto index = core::LsiIndex::try_build(docs, opts).value();
   std::cout << "indexed " << index.doc_labels().size() << " documents, "
             << index.vocabulary().size() << " terms, k = "
             << index.space().k() << "\n\n";

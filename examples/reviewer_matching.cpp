@@ -36,7 +36,7 @@ int main() {
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 30;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
 
   // Reviewer profiles: mean projection of their writings.
   std::vector<la::Vector> profiles(num_reviewers,

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "la/jacobi_svd.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace lsi::la {
@@ -59,6 +60,7 @@ DenseMatrix build_bidiagonal(const std::vector<double>& alphas,
 
 SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
                       LanczosStats* stats) {
+  LSI_OBS_SPAN(span_total, "lanczos");
   const index_t m = op.rows();
   const index_t n = op.cols();
   const index_t minmn = std::min(m, n);
@@ -111,13 +113,27 @@ SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
     return good;
   };
 
+  // Measured flops of the dominant kernels; recorded into st.flops and the
+  // active obs sink at exit. One reorthogonalize(w, basis, count) costs two
+  // passes x count x (dot + axpy) = 8 * |w| * count flops.
+  const std::uint64_t matvec_flops = op.apply_flops();
+  std::uint64_t measured_flops = 0;
+
   index_t j = 0;
   for (; j < max_dim;) {
-    // u_j = A v_j - beta_{j-1} u_{j-1}
-    op.apply(vbasis.col(j), scratch_m);
+    {
+      // u_j = A v_j - beta_{j-1} u_{j-1}
+      LSI_OBS_SPAN(span_mv, "lanczos.matvec");
+      op.apply(vbasis.col(j), scratch_m);
+    }
     ++st.matvecs;
+    measured_flops += matvec_flops;
     if (j > 0) axpy(-betas[j - 1], ubasis.col(j - 1), scratch_m);
-    reorthogonalize(scratch_m, ubasis, j);
+    {
+      LSI_OBS_SPAN(span_reorth, "lanczos.reorth");
+      reorthogonalize(scratch_m, ubasis, j);
+    }
+    measured_flops += 8ull * m * j;
     double alpha = norm2(scratch_m);
     if (alpha <= 1e-13) {
       // A v_j already lies in span(U_{j-1}); restart an orthogonal block.
@@ -132,11 +148,19 @@ SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
     std::copy(scratch_m.begin(), scratch_m.end(), ubasis.col(j).begin());
     alphas.push_back(alpha);
 
-    // beta_j and (if room) v_{j+1}:  w = A^T u_j - alpha_j v_j.
-    op.apply_transpose(ubasis.col(j), scratch_n);
+    {
+      // beta_j and (if room) v_{j+1}:  w = A^T u_j - alpha_j v_j.
+      LSI_OBS_SPAN(span_mv, "lanczos.matvec");
+      op.apply_transpose(ubasis.col(j), scratch_n);
+    }
     ++st.matvecs_transpose;
+    measured_flops += matvec_flops;
     axpy(-alphas[j], vbasis.col(j), scratch_n);
-    reorthogonalize(scratch_n, vbasis, j + 1);
+    {
+      LSI_OBS_SPAN(span_reorth, "lanczos.reorth");
+      reorthogonalize(scratch_n, vbasis, j + 1);
+    }
+    measured_flops += 8ull * n * (j + 1);
     double beta = norm2(scratch_n);
     if (beta <= 1e-13) {
       beta = 0.0;
@@ -157,6 +181,7 @@ SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
     }
 
     if (j >= next_check && j < max_dim) {
+      LSI_OBS_SPAN(span_check, "lanczos.ritz_check");
       small = jacobi_svd(build_bidiagonal(alphas, betas, j));
       if (converged_count(small, j) >= std::min<index_t>(k, j)) break;
       next_check = std::min<index_t>(max_dim, j + std::max<index_t>(8, k / 4));
@@ -167,7 +192,10 @@ SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
   st.steps = dim;
   if (dim == 0) return out;
 
-  small = jacobi_svd(build_bidiagonal(alphas, betas, dim));
+  {
+    LSI_OBS_SPAN(span_check, "lanczos.ritz_check");
+    small = jacobi_svd(build_bidiagonal(alphas, betas, dim));
+  }
   const index_t keep = std::min<index_t>(k, dim);
   const double sigma1 = small.s.empty() ? 0.0 : small.s[0];
   const double beta_tail = betas[dim - 1];
@@ -178,11 +206,24 @@ SvdResult lanczos_svd(const LinearOperator& op, const LanczosOptions& opts,
     st.max_residual = std::max(st.max_residual, resid);
     if (resid <= opts.tol || exhausted || dim == minmn) ++st.converged;
   }
+  // The two assembly GEMMs: (m x dim)(dim x keep) and (n x dim)(dim x keep).
+  measured_flops += 2ull * (m + n) * dim * keep;
+  st.flops = measured_flops;
+  if (obs::Sink* sink = obs::Sink::active()) {
+    obs::MetricsRegistry& reg = sink->metrics();
+    reg.counter("lanczos.steps").add(st.steps);
+    reg.counter("lanczos.matvecs").add(st.matvecs);
+    reg.counter("lanczos.matvecs_transpose").add(st.matvecs_transpose);
+    reg.counter("lanczos.converged").add(st.converged);
+    reg.counter("lanczos.flops_measured").add(st.flops);
+    reg.gauge("lanczos.max_residual").set(st.max_residual);
+  }
   if (opts.throw_if_not_converged && st.converged < keep) {
     throw std::runtime_error("lanczos_svd: not converged; raise max_dim");
   }
 
   // Assemble: U = U_dim * P, V = V_dim * Q, truncated to `keep`.
+  LSI_OBS_SPAN(span_assemble, "lanczos.assemble");
   small.truncate(keep);
   out.u = multiply(ubasis.first_cols(dim), small.u);
   out.v = multiply(vbasis.first_cols(dim), small.v);

@@ -35,6 +35,13 @@ struct LanczosStats {
   index_t matvecs_transpose = 0;  ///< A^T*x products
   index_t converged = 0;        ///< triplets meeting the residual tolerance
   double max_residual = 0.0;    ///< worst accepted Ritz residual / sigma_1
+  /// Measured flops of the dominant kernels: matvecs (via
+  /// LinearOperator::apply_flops), Gram-Schmidt reorthogonalization, and the
+  /// final basis-rotation GEMMs. Ritz-check bidiagonal SVDs are excluded
+  /// (O(steps^3), negligible at LSI shapes), so this slightly undercounts.
+  /// Compare against the Section 4.2 model via lsi::flops to get the
+  /// predicted-vs-actual rows the benches emit.
+  std::uint64_t flops = 0;
 };
 
 /// Computes up to opts.k largest singular triplets of `op`. The result holds

@@ -9,6 +9,7 @@
 // exactly one column.
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -158,6 +159,9 @@ class LinearOperator {
   /// y = A^T x; y is pre-sized to cols().
   virtual void apply_transpose(std::span<const double> x,
                                std::span<double> y) const = 0;
+  /// Flops one apply()/apply_transpose() costs (2 per stored nonzero), for
+  /// the observability layer's measured-flop accounting. 0 = unknown.
+  virtual std::uint64_t apply_flops() const noexcept { return 0; }
 };
 
 /// LinearOperator view over a CscMatrix (non-owning).
@@ -173,6 +177,9 @@ class CscOperator final : public LinearOperator {
                        std::span<double> y) const override {
     a_->apply_transpose(x, y);
   }
+  std::uint64_t apply_flops() const noexcept override {
+    return 2 * static_cast<std::uint64_t>(a_->nnz());
+  }
 
  private:
   const CscMatrix* a_;
@@ -187,6 +194,10 @@ class DenseOperator final : public LinearOperator {
   void apply(std::span<const double> x, std::span<double> y) const override;
   void apply_transpose(std::span<const double> x,
                        std::span<double> y) const override;
+  std::uint64_t apply_flops() const noexcept override {
+    return 2 * static_cast<std::uint64_t>(a_->rows()) *
+           static_cast<std::uint64_t>(a_->cols());
+  }
 
  private:
   const DenseMatrix* a_;

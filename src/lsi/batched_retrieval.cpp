@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace lsi::core {
 
@@ -67,7 +69,10 @@ QueryBatch QueryBatch::from_projected(const SemanticSpace& space,
 }
 
 QueryBatch QueryBatch::from_term_vectors(
-    const SemanticSpace& space, const std::vector<la::Vector>& term_vectors) {
+    const SemanticSpace& space, const std::vector<la::Vector>& term_vectors,
+    QueryStats* stats) {
+  util::WallTimer timer;
+  LSI_OBS_SPAN(span, "retrieval.project");
   la::DenseMatrix q(space.num_terms(), term_vectors.size());
   for (index_t b = 0; b < term_vectors.size(); ++b) {
     assert(term_vectors[b].size() == space.num_terms());
@@ -84,11 +89,23 @@ QueryBatch QueryBatch::from_term_vectors(
       col[i] = space.sigma[i] > 0.0 ? col[i] / space.sigma[i] : 0.0;
     }
   }
+  if (stats) {
+    const std::uint64_t m = space.num_terms();
+    const std::uint64_t k = space.k();
+    const std::uint64_t b = term_vectors.size();
+    stats->flops += 2 * m * k * b + k * b;  // GEMM + S^{-1} row scaling
+    const double elapsed = timer.seconds();
+    stats->project_seconds += elapsed;
+    stats->total_seconds += elapsed;
+  }
   return batch;
 }
 
 la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
-                                         SimilarityMode mode) const {
+                                         SimilarityMode mode,
+                                         QueryStats* stats) const {
+  util::WallTimer timer;
+  LSI_OBS_SPAN(span, "retrieval.score");
   const index_t n = space_.num_docs();
   const index_t k = space_.k();
   const index_t bsz = batch.size();
@@ -113,7 +130,29 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
   const std::vector<double>& doc_norm = space_.doc_norms(mode);
 
   la::DenseMatrix c(n, bsz);
-  if (n == 0 || bsz == 0) return c;
+  if (stats) {
+    // Flops of the sweep below, counted against what actually runs: zero
+    // weights skip their accumulation row, so tally the nonzeros.
+    std::uint64_t nnz_w = 0;
+    for (index_t b = 0; b < bsz; ++b) {
+      for (index_t i = 0; i < k; ++i) {
+        if (w(i, b) != 0.0) ++nnz_w;
+      }
+    }
+    stats->batch_size += bsz;
+    stats->docs_scored = n;
+    stats->flops += 3ull * k * bsz      // weight prep + query norms
+                    + 2ull * n * nnz_w  // multiply-accumulate sweep
+                    + 1ull * n * bsz;   // normalization divides
+  }
+  if (n == 0 || bsz == 0) {
+    if (stats) {
+      const double elapsed = timer.seconds();
+      stats->score_seconds += elapsed;
+      stats->total_seconds += elapsed;
+    }
+    return c;
+  }
   // One V_k-panel sweep: factor i's document column is loaded once per
   // panel and reused by every query. Each scores(j, b) accumulates over i
   // ascending, independent of panel bounds and batch size, so per-query
@@ -143,17 +182,35 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
         }
       },
       /*grain=*/512);
+  if (stats) {
+    const double elapsed = timer.seconds();
+    stats->score_seconds += elapsed;
+    stats->total_seconds += elapsed;
+  }
   return c;
 }
 
 std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
-    const QueryBatch& batch, const QueryOptions& opts) const {
-  const la::DenseMatrix c = scores(batch, opts.mode);
+    const QueryBatch& batch, const QueryOptions& opts,
+    QueryStats* stats) const {
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  const la::DenseMatrix c = scores(batch, opts.mode, stats);
+  util::WallTimer select_timer;
   std::vector<std::vector<ScoredDoc>> out(batch.size());
-  util::parallel_for(
-      0, batch.size(),
-      [&](std::size_t b) { out[b] = select_ranked(c.col(b), opts); },
-      /*grain=*/1);
+  {
+    LSI_OBS_SPAN(span, "retrieval.select");
+    util::parallel_for(
+        0, batch.size(),
+        [&](std::size_t b) { out[b] = select_ranked(c.col(b), opts); },
+        /*grain=*/1);
+  }
+  obs::count("retrieval.batches");
+  obs::count("retrieval.queries", batch.size());
+  if (stats) {
+    const double elapsed = select_timer.seconds();
+    stats->select_seconds += elapsed;
+    stats->total_seconds += elapsed;
+  }
   return out;
 }
 

@@ -40,10 +40,13 @@ class QueryBatch {
                                    const std::vector<la::Vector>& qhats);
 
   /// Projects B raw (weighted) m-vectors at once: the batched Equation 6,
-  /// Q_hat = S_k^{-1} (U_k^T Q), via the blocked GEMM.
+  /// Q_hat = S_k^{-1} (U_k^T Q), via the blocked GEMM. Runs under the
+  /// "retrieval.project" span; `stats`, when non-null, accumulates the
+  /// projection time and flops (see QueryStats).
   static QueryBatch from_term_vectors(
       const SemanticSpace& space,
-      const std::vector<la::Vector>& term_vectors);
+      const std::vector<la::Vector>& term_vectors,
+      QueryStats* stats = nullptr);
 
   index_t size() const noexcept { return qhat_.cols(); }
   index_t k() const noexcept { return qhat_.rows(); }
@@ -62,14 +65,20 @@ class BatchedRetriever {
 
   /// Full cosine matrix (num_docs x B, one query per column), no
   /// filtering or selection — the building block for layers that combine
-  /// scores themselves (multi-point queries, fan-out merging).
-  la::DenseMatrix scores(const QueryBatch& batch, SimilarityMode mode) const;
+  /// scores themselves (multi-point queries, fan-out merging). Runs under
+  /// the "retrieval.score" span; `stats` accumulates the sweep time and
+  /// flops when non-null.
+  la::DenseMatrix scores(const QueryBatch& batch, SimilarityMode mode,
+                         QueryStats* stats = nullptr) const;
 
   /// result[b] is query b's ranking: cosine descending, ties broken by
   /// ascending document index; `opts.min_cosine` is applied before top-z
-  /// selection (see QueryOptions).
+  /// selection (see QueryOptions). Honors `opts.sink` for the duration of
+  /// the call; selection runs under the "retrieval.select" span and `stats`
+  /// accumulates the per-stage breakdown when non-null.
   std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
-                                           const QueryOptions& opts = {}) const;
+                                           const QueryOptions& opts = {},
+                                           QueryStats* stats = nullptr) const;
 
  private:
   const SemanticSpace& space_;

@@ -3,11 +3,14 @@
 #include <cassert>
 
 #include "lsi/retrieval.hpp"
+#include "obs/trace.hpp"
 
 namespace lsi::core {
 
 void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
   assert(d.rows() == space.num_terms());
+  LSI_OBS_SPAN(span, "foldin.documents");
+  obs::count("foldin.documents_added", d.cols());
   la::DenseMatrix new_rows(d.cols(), space.k());
   la::Vector dense_col(d.rows());
   for (index_t j = 0; j < d.cols(); ++j) {
@@ -24,6 +27,8 @@ void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
 
 void fold_in_terms(SemanticSpace& space, const la::CscMatrix& t) {
   assert(t.cols() == space.num_docs());
+  LSI_OBS_SPAN(span, "foldin.terms");
+  obs::count("foldin.terms_added", t.rows());
   la::DenseMatrix new_rows(t.rows(), space.k());
   // Convert to CSR for O(nnz_q) access to each new term row; the Eq. 8
   // projection t V S^{-1} then costs O(nnz_q * k) per term instead of

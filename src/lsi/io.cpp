@@ -6,9 +6,15 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace lsi::core {
 
 namespace {
+// The read/write helpers below throw std::runtime_error internally; the
+// try_* entry points are the exception boundary, translating to Status
+// (DataLoss for malformed input, Internal for write failures, NotFound for
+// unopenable paths).
 
 constexpr std::uint32_t kMagic = 0x4C534932;  // "LSI2"
 
@@ -60,7 +66,9 @@ la::DenseMatrix read_matrix(std::istream& is) {
 
 }  // namespace
 
-void save_database(std::ostream& os, const LsiDatabase& db) {
+namespace {
+
+void save_database_impl(std::ostream& os, const LsiDatabase& db) {
   write_u64(os, kMagic);
   write_matrix(os, db.space.u);
   write_u64(os, db.space.sigma.size());
@@ -81,7 +89,7 @@ void save_database(std::ostream& os, const LsiDatabase& db) {
   if (!os) throw std::runtime_error("lsi::io: write failed");
 }
 
-LsiDatabase load_database(std::istream& is) {
+LsiDatabase load_database_impl(std::istream& is) {
   if (read_u64(is) != kMagic) {
     throw std::runtime_error("lsi::io: bad magic (not an LSI database)");
   }
@@ -119,16 +127,59 @@ LsiDatabase load_database(std::istream& is) {
   return db;
 }
 
-void save_database_file(const std::string& path, const LsiDatabase& db) {
+}  // namespace
+
+Status try_save_database(std::ostream& os, const LsiDatabase& db) {
+  LSI_OBS_SPAN(span, "io.save");
+  try {
+    save_database_impl(os, db);
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  }
+  return Status::Ok();
+}
+
+Expected<LsiDatabase> try_load_database(std::istream& is) {
+  LSI_OBS_SPAN(span, "io.load");
+  try {
+    return load_database_impl(is);
+  } catch (const std::exception& e) {
+    return Status::DataLoss(e.what());
+  }
+}
+
+Status try_save_database_file(const std::string& path,
+                              const LsiDatabase& db) {
   std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("lsi::io: cannot open " + path);
-  save_database(os, db);
+  if (!os) return Status::NotFound("lsi::io: cannot open " + path);
+  return try_save_database(os, db);
+}
+
+Expected<LsiDatabase> try_load_database_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::NotFound("lsi::io: cannot open " + path);
+  return try_load_database(is);
+}
+
+// Deprecated shims. The pragma silences the self-referential deprecation
+// warnings these definitions would otherwise emit under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+void save_database(std::ostream& os, const LsiDatabase& db) {
+  try_save_database(os, db).or_throw();
+}
+
+LsiDatabase load_database(std::istream& is) {
+  return try_load_database(is).value();
+}
+
+void save_database_file(const std::string& path, const LsiDatabase& db) {
+  try_save_database_file(path, db).or_throw();
 }
 
 LsiDatabase load_database_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("lsi::io: cannot open " + path);
-  return load_database(is);
+  return try_load_database_file(path).value();
 }
+#pragma GCC diagnostic pop
 
 }  // namespace lsi::core

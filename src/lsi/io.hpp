@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "lsi/semantic_space.hpp"
+#include "lsi/status.hpp"
 #include "text/vocabulary.hpp"
 #include "weighting/weighting.hpp"
 
@@ -25,15 +26,30 @@ struct LsiDatabase {
   std::vector<double> global_weights;
 };
 
-/// Serializes to a stream. Throws std::runtime_error on write failure.
+/// Serializes to a stream. Fails with Internal on write failure. Runs under
+/// the "io.save" trace span.
+Status try_save_database(std::ostream& os, const LsiDatabase& db);
+
+/// Deserializes. Fails with DataLoss on malformed/truncated input or a
+/// magic-number mismatch. Runs under the "io.load" trace span.
+Expected<LsiDatabase> try_load_database(std::istream& is);
+
+/// File conveniences; additionally fail with NotFound when the path cannot
+/// be opened.
+Status try_save_database_file(const std::string& path, const LsiDatabase& db);
+Expected<LsiDatabase> try_load_database_file(const std::string& path);
+
+/// Deprecated throwing signatures (one-PR migration shims; see status.hpp).
+[[deprecated("use try_save_database(os, db).or_throw()")]]
 void save_database(std::ostream& os, const LsiDatabase& db);
 
-/// Deserializes; throws std::runtime_error on malformed input or version
-/// mismatch.
+[[deprecated("use try_load_database(is).value()")]]
 LsiDatabase load_database(std::istream& is);
 
-/// File conveniences.
+[[deprecated("use try_save_database_file(path, db).or_throw()")]]
 void save_database_file(const std::string& path, const LsiDatabase& db);
+
+[[deprecated("use try_load_database_file(path).value()")]]
 LsiDatabase load_database_file(const std::string& path);
 
 }  // namespace lsi::core

@@ -2,25 +2,62 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 
 namespace lsi::core {
 
-LsiIndex LsiIndex::build(const text::Collection& docs,
-                         const IndexOptions& opts) {
+Status IndexOptions::Validate() const {
+  if (k == 0) {
+    return Status::InvalidArgument("IndexOptions: k must be at least 1");
+  }
+  if (build.lanczos.tol <= 0.0) {
+    return Status::InvalidArgument(
+        "IndexOptions: build.lanczos.tol must be positive");
+  }
+  if (parser.min_document_frequency == 0) {
+    return Status::InvalidArgument(
+        "IndexOptions: parser.min_document_frequency must be at least 1");
+  }
+  if (query.min_cosine > 1.0) {
+    return Status::InvalidArgument(
+        "IndexOptions: query.min_cosine above 1 matches nothing");
+  }
+  return Status::Ok();
+}
+
+Expected<LsiIndex> LsiIndex::try_build(const text::Collection& docs,
+                                       const IndexOptions& opts) {
+  if (Status s = opts.Validate(); !s.ok()) return s;
+  if (docs.empty()) {
+    return Status::InvalidArgument("LsiIndex: empty collection");
+  }
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  LSI_OBS_SPAN(span, "build");
   LsiIndex index;
   index.opts_ = opts;
   index.tdm_ = text::build_term_document_matrix(docs, opts.parser);
-  index.weighted_ = weighting::apply(index.tdm_.counts, opts.scheme);
-  index.global_weights_ =
-      weighting::global_weights(index.tdm_.counts, opts.scheme.global);
-
-  BuildOptions build = opts.build;
-  build.k = opts.k;
-  index.space_ = build_semantic_space(index.weighted_, build);
+  {
+    LSI_OBS_SPAN(span_weight, "build.weight");
+    index.weighted_ = weighting::apply(index.tdm_.counts, opts.scheme);
+    index.global_weights_ =
+        weighting::global_weights(index.tdm_.counts, opts.scheme.global);
+  }
+  Expected<SemanticSpace> space =
+      try_build_semantic_space(index.weighted_, opts.effective_build());
+  if (!space.ok()) return space.status();
+  index.space_ = std::move(space).value();
   index.labels_ = index.tdm_.doc_labels;
   return index;
 }
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+LsiIndex LsiIndex::build(const text::Collection& docs,
+                         const IndexOptions& opts) {
+  return try_build(docs, opts).value();
+}
+#pragma GCC diagnostic pop
 
 la::Vector LsiIndex::weighted_term_vector(std::string_view text) const {
   const la::Vector raw = text::text_to_term_vector(tdm_, text, opts_.parser);
@@ -33,27 +70,48 @@ la::Vector LsiIndex::project(std::string_view text) const {
 }
 
 std::vector<QueryResult> LsiIndex::query_projected(
-    const la::Vector& q_hat, const QueryOptions& opts) const {
+    const la::Vector& q_hat, const QueryOptions& opts,
+    QueryStats* stats) const {
+  // Sink precedence: per-call QueryOptions::sink wins (applied inside
+  // rank), then the index-level sink installed here, then the ambient one.
+  obs::ScopedSink scoped(opts_.sink ? opts_.sink : obs::Sink::active());
   std::vector<QueryResult> out;
-  for (const ScoredDoc& sd : rank_documents(space_, q_hat, opts)) {
+  for (const ScoredDoc& sd : rank_documents(space_, q_hat, opts, stats)) {
     out.push_back({labels_[sd.doc], sd.doc, sd.cosine});
   }
   return out;
 }
 
+std::vector<QueryResult> LsiIndex::query_projected(
+    const la::Vector& q_hat) const {
+  return query_projected(q_hat, opts_.query);
+}
+
 std::vector<QueryResult> LsiIndex::query(std::string_view text,
-                                         const QueryOptions& opts) const {
-  return query_projected(project(text), opts);
+                                         const QueryOptions& opts,
+                                         QueryStats* stats) const {
+  return query_projected(project(text), opts, stats);
+}
+
+std::vector<QueryResult> LsiIndex::query(std::string_view text) const {
+  return query(text, opts_.query);
+}
+
+std::vector<QueryResult> LsiIndex::query_vector(const la::Vector& raw_tf,
+                                                const QueryOptions& opts,
+                                                QueryStats* stats) const {
+  const la::Vector weighted = weighting::apply_to_vector(
+      raw_tf, global_weights_, opts_.scheme.local);
+  return query_projected(project_query(space_, weighted), opts, stats);
 }
 
 std::vector<QueryResult> LsiIndex::query_vector(
-    const la::Vector& raw_tf, const QueryOptions& opts) const {
-  const la::Vector weighted = weighting::apply_to_vector(
-      raw_tf, global_weights_, opts_.scheme.local);
-  return query_projected(project_query(space_, weighted), opts);
+    const la::Vector& raw_tf) const {
+  return query_vector(raw_tf, opts_.query);
 }
 
 void LsiIndex::add_documents(const text::Collection& docs, AddMethod method) {
+  obs::ScopedSink scoped(opts_.sink ? opts_.sink : obs::Sink::active());
   la::CooBuilder builder(space_.num_terms(), docs.size());
   for (std::size_t d = 0; d < docs.size(); ++d) {
     const la::Vector w = weighted_term_vector(docs[d].body);

@@ -11,17 +11,45 @@
 #include "lsi/folding.hpp"
 #include "lsi/retrieval.hpp"
 #include "lsi/semantic_space.hpp"
+#include "lsi/status.hpp"
 #include "lsi/update.hpp"
 #include "text/parser.hpp"
 #include "weighting/weighting.hpp"
 
 namespace lsi::core {
 
+/// The single source of truth for pipeline configuration. Settings that
+/// historically lived in two places resolve with documented precedence:
+///
+///   * number of factors: `IndexOptions::k` overrides `BuildOptions::k`
+///     (which in turn overrides `LanczosOptions::k` inside the builder) —
+///     `effective_build()` is the resolved value the index actually uses;
+///   * query behavior: `IndexOptions::query` is the default for query calls
+///     that pass no QueryOptions; an explicit per-call QueryOptions replaces
+///     it wholesale (no field-wise merging);
+///   * observability: a per-call `QueryOptions::sink` overrides
+///     `IndexOptions::sink`, which overrides the ambient active sink.
 struct IndexOptions {
   text::ParserOptions parser;
   weighting::Scheme scheme = weighting::kLogEntropy;
-  index_t k = 100;             ///< factors retained
-  BuildOptions build;          ///< k field overridden by `k`
+  index_t k = 100;             ///< factors retained (wins over build.k)
+  BuildOptions build;          ///< k field overridden by `k`, see above
+  QueryOptions query;          ///< defaults for query calls without options
+  /// When non-null, installed as the active observability sink during
+  /// build and every query made through the index.
+  obs::Sink* sink = nullptr;
+
+  /// `build` with the k precedence applied: the BuildOptions the index
+  /// passes to try_build_semantic_space.
+  BuildOptions effective_build() const {
+    BuildOptions resolved = build;
+    resolved.k = k;
+    return resolved;
+  }
+
+  /// First violation found, or OK. Checked by LsiIndex::try_build before
+  /// any work happens.
+  Status Validate() const;
 };
 
 /// How new documents are incorporated (Section 2.3's taxonomy).
@@ -38,27 +66,42 @@ struct QueryResult {
 
 class LsiIndex {
  public:
-  /// Parses, weights and decomposes a collection.
+  /// Parses, weights and decomposes a collection. Fails with the first
+  /// IndexOptions::Validate() violation, InvalidArgument on an empty
+  /// collection, or whatever try_build_semantic_space reports. Runs with
+  /// opts.sink installed (when non-null) under the "build" trace span.
+  static Expected<LsiIndex> try_build(const text::Collection& docs,
+                                      const IndexOptions& opts);
+
+  /// Deprecated throwing signature (one-PR migration shim; see status.hpp).
+  [[deprecated("use LsiIndex::try_build(docs, opts).value()")]]
   static LsiIndex build(const text::Collection& docs,
                         const IndexOptions& opts);
 
   /// Ranks documents against free-text. Unknown words are ignored (they are
   /// not indexed terms, exactly like "of children with" in the paper's
-  /// example query).
+  /// example query). The no-options overload uses IndexOptions::query;
+  /// `stats`, when non-null, accumulates the per-stage breakdown.
+  std::vector<QueryResult> query(std::string_view text) const;
   std::vector<QueryResult> query(std::string_view text,
-                                 const QueryOptions& opts = {}) const;
+                                 const QueryOptions& opts,
+                                 QueryStats* stats = nullptr) const;
 
   /// Ranks documents against an explicit raw term-frequency vector.
+  std::vector<QueryResult> query_vector(const la::Vector& raw_tf) const;
   std::vector<QueryResult> query_vector(const la::Vector& raw_tf,
-                                        const QueryOptions& opts = {}) const;
+                                        const QueryOptions& opts,
+                                        QueryStats* stats = nullptr) const;
 
   /// Projects free-text into k-space (for relevance feedback, filtering
   /// profiles, and term lookups).
   la::Vector project(std::string_view text) const;
 
   /// Ranks documents against an already-projected k-vector.
+  std::vector<QueryResult> query_projected(const la::Vector& q_hat) const;
   std::vector<QueryResult> query_projected(const la::Vector& q_hat,
-                                           const QueryOptions& opts = {}) const;
+                                           const QueryOptions& opts,
+                                           QueryStats* stats = nullptr) const;
 
   /// Adds new documents by folding-in or SVD-updating. Terms not in the
   /// vocabulary are dropped (the paper's fold-in semantics); document labels

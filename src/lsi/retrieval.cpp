@@ -37,23 +37,26 @@ la::Vector project_term(const SemanticSpace& space,
 
 std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
                                       std::span<const double> query_khat,
-                                      const QueryOptions& opts) {
+                                      const QueryOptions& opts,
+                                      QueryStats* stats) {
   assert(query_khat.size() == space.k());
   // Batch-size-1 wrapper over the batched engine — the one scoring path.
   const QueryBatch one = QueryBatch::from_projected(
       space, {la::Vector(query_khat.begin(), query_khat.end())});
-  auto ranked = BatchedRetriever(space).rank(one, opts);
+  auto ranked = BatchedRetriever(space).rank(one, opts, stats);
   return std::move(ranked.front());
 }
 
 std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
                                 std::span<const double> term_vector,
-                                const QueryOptions& opts) {
+                                const QueryOptions& opts,
+                                QueryStats* stats) {
   // Batch-size-1 wrapper over the batched engine, projection included, so
   // streamed single queries and batched queries share every kernel.
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
   const QueryBatch one = QueryBatch::from_term_vectors(
-      space, {la::Vector(term_vector.begin(), term_vector.end())});
-  auto ranked = BatchedRetriever(space).rank(one, opts);
+      space, {la::Vector(term_vector.begin(), term_vector.end())}, stats);
+  auto ranked = BatchedRetriever(space).rank(one, opts, stats);
   return std::move(ranked.front());
 }
 

@@ -19,10 +19,12 @@
 //                  Figures 5/6 (query at q_hat, documents at V_k S_k);
 //   kPlainV:       cos(q_hat, v_j) — unscaled factor space.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "lsi/semantic_space.hpp"
+#include "obs/trace.hpp"
 
 namespace lsi::core {
 
@@ -37,6 +39,31 @@ struct QueryOptions {
   /// (possibly fewer than z).
   double min_cosine = -1.0;
   std::size_t top_z = 0;     ///< keep only the z best (0 = unlimited)
+  /// When non-null, installed as the active observability sink for the
+  /// duration of the retrieval call (the previous sink is restored on
+  /// return); null leaves whatever sink is already active in place.
+  obs::Sink* sink = nullptr;
+};
+
+/// Per-call timing and work counters reported by the retrieval engine.
+/// Fields ACCUMULATE: pass the same struct to QueryBatch::from_term_vectors
+/// and BatchedRetriever::rank to get the full projection + scoring +
+/// selection breakdown of one logical batch, or zero it between calls.
+/// Stages a call does not execute (e.g. projection when the batch was built
+/// from pre-projected vectors) are left untouched. Times are wall seconds
+/// and are always collected (a few steady_clock reads per call, independent
+/// of whether an observability sink is installed).
+struct QueryStats {
+  index_t batch_size = 0;        ///< queries handled
+  index_t docs_scored = 0;       ///< documents swept per query
+  double project_seconds = 0.0;  ///< batched Equation 6 projection
+  double score_seconds = 0.0;    ///< cosine sweep over V_k panels
+  double select_seconds = 0.0;   ///< threshold + top-z selection
+  double total_seconds = 0.0;    ///< wall time of the instrumented calls
+  /// Analytic flop count of the kernels actually executed (zero query
+  /// weights are skipped by the sweep, so this can undercut the dense
+  /// lsi::flops model predictions).
+  std::uint64_t flops = 0;
 };
 
 struct ScoredDoc {
@@ -62,12 +89,14 @@ la::Vector project_term(const SemanticSpace& space,
 /// construction.
 std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
                                       std::span<const double> query_khat,
-                                      const QueryOptions& opts = {});
+                                      const QueryOptions& opts = {},
+                                      QueryStats* stats = nullptr);
 
 /// One-call retrieval: project `term_vector` and rank.
 std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
                                 std::span<const double> term_vector,
-                                const QueryOptions& opts = {});
+                                const QueryOptions& opts = {},
+                                QueryStats* stats = nullptr);
 
 /// Cosine between two documents in the space (doc-doc similarity, in the
 /// S-scaled coordinates the paper plots).

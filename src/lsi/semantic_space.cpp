@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/jacobi_svd.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lsi::core {
@@ -12,7 +13,12 @@ const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
   auto& cache = doc_norm_cache_[static_cast<std::size_t>(mode)];
   // Row-count mismatch means documents were appended (folding) since the
   // cache was built; same-size mutation must call invalidate_doc_norms().
-  if (cache.size() == num_docs()) return cache;
+  if (cache.size() == num_docs()) {
+    obs::count("retrieval.norm_cache.hit");
+    return cache;
+  }
+  obs::count("retrieval.norm_cache.miss");
+  LSI_OBS_SPAN(span, "retrieval.norm_cache.fill");
   const bool scale_docs = mode != SimilarityMode::kPlainV;
   std::vector<double> norms(num_docs());
   util::parallel_for_chunks(
@@ -55,9 +61,19 @@ la::DenseMatrix SemanticSpace::reconstruct() const {
   return la::multiply_a_bt(la::scale_cols(u, sigma), v);
 }
 
-SemanticSpace build_semantic_space(const la::CscMatrix& a,
-                                   const BuildOptions& opts,
-                                   la::LanczosStats* stats) {
+Expected<SemanticSpace> try_build_semantic_space(const la::CscMatrix& a,
+                                                 const BuildOptions& opts,
+                                                 la::LanczosStats* stats) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument(
+        "try_build_semantic_space: empty term-document matrix (" +
+        std::to_string(a.rows()) + " x " + std::to_string(a.cols()) + ")");
+  }
+  if (opts.k == 0) {
+    return Status::InvalidArgument(
+        "try_build_semantic_space: k must be at least 1");
+  }
+  LSI_OBS_SPAN(span, "build.svd");
   const index_t minmn = std::min(a.rows(), a.cols());
   const index_t k = std::min(opts.k, minmn);
 
@@ -69,7 +85,11 @@ SemanticSpace build_semantic_space(const la::CscMatrix& a,
   } else {
     la::LanczosOptions lopts = opts.lanczos;
     lopts.k = k;
-    svd = la::lanczos_svd(a, lopts, stats);
+    try {
+      svd = la::lanczos_svd(a, lopts, stats);
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    }
   }
 
   SemanticSpace space;
@@ -79,11 +99,27 @@ SemanticSpace build_semantic_space(const la::CscMatrix& a,
   return space;
 }
 
-SemanticSpace build_semantic_space(const la::CscMatrix& a, index_t k) {
+Expected<SemanticSpace> try_build_semantic_space(const la::CscMatrix& a,
+                                                 index_t k) {
   BuildOptions opts;
   opts.k = k;
-  return build_semantic_space(a, opts);
+  return try_build_semantic_space(a, opts);
 }
+
+// Deprecated shims. The pragma silences the self-referential deprecation
+// warnings these definitions would otherwise emit under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+SemanticSpace build_semantic_space(const la::CscMatrix& a,
+                                   const BuildOptions& opts,
+                                   la::LanczosStats* stats) {
+  return try_build_semantic_space(a, opts, stats).value();
+}
+
+SemanticSpace build_semantic_space(const la::CscMatrix& a, index_t k) {
+  return try_build_semantic_space(a, k).value();
+}
+#pragma GCC diagnostic pop
 
 void align_signs_to(SemanticSpace& space, const la::DenseMatrix& reference) {
   const index_t cols = std::min(space.u.cols(), reference.cols());

@@ -16,6 +16,7 @@
 #include "la/lanczos.hpp"
 #include "la/sparse.hpp"
 #include "la/svd_types.hpp"
+#include "lsi/status.hpp"
 
 namespace lsi::core {
 
@@ -78,17 +79,35 @@ struct SemanticSpace {
 struct BuildOptions {
   index_t k = 100;          ///< number of factors retained
   /// Below this min(m, n) the dense Jacobi SVD is used instead of Lanczos.
+  /// 0 forces the Lanczos path even on tiny matrices (useful to exercise the
+  /// instrumented sparse solver from the CLI).
   index_t dense_cutoff = 96;
   la::LanczosOptions lanczos;  ///< k field is overridden by `k`
 };
 
-/// Computes the truncated SVD of a (weighted) term-document matrix and
-/// packages it as a semantic space. k is clamped to min(m, n).
+/// Canonical builder: computes the truncated SVD of a (weighted)
+/// term-document matrix and packages it as a semantic space. k is clamped to
+/// min(m, n) (asking for more factors than the shape admits is routine when
+/// sweeping k). Fails with InvalidArgument on an empty matrix or k == 0, and
+/// Internal if the solver signals non-convergence
+/// (LanczosOptions::throw_if_not_converged). Runs under the "build.svd"
+/// trace span; `stats` receives the Lanczos convergence counters and
+/// measured flops.
+Expected<SemanticSpace> try_build_semantic_space(
+    const la::CscMatrix& a, const BuildOptions& opts,
+    la::LanczosStats* stats = nullptr);
+
+/// Convenience: build with k factors and defaults elsewhere.
+Expected<SemanticSpace> try_build_semantic_space(const la::CscMatrix& a,
+                                                 index_t k);
+
+/// Deprecated throwing signatures (one-PR migration shims; see status.hpp).
+[[deprecated("use try_build_semantic_space(a, opts).value()")]]
 SemanticSpace build_semantic_space(const la::CscMatrix& a,
                                    const BuildOptions& opts,
                                    la::LanczosStats* stats = nullptr);
 
-/// Convenience: build with k factors and defaults elsewhere.
+[[deprecated("use try_build_semantic_space(a, k).value()")]]
 SemanticSpace build_semantic_space(const la::CscMatrix& a, index_t k);
 
 /// Flips the sign of space factors so they best match `reference` (another

@@ -4,6 +4,7 @@
 
 #include "la/jacobi_svd.hpp"
 #include "la/qr.hpp"
+#include "obs/trace.hpp"
 
 namespace lsi::core {
 
@@ -31,6 +32,8 @@ void update_documents(SemanticSpace& space, const la::CscMatrix& d) {
   const index_t p = d.cols();
   const index_t n = space.num_docs();
   if (p == 0) return;
+  LSI_OBS_SPAN(span, "update.documents");
+  obs::count("update.documents_added", p);
 
   // F = (S_k | U_k^T D), a k x (k+p) dense matrix.
   la::DenseMatrix utd(k, p);
@@ -78,6 +81,8 @@ void update_terms(SemanticSpace& space, const la::CscMatrix& t) {
   const index_t q = t.rows();
   const index_t m = space.num_terms();
   if (q == 0) return;
+  LSI_OBS_SPAN(span, "update.terms");
+  obs::count("update.terms_added", q);
 
   // H = (S_k ; T V_k), a (k+q) x k dense matrix.
   la::DenseMatrix tv(q, k);

@@ -1,0 +1,165 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace lsi::obs {
+
+namespace {
+
+/// Atomic fetch-add for doubles (compare-exchange loop; contention on these
+/// is light — one update per span end / histogram record).
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double Histogram::bucket_lower_bound(std::size_t b) noexcept {
+  return kLowest * std::exp2(static_cast<double>(b) / kBucketsPerOctave);
+}
+
+void Histogram::record(double v) noexcept {
+  if (!(v >= 0.0)) v = 0.0;  // NaN / negative clamp to zero
+  std::size_t b = 0;
+  if (v >= kLowest) {
+    const double octaves = std::log2(v / kLowest);
+    b = static_cast<std::size_t>(octaves * kBucketsPerOctave);
+    if (b >= kNumBuckets) b = kNumBuckets - 1;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t prev = count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  if (prev == 0) {
+    // First sample seeds min; later samples only shrink/grow it. A racing
+    // first pair may briefly leave min at 0, which is the conservative side.
+    min_.store(v, std::memory_order_relaxed);
+  } else {
+    atomic_min(min_, v);
+  }
+  atomic_max(max_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.buckets.resize(kNumBuckets);
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the wanted sample among `count` sorted samples (1-based).
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double lo = Histogram::bucket_lower_bound(b);
+      const double hi = b + 1 < buckets.size()
+                            ? Histogram::bucket_lower_bound(b + 1)
+                            : max;
+      // Linear interpolation by in-bucket fraction, clamped to observed
+      // extremes so the estimate never leaves [min, max].
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), min, max);
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (auto it = counters_.find(name); it != counters_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (auto it = gauges_.find(name); it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  {
+    std::shared_lock lock(mutex_);
+    if (auto it = histograms_.find(name); it != histograms_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> MetricsRegistry::counters()
+    const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histograms() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.emplace_back(name, h->snapshot());
+  }
+  return out;
+}
+
+}  // namespace lsi::obs

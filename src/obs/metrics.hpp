@@ -1,0 +1,120 @@
+#pragma once
+// Metric primitives for the observability layer (docs/OBSERVABILITY.md):
+// monotonic counters, last-value gauges, and fixed-bucket latency histograms
+// with interpolated p50/p95/p99, all registered by name in a thread-safe
+// MetricsRegistry.
+//
+// Recording is lock-free (relaxed atomics); only the first lookup of a name
+// takes the registry lock. Instrumented code holds Counter*/Histogram*
+// references, which stay valid for the registry's lifetime.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace lsi::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a dimension, a rate computed once).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only view of a histogram at one instant.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< per-bucket counts
+
+  double mean() const noexcept { return count ? sum / count : 0.0; }
+
+  /// Quantile estimate for q in [0, 1], by locating the bucket holding the
+  /// q-th sample and interpolating linearly inside it. The estimate's
+  /// relative error is bounded by the bucket growth factor (~19%); the exact
+  /// recorded min/max are returned at q = 0 / 1.
+  double quantile(double q) const noexcept;
+};
+
+/// Fixed-bucket log-spaced histogram for nonnegative values (latencies in
+/// seconds, sizes, flops). Buckets grow by 2^(1/4) per step from kLowest;
+/// values below the first boundary land in bucket 0, values beyond the last
+/// in the overflow bucket. record() is wait-free: one log2, two atomic adds.
+class Histogram {
+ public:
+  /// Bucket b covers [kLowest * 2^(b/4), kLowest * 2^((b+1)/4)).
+  static constexpr double kLowest = 1e-9;
+  static constexpr int kBucketsPerOctave = 4;
+  static constexpr std::size_t kNumBuckets = 161;  // up to ~1.1e3, + overflow
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot snapshot() const;
+
+  /// Lower boundary of bucket b (for exporters and tests).
+  static double bucket_lower_bound(std::size_t b) noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kNumBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// One named metric of each kind, created on first use and owned by the
+/// registry. Lookups after the first are a shared-lock map find; recording
+/// through the returned reference never locks.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Stable-ordered snapshots for exporters.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lsi::obs

@@ -1,0 +1,23 @@
+#pragma once
+// Structural validation of "lsi.stats.v1" documents — the schema check CI
+// runs over every emitted BENCH_<name>.json (no external JSON dependency; a
+// ~150-line recursive-descent parser is all the layer needs).
+
+#include <string_view>
+
+#include "lsi/status.hpp"
+
+namespace lsi::obs {
+
+/// Parses `text` as JSON and checks the lsi.stats.v1 shape:
+///   - top level object with "schema": "lsi.stats.v1" and a string "name";
+///   - "params"/"gauges": objects with numeric values;
+///   - "counters": object with nonnegative integer values;
+///   - "spans": array of objects each carrying a string "name" and numeric
+///     "count", "total_s", "self_s", "p50_s", "p95_s", "p99_s";
+///   - "flops": array of objects each carrying a string "name" and numeric
+///     "predicted" and "measured".
+/// Returns OK or a Status pinpointing the first violation.
+Status validate_stats_json(std::string_view text);
+
+}  // namespace lsi::obs

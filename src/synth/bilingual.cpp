@@ -7,8 +7,12 @@ namespace lsi::synth {
 namespace {
 
 std::string form_name(char lang, std::size_t concept_id, std::size_t form) {
-  return std::string(1, lang) + std::to_string(concept_id) + "f" +
-         std::to_string(form);
+  // Built by appends: GCC 12's -Wrestrict misfires on chained operator+.
+  std::string name(1, lang);
+  name += std::to_string(concept_id);
+  name += 'f';
+  name += std::to_string(form);
+  return name;
 }
 
 }  // namespace
@@ -47,8 +51,12 @@ BilingualCorpus generate_bilingual_corpus(const BilingualSpec& spec) {
         body_a += form_name('a', concept_id, fa);
         body_b += form_name('b', concept_id, fb);
       }
-      const std::string label = "D" + std::to_string(out.dual.size());
-      out.dual.push_back({label, body_a + ' ' + body_b});
+      std::string label = "D";
+      label += std::to_string(out.dual.size());
+      std::string dual_body = body_a;
+      dual_body += ' ';
+      dual_body += body_b;
+      out.dual.push_back({label, std::move(dual_body)});
       out.mono_a.push_back({label + "a", body_a});
       out.mono_b.push_back({label + "b", body_b});
       out.doc_topics.push_back(topic);

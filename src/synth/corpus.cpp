@@ -10,7 +10,12 @@ namespace lsi::synth {
 namespace {
 
 std::string form_name(std::size_t concept_id, std::size_t form) {
-  return "w" + std::to_string(concept_id) + "f" + std::to_string(form);
+  // Built by appends: GCC 12's -Wrestrict misfires on chained operator+.
+  std::string name = "w";
+  name += std::to_string(concept_id);
+  name += 'f';
+  name += std::to_string(form);
+  return name;
 }
 
 /// Pronounceable root for a concept id: digit d -> consonant-vowel pair, so
@@ -34,7 +39,11 @@ std::string morph_form_name(std::size_t concept_id, std::size_t form) {
 }
 
 std::string general_name(std::size_t concept_id, std::size_t form) {
-  return "g" + std::to_string(concept_id) + "f" + std::to_string(form);
+  std::string name = "g";
+  name += std::to_string(concept_id);
+  name += 'f';
+  name += std::to_string(form);
+  return name;
 }
 
 }  // namespace
@@ -136,8 +145,9 @@ SyntheticCorpus generate_corpus(const CorpusSpec& spec) {
         if (!body.empty()) body += ' ';
         body += (*forms)[f];
       }
-      out.docs.push_back(
-          {"D" + std::to_string(out.docs.size()), std::move(body)});
+      std::string label = "D";
+      label += std::to_string(out.docs.size());
+      out.docs.push_back({std::move(label), std::move(body)});
       out.doc_topics.push_back(topic);
     }
   }

@@ -35,7 +35,7 @@ SpellingModel build_spelling_model(const std::vector<std::string>& lexicon,
     }
   }
   model.ngram_by_word = builder.to_csc();
-  model.space = core::build_semantic_space(model.ngram_by_word, k);
+  model.space = core::try_build_semantic_space(model.ngram_by_word, k).value();
   return model;
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/trace.hpp"
 #include "text/stemmer.hpp"
 #include "text/stopwords.hpp"
 
@@ -52,6 +53,7 @@ std::string fold_token(const std::string& token,
 
 TermDocumentMatrix build_term_document_matrix(const Collection& docs,
                                               const ParserOptions& opts) {
+  LSI_OBS_SPAN(span, "build.parse");
   // Pass 1: tokenize everything and record the token universe (needed by the
   // plural-folding rule before counting).
   std::vector<std::vector<std::string>> doc_tokens(docs.size());
@@ -95,6 +97,9 @@ TermDocumentMatrix build_term_document_matrix(const Collection& docs,
     }
   }
   out.counts = builder.to_csc();
+  obs::gauge("build.terms", static_cast<double>(out.counts.rows()));
+  obs::gauge("build.docs", static_cast<double>(out.counts.cols()));
+  obs::gauge("build.nnz", static_cast<double>(out.counts.nnz()));
   return out;
 }
 

@@ -24,7 +24,11 @@ la::Vector paper_query() {
 TEST(Lexical, PaperSectionThreeTwo) {
   auto hits = baseline::lexical_match(data::table3_counts(), paper_query());
   std::set<std::string> got;
-  for (const auto& h : hits) got.insert("M" + std::to_string(h.doc + 1));
+  for (const auto& h : hits) {
+    std::string label = "M";
+    label += std::to_string(h.doc + 1);
+    got.insert(std::move(label));
+  }
   EXPECT_EQ(got,
             (std::set<std::string>{"M1", "M8", "M10", "M11", "M12"}));
 }

@@ -41,7 +41,7 @@ PairedScores evaluate(const synth::SyntheticCorpus& corpus,
   core::IndexOptions opts;
   opts.scheme = weighting::kLogEntropy;
   opts.k = k;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
   baseline::VectorSpaceModel vsm(index.weighted_matrix());
 
   std::vector<double> lsi_scores, kw_scores;
@@ -95,7 +95,7 @@ TEST(Pipeline, FoldInKeepsNewDocsRetrievable) {
 
   core::IndexOptions opts;
   opts.k = 40;
-  auto index = core::LsiIndex::build(train, opts);
+  auto index = core::LsiIndex::try_build(train, opts).value();
   index.add_documents(extra, core::AddMethod::kFoldIn);
   EXPECT_EQ(index.space().num_docs(), corpus.docs.size());
 
@@ -117,9 +117,9 @@ TEST(Pipeline, SvdUpdateKeepsRetrievalQuality) {
 
   core::IndexOptions opts;
   opts.k = 30;
-  auto folded = core::LsiIndex::build(train, opts);
+  auto folded = core::LsiIndex::try_build(train, opts).value();
   folded.add_documents(extra, core::AddMethod::kFoldIn);
-  auto updated = core::LsiIndex::build(train, opts);
+  auto updated = core::LsiIndex::try_build(train, opts).value();
   updated.add_documents(extra, core::AddMethod::kSvdUpdate);
 
   // SVD-updating preserves orthogonality; folding-in doesn't.
@@ -155,7 +155,7 @@ TEST(Pipeline, RelevanceFeedbackImprovesPrecision) {
   auto corpus = synth::generate_corpus(spec);
   core::IndexOptions opts;
   opts.k = 40;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
 
   std::vector<double> before, after;
   for (const auto& q : corpus.queries) {

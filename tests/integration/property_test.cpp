@@ -36,11 +36,15 @@ TEST_P(LanczosGrid, InvariantsHold) {
   // Descending nonnegative singular values.
   for (std::size_t i = 0; i < svd.s.size(); ++i) {
     EXPECT_GE(svd.s[i], -1e-12);
-    if (i) EXPECT_LE(svd.s[i], svd.s[i - 1] + 1e-12);
+    if (i) {
+      EXPECT_LE(svd.s[i], svd.s[i - 1] + 1e-12);
+    }
   }
   // sigma_1 <= ||A||_F and reconstruction never exceeds the matrix norm.
   const double fro = a.to_dense().frobenius_norm();
-  if (!svd.s.empty()) EXPECT_LE(svd.s[0], fro + 1e-9);
+  if (!svd.s.empty()) {
+    EXPECT_LE(svd.s[0], fro + 1e-9);
+  }
   EXPECT_LE(svd.reconstruct().frobenius_norm(), fro + 1e-9);
   // Orthonormal factors.
   EXPECT_LT(la::orthonormality_error(svd.u), 1e-8);
@@ -99,7 +103,7 @@ class UpdatePaths : public ::testing::TestWithParam<UpdatePath> {};
 TEST_P(UpdatePaths, InvariantsAfterDocumentAddition) {
   auto a = synth::random_sparse_matrix(35, 25, 0.2, 77);
   auto d = synth::random_sparse_matrix(35, 6, 0.2, 78);
-  auto space = core::build_semantic_space(a, 7);
+  auto space = core::try_build_semantic_space(a, 7).value();
   switch (GetParam()) {
     case UpdatePath::kFold:
       core::fold_in_documents(space, d);

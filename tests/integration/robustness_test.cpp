@@ -23,14 +23,14 @@ core::LsiDatabase sample_database() {
   opts.parser.min_document_frequency = 2;
   opts.parser.fold_plurals = true;
   opts.k = 3;
-  auto index = core::LsiIndex::build(data::med_topics(), opts);
+  auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
   return {index.space(), index.vocabulary(), index.doc_labels(),
           index.options().scheme, index.global_weights()};
 }
 
 TEST(Robustness, DatabaseTruncationSweepAlwaysThrows) {
   std::stringstream buffer;
-  core::save_database(buffer, sample_database());
+  core::try_save_database(buffer, sample_database()).or_throw();
   const std::string bytes = buffer.str();
   ASSERT_GT(bytes.size(), 64u);
 
@@ -38,21 +38,21 @@ TEST(Robustness, DatabaseTruncationSweepAlwaysThrows) {
   for (std::size_t len = 0; len < bytes.size();
        len += std::max<std::size_t>(1, bytes.size() / 97)) {
     std::stringstream truncated(bytes.substr(0, len));
-    EXPECT_THROW((void)core::load_database(truncated), std::runtime_error)
+    EXPECT_THROW((void)core::try_load_database(truncated).value(), std::runtime_error)
         << "silently accepted a stream truncated at " << len;
   }
   // The complete stream still loads.
   std::stringstream whole(bytes);
-  EXPECT_NO_THROW((void)core::load_database(whole));
+  EXPECT_NO_THROW((void)core::try_load_database(whole).value());
 }
 
 TEST(Robustness, DatabaseBitFlipInHeaderRejected) {
   std::stringstream buffer;
-  core::save_database(buffer, sample_database());
+  core::try_save_database(buffer, sample_database()).or_throw();
   std::string bytes = buffer.str();
   bytes[0] ^= 0x5a;  // corrupt the magic
   std::stringstream corrupted(bytes);
-  EXPECT_THROW((void)core::load_database(corrupted), std::runtime_error);
+  EXPECT_THROW((void)core::try_load_database(corrupted).value(), std::runtime_error);
 }
 
 TEST(Robustness, ParserSurvivesBinaryGarbage) {
@@ -79,7 +79,7 @@ TEST(Robustness, ParserSurvivesPathologicalTokens) {
 TEST(Robustness, EmptyQueryOnRealIndex) {
   core::IndexOptions opts;
   opts.k = 2;
-  auto index = core::LsiIndex::build(data::med_topics(), opts);
+  auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
   auto results = index.query("");
   // All-zero projection: every cosine is 0; nothing may crash.
   for (const auto& r : results) EXPECT_DOUBLE_EQ(r.cosine, 0.0);
@@ -136,8 +136,8 @@ TEST(Robustness, LanczosSingleColumn) {
 TEST(Robustness, IndexWithOneDocument) {
   core::IndexOptions opts;
   opts.k = 5;
-  auto index = core::LsiIndex::build({{"only", "solitary document text"}},
-                                     opts);
+  auto index = core::LsiIndex::try_build({{"only", "solitary document text"}},
+                                     opts).value();
   EXPECT_EQ(index.space().num_docs(), 1u);
   auto results = index.query("solitary");
   ASSERT_EQ(results.size(), 1u);
@@ -147,11 +147,13 @@ TEST(Robustness, IndexWithOneDocument) {
 TEST(Robustness, IndexWithIdenticalDocuments) {
   text::Collection docs(6, {"dup", "same words every time"});
   for (std::size_t i = 0; i < docs.size(); ++i) {
-    docs[i].label = "D" + std::to_string(i);
+    std::string label = "D";
+    label += std::to_string(i);
+    docs[i].label = std::move(label);
   }
   core::IndexOptions opts;
   opts.k = 3;
-  auto index = core::LsiIndex::build(docs, opts);
+  auto index = core::LsiIndex::try_build(docs, opts).value();
   auto results = index.query("same words");
   EXPECT_EQ(results.size(), 6u);
   for (const auto& r : results) EXPECT_NEAR(r.cosine, results[0].cosine, 1e-9);

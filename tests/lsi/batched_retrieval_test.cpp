@@ -40,7 +40,7 @@ void expect_identical(const std::vector<ScoredDoc>& got,
 
 TEST(BatchedRetrieval, BitIdenticalToSingleForEveryMode) {
   auto a = synth::random_sparse_matrix(40, 25, 0.3, 7);
-  auto space = build_semantic_space(a, 6);
+  auto space = try_build_semantic_space(a, 6).value();
   const auto queries = sparse_queries(40, 10, 11);
   const BatchedRetriever retriever(space);
 
@@ -60,7 +60,7 @@ TEST(BatchedRetrieval, BitIdenticalToSingleForEveryMode) {
 
 TEST(BatchedRetrieval, BatchSizeDoesNotChangeResults) {
   auto a = synth::random_sparse_matrix(35, 20, 0.3, 3);
-  auto space = build_semantic_space(a, 5);
+  auto space = try_build_semantic_space(a, 5).value();
   const auto queries = sparse_queries(35, 12, 17);
   const BatchedRetriever retriever(space);
   QueryOptions opts;
@@ -83,7 +83,7 @@ TEST(BatchedRetrieval, BatchSizeDoesNotChangeResults) {
 
 TEST(BatchedRetrieval, FromProjectedMatchesRankDocuments) {
   auto a = synth::random_sparse_matrix(30, 18, 0.35, 9);
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   const auto queries = sparse_queries(30, 6, 23);
 
   std::vector<la::Vector> qhats;
@@ -132,7 +132,7 @@ TEST(BatchedRetrieval, TiesBreakByAscendingDocIndex) {
 
 TEST(BatchedRetrieval, ThresholdAppliesBeforeTopZ) {
   auto a = synth::random_sparse_matrix(30, 20, 0.3, 13);
-  auto space = build_semantic_space(a, 5);
+  auto space = try_build_semantic_space(a, 5).value();
   const auto queries = sparse_queries(30, 5, 29);
 
   for (const auto& q : queries) {
@@ -165,7 +165,7 @@ TEST(BatchedRetrieval, ThresholdAppliesBeforeTopZ) {
 
 TEST(BatchedRetrieval, EmptyBatch) {
   auto a = synth::random_sparse_matrix(20, 12, 0.4, 19);
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   const BatchedRetriever retriever(space);
   const auto batch = QueryBatch::from_term_vectors(space, {});
   EXPECT_EQ(batch.size(), 0u);
@@ -175,7 +175,7 @@ TEST(BatchedRetrieval, EmptyBatch) {
 
 TEST(BatchedRetrieval, ZeroNormQueryScoresZeroEverywhere) {
   auto a = synth::random_sparse_matrix(25, 15, 0.35, 5);
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   const la::Vector zero(25, 0.0);
   const auto ranked = retrieve(space, zero, {});
   ASSERT_EQ(ranked.size(), 15u);
@@ -187,7 +187,7 @@ TEST(BatchedRetrieval, ZeroNormQueryScoresZeroEverywhere) {
 
 TEST(BatchedRetrieval, BatchLargerThanCollection) {
   auto a = synth::random_sparse_matrix(30, 9, 0.4, 2);
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   const auto queries = sparse_queries(30, 40, 37);  // B = 40 > n = 9
   QueryOptions opts;
   opts.top_z = 3;
@@ -201,7 +201,7 @@ TEST(BatchedRetrieval, BatchLargerThanCollection) {
 
 TEST(BatchedRetrieval, DocNormCacheInvalidatesOnMutation) {
   auto a = synth::random_sparse_matrix(25, 14, 0.35, 43);
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   const auto queries = sparse_queries(25, 3, 47);
 
   // Fill the cache, then mutate V in place (same row count, so only the

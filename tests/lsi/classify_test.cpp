@@ -56,7 +56,7 @@ TEST(LsiClassification, TopicsClassifiedOnLsiDimensions) {
 
   core::IndexOptions opts;
   opts.k = 20;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
 
   std::vector<la::Vector> train_x, test_x;
   std::vector<std::size_t> train_y, test_y;
@@ -88,7 +88,7 @@ TEST(LsiClassification, ReducedDimensionsCompetitiveWithFullSpace) {
 
   core::IndexOptions opts;
   opts.k = 16;
-  auto index = core::LsiIndex::build(corpus.docs, opts);
+  auto index = core::LsiIndex::try_build(corpus.docs, opts).value();
 
   // LSI features.
   std::vector<la::Vector> lsi_train, lsi_test;

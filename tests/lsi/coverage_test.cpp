@@ -22,7 +22,7 @@ using core::QueryOptions;
 using core::SimilarityMode;
 
 core::SemanticSpace paper_space(index_t k = 2) {
-  auto space = core::build_semantic_space(data::table3_counts(), k);
+  auto space = core::try_build_semantic_space(data::table3_counts(), k).value();
   core::align_signs_to(space, data::figure5_u2());
   return space;
 }
@@ -38,13 +38,13 @@ TEST(IoV2, RoundTripsWeightingMetadata) {
   opts.parser.min_document_frequency = 2;
   opts.scheme = weighting::kLogEntropy;
   opts.k = 3;
-  auto index = core::LsiIndex::build(data::med_topics(), opts);
+  auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
   core::LsiDatabase db{index.space(), index.vocabulary(),
                        index.doc_labels(), index.options().scheme,
                        index.global_weights()};
   std::stringstream buffer;
-  core::save_database(buffer, db);
-  auto loaded = core::load_database(buffer);
+  core::try_save_database(buffer, db).or_throw();
+  auto loaded = core::try_load_database(buffer).value();
   EXPECT_EQ(loaded.scheme.local, weighting::LocalWeight::kLog);
   EXPECT_EQ(loaded.scheme.global, weighting::GlobalWeight::kEntropy);
   ASSERT_EQ(loaded.global_weights.size(), index.global_weights().size());
@@ -58,8 +58,8 @@ TEST(IoV2, DefaultSchemeRoundTrips) {
   db.space = paper_space(2);
   db.vocabulary = text::Vocabulary(data::table3_terms());
   std::stringstream buffer;
-  core::save_database(buffer, db);
-  auto loaded = core::load_database(buffer);
+  core::try_save_database(buffer, db).or_throw();
+  auto loaded = core::try_load_database(buffer).value();
   EXPECT_EQ(loaded.scheme.local, weighting::LocalWeight::kRawTf);
   EXPECT_TRUE(loaded.global_weights.empty());
 }
@@ -154,14 +154,14 @@ TEST(RankTerms, QueryCanReturnTermsLikeAThesaurus) {
 }
 
 TEST(FoldThenUpdate, MixedIngestKeepsShapesConsistent) {
-  auto index = core::LsiIndex::build(data::med_topics(), [] {
+  auto index = core::LsiIndex::try_build(data::med_topics(), [] {
     core::IndexOptions opts;
     opts.parser.min_document_frequency = 2;
     opts.parser.fold_plurals = true;
     opts.scheme = weighting::kRaw;
     opts.k = 2;
     return opts;
-  }());
+  }()).value();
   index.add_documents({data::med_update_topics()[0]},
                       core::AddMethod::kFoldIn);
   index.add_documents({data::med_update_topics()[1]},
@@ -179,7 +179,7 @@ TEST(QueryVector, MatchesTextQuery) {
   opts.parser.fold_plurals = true;
   opts.scheme = weighting::kRaw;
   opts.k = 2;
-  auto index = core::LsiIndex::build(data::med_topics(), opts);
+  auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
   auto by_text = index.query(data::kQueryText);
   auto by_vector = index.query_vector(paper_query_raw());
   ASSERT_EQ(by_text.size(), by_vector.size());

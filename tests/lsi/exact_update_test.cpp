@@ -30,14 +30,14 @@ SemanticSpace recompute_docs(const SemanticSpace& base,
                              const la::CscMatrix& d, index_t k) {
   auto bordered = base.reconstruct();
   bordered.append_cols(d.to_dense());
-  return core::build_semantic_space(la::CscMatrix::from_dense(bordered), k);
+  return core::try_build_semantic_space(la::CscMatrix::from_dense(bordered), k).value();
 }
 
 TEST(ExactUpdateDocuments, MatchesRecomputeOnTruncatedSpace) {
   auto a = synth::random_sparse_matrix(30, 20, 0.25, 1);
   auto d = synth::random_sparse_matrix(30, 5, 0.25, 2);
   const index_t k = 6;
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
   auto reference = recompute_docs(space, d, k);
   core::update_documents_exact(space, d);
   expect_spaces_equivalent(space, reference, 1e-9);
@@ -55,7 +55,7 @@ TEST(ExactUpdateDocuments, HandlesOutOfSubspaceDocuments) {
   auto d = db.to_csc();
 
   const index_t k = 10;
-  auto approx = core::build_semantic_space(a, k);
+  auto approx = core::try_build_semantic_space(a, k).value();
   auto exact = approx;
   core::update_documents(approx, d);
   core::update_documents_exact(exact, d);
@@ -71,7 +71,7 @@ TEST(ExactUpdateDocuments, HandlesOutOfSubspaceDocuments) {
 
 TEST(ExactUpdateDocuments, KeepsOrthogonality) {
   auto a = synth::random_sparse_matrix(25, 18, 0.3, 3);
-  auto space = core::build_semantic_space(a, 5);
+  auto space = core::try_build_semantic_space(a, 5).value();
   core::update_documents_exact(space,
                                synth::random_sparse_matrix(25, 4, 0.3, 4));
   EXPECT_LT(core::orthogonality_loss(space.u), 1e-9);
@@ -81,7 +81,7 @@ TEST(ExactUpdateDocuments, KeepsOrthogonality) {
 
 TEST(ExactUpdateDocuments, EmptyBatchIsNoop) {
   auto a = synth::random_sparse_matrix(10, 8, 0.4, 5);
-  auto space = core::build_semantic_space(a, 3);
+  auto space = core::try_build_semantic_space(a, 3).value();
   const auto sigma = space.sigma;
   core::update_documents_exact(space, la::CscMatrix(10, 0, {0}, {}, {}));
   EXPECT_EQ(space.sigma, sigma);
@@ -91,12 +91,12 @@ TEST(ExactUpdateTerms, MatchesRecomputeOnTruncatedSpace) {
   auto a = synth::random_sparse_matrix(22, 16, 0.3, 6);
   auto t = synth::random_sparse_matrix(4, 16, 0.3, 7);
   const index_t k = 5;
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
 
   auto bordered = space.reconstruct();
   bordered.append_rows(t.to_dense());
   auto reference =
-      core::build_semantic_space(la::CscMatrix::from_dense(bordered), k);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(bordered), k).value();
 
   core::update_terms_exact(space, t);
   expect_spaces_equivalent(space, reference, 1e-9);
@@ -110,7 +110,7 @@ TEST(ExactUpdateTerms, BeatsProjectionOnNovelStructure) {
   auto a = synth::random_sparse_matrix(18, 14, 0.3, 8);
   auto t = synth::random_sparse_matrix(5, 14, 0.5, 9);
   const index_t k = 4;
-  auto approx = core::build_semantic_space(a, k);
+  auto approx = core::try_build_semantic_space(a, k).value();
   auto exact = approx;
   auto bordered = approx.reconstruct();
   bordered.append_rows(t.to_dense());
@@ -129,7 +129,7 @@ TEST(ExactUpdateTerms, BeatsProjectionOnNovelStructure) {
 TEST(ExactUpdateWeights, MatchesRecomputeOnTruncatedSpace) {
   auto a = synth::random_sparse_matrix(15, 12, 0.4, 10);
   const index_t k = 5;
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
 
   // Arbitrary rank-2 perturbation (not aligned to the subspaces).
   lsi::util::Rng rng(11);
@@ -142,7 +142,7 @@ TEST(ExactUpdateWeights, MatchesRecomputeOnTruncatedSpace) {
   auto w = space.reconstruct();
   w.add_scaled(la::multiply_a_bt(y, z), 1.0);
   auto reference =
-      core::build_semantic_space(la::CscMatrix::from_dense(w), k);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(w), k).value();
 
   core::update_weights_exact(space, y, z);
   expect_spaces_equivalent(space, reference, 1e-8);
@@ -151,7 +151,7 @@ TEST(ExactUpdateWeights, MatchesRecomputeOnTruncatedSpace) {
 TEST(ExactUpdateWeights, AgreesWithProjectionWhenAligned) {
   // Y/Z inside the retained subspaces: both methods must coincide.
   auto a = synth::random_sparse_matrix(12, 12, 0.6, 12);
-  auto space = core::build_semantic_space(a, 12);
+  auto space = core::try_build_semantic_space(a, 12).value();
   lsi::util::Rng rng(13);
   la::DenseMatrix y(12, 1), z(12, 1);
   for (index_t i = 0; i < 12; ++i) {
@@ -169,12 +169,12 @@ TEST(ExactUpdate, ChainedMatchesFullRecompute) {
   auto a = synth::random_sparse_matrix(16, 12, 0.35, 14);
   auto d = synth::random_sparse_matrix(16, 3, 0.35, 15);
   const index_t k = 5;
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
 
   auto after_docs = space.reconstruct();
   after_docs.append_cols(d.to_dense());
   auto ref1 =
-      core::build_semantic_space(la::CscMatrix::from_dense(after_docs), k);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(after_docs), k).value();
 
   core::update_documents_exact(space, d);
   expect_spaces_equivalent(space, ref1, 1e-9);
@@ -183,7 +183,7 @@ TEST(ExactUpdate, ChainedMatchesFullRecompute) {
   auto after_terms = space.reconstruct();
   after_terms.append_rows(t.to_dense());
   auto ref2 =
-      core::build_semantic_space(la::CscMatrix::from_dense(after_terms), k);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(after_terms), k).value();
   core::update_terms_exact(space, t);
   expect_spaces_equivalent(space, ref2, 1e-9);
 }

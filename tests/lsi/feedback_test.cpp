@@ -14,7 +14,7 @@ using namespace lsi;
 using core::index_t;
 
 core::SemanticSpace paper_space(index_t k = 4) {
-  return core::build_semantic_space(data::table3_counts(), k);
+  return core::try_build_semantic_space(data::table3_counts(), k).value();
 }
 
 la::Vector paper_query(const core::SemanticSpace& space) {

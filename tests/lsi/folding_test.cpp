@@ -16,7 +16,7 @@ using core::SemanticSpace;
 
 TEST(FoldDocuments, AppendsRowsToV) {
   auto a = synth::random_sparse_matrix(20, 12, 0.3, 1);
-  auto space = core::build_semantic_space(a, 4);
+  auto space = core::try_build_semantic_space(a, 4).value();
   auto d = synth::random_sparse_matrix(20, 3, 0.3, 2);
   fold_in_documents(space, d);
   EXPECT_EQ(space.num_docs(), 15u);
@@ -26,7 +26,7 @@ TEST(FoldDocuments, AppendsRowsToV) {
 
 TEST(FoldDocuments, ExistingCoordinatesUntouched) {
   auto a = synth::random_sparse_matrix(18, 10, 0.3, 3);
-  auto space = core::build_semantic_space(a, 5);
+  auto space = core::try_build_semantic_space(a, 5).value();
   const auto v_before = space.v;
   fold_in_documents(space, synth::random_sparse_matrix(18, 4, 0.3, 4));
   for (core::index_t j = 0; j < 5; ++j) {
@@ -39,7 +39,7 @@ TEST(FoldDocuments, ExistingCoordinatesUntouched) {
 TEST(FoldDocuments, MatchesEquation7) {
   // The folded row must equal d^T U_k S_k^{-1} exactly.
   auto a = synth::random_sparse_matrix(16, 9, 0.4, 5);
-  auto space = core::build_semantic_space(a, 3);
+  auto space = core::try_build_semantic_space(a, 3).value();
   la::DenseMatrix d(16, 1);
   for (core::index_t i = 0; i < 16; ++i) d(i, 0) = std::sin(1.0 + i);
   fold_in_documents(space, d);
@@ -52,7 +52,7 @@ TEST(FoldDocuments, MatchesEquation7) {
 TEST(FoldDocuments, RefoldingTrainingDocumentLandsOnItsRow) {
   // With a full-rank space, folding in column j of A reproduces V's row j.
   auto a = synth::random_sparse_matrix(14, 8, 0.5, 6);
-  auto space = core::build_semantic_space(a, 8);
+  auto space = core::try_build_semantic_space(a, 8).value();
   la::DenseMatrix col(14, 1);
   const auto dense = a.to_dense();
   for (core::index_t i = 0; i < 14; ++i) col(i, 0) = dense(i, 2);
@@ -64,7 +64,7 @@ TEST(FoldDocuments, RefoldingTrainingDocumentLandsOnItsRow) {
 
 TEST(FoldTerms, AppendsRowsToU) {
   auto a = synth::random_sparse_matrix(20, 12, 0.3, 7);
-  auto space = core::build_semantic_space(a, 4);
+  auto space = core::try_build_semantic_space(a, 4).value();
   auto t = synth::random_sparse_matrix(2, 12, 0.3, 8);
   fold_in_terms(space, t);
   EXPECT_EQ(space.num_terms(), 22u);
@@ -73,7 +73,7 @@ TEST(FoldTerms, AppendsRowsToU) {
 
 TEST(FoldTerms, MatchesEquation8) {
   auto a = synth::random_sparse_matrix(10, 11, 0.4, 9);
-  auto space = core::build_semantic_space(a, 3);
+  auto space = core::try_build_semantic_space(a, 3).value();
   la::DenseMatrix t(1, 11);
   for (core::index_t j = 0; j < 11; ++j) t(0, j) = std::cos(2.0 + j);
   fold_in_terms(space, t);
@@ -89,12 +89,12 @@ TEST(Folding, PaperTopicsM15M16) {
   // oestrogen/behavior) leans to the hormone-behavior side. The key
   // qualitative claim (Section 3.4): folding-in fails to pull M15 into the
   // {M13, M14} rats cluster because the old structure cannot move.
-  auto space = core::build_semantic_space(data::table3_counts(), 2);
+  auto space = core::try_build_semantic_space(data::table3_counts(), 2).value();
   core::align_signs_to(space, data::figure5_u2());
   fold_in_documents(space, data::update_document_columns());
   ASSERT_EQ(space.num_docs(), 16u);
   // Old coordinates frozen:
-  auto space0 = core::build_semantic_space(data::table3_counts(), 2);
+  auto space0 = core::try_build_semantic_space(data::table3_counts(), 2).value();
   core::align_signs_to(space0, data::figure5_u2());
   for (core::index_t j = 0; j < 2; ++j) {
     for (core::index_t i = 0; i < 14; ++i) {
@@ -109,7 +109,7 @@ TEST(Folding, PaperTopicsM15M16) {
 
 TEST(Folding, OrthogonalityLossGrowsWithFoldedDocs) {
   auto a = synth::random_sparse_matrix(40, 25, 0.15, 10);
-  auto space = core::build_semantic_space(a, 6);
+  auto space = core::try_build_semantic_space(a, 6).value();
   const double loss0 = core::orthogonality_loss(space.v);
   EXPECT_LT(loss0, 1e-9);
   double prev = loss0;

@@ -24,7 +24,7 @@ core::LsiIndex base_index(const synth::SyntheticCorpus& corpus,
   text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
   core::IndexOptions opts;
   opts.k = 12;
-  return core::LsiIndex::build(head, opts);
+  return core::LsiIndex::try_build(head, opts).value();
 }
 
 TEST(Incremental, DocumentsVisibleImmediately) {

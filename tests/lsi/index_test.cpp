@@ -26,14 +26,14 @@ IndexOptions paper_index_options(core::index_t k) {
 }
 
 TEST(LsiIndex, BuildsPaperExample) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   EXPECT_EQ(index.vocabulary().size(), 18u);
   EXPECT_EQ(index.doc_labels().size(), 14u);
   EXPECT_EQ(index.space().k(), 2u);
 }
 
 TEST(LsiIndex, QueryReturnsLabelledResults) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   auto results = index.query(data::kQueryText);
   ASSERT_FALSE(results.empty());
   // Top 3 = {M8, M9, M12} as established by the paper-example tests.
@@ -46,7 +46,7 @@ TEST(LsiIndex, QueryReturnsLabelledResults) {
 }
 
 TEST(LsiIndex, QueryOptionsThresholdAndTopZ) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   core::QueryOptions opts;
   opts.top_z = 2;
   EXPECT_EQ(index.query(data::kQueryText, opts).size(), 2u);
@@ -58,7 +58,7 @@ TEST(LsiIndex, QueryOptionsThresholdAndTopZ) {
 }
 
 TEST(LsiIndex, AddDocumentsFoldIn) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   index.add_documents(data::med_update_topics(), AddMethod::kFoldIn);
   EXPECT_EQ(index.doc_labels().size(), 16u);
   EXPECT_EQ(index.doc_labels()[14], "M15");
@@ -74,14 +74,14 @@ TEST(LsiIndex, AddDocumentsFoldIn) {
 }
 
 TEST(LsiIndex, AddDocumentsSvdUpdate) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   index.add_documents(data::med_update_topics(), AddMethod::kSvdUpdate);
   EXPECT_EQ(index.space().num_docs(), 16u);
   EXPECT_LT(core::orthogonality_loss(index.space().v), 1e-9);
 }
 
 TEST(LsiIndex, SimilarTermsFindsClusterMates) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   auto sims = index.similar_terms("oestrogen", 5);
   ASSERT_FALSE(sims.empty());
   // "depressed" co-occurs with oestrogen in M3/M4 and must rank high.
@@ -91,14 +91,14 @@ TEST(LsiIndex, SimilarTermsFindsClusterMates) {
 }
 
 TEST(LsiIndex, SimilarTermsUnknownTermEmpty) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(2));
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(2)).value();
   EXPECT_TRUE(index.similar_terms("automobile").empty());
 }
 
 TEST(LsiIndex, WeightedSchemeAppliesGlobals) {
   IndexOptions opts = paper_index_options(2);
   opts.scheme = weighting::kLogEntropy;
-  auto index = LsiIndex::build(data::med_topics(), opts);
+  auto index = LsiIndex::try_build(data::med_topics(), opts).value();
   EXPECT_EQ(index.global_weights().size(), 18u);
   // Entropy weights lie in [0, 1].
   for (double g : index.global_weights()) {
@@ -108,12 +108,14 @@ TEST(LsiIndex, WeightedSchemeAppliesGlobals) {
 }
 
 TEST(Io, RoundTripsDatabase) {
-  auto index = LsiIndex::build(data::med_topics(), paper_index_options(3));
-  core::LsiDatabase db{index.space(), index.vocabulary(),
-                       index.doc_labels()};
+  auto index = LsiIndex::try_build(data::med_topics(), paper_index_options(3)).value();
+  core::LsiDatabase db;
+  db.space = index.space();
+  db.vocabulary = index.vocabulary();
+  db.doc_labels = index.doc_labels();
   std::stringstream buffer;
-  core::save_database(buffer, db);
-  auto loaded = core::load_database(buffer);
+  core::try_save_database(buffer, db).or_throw();
+  auto loaded = core::try_load_database(buffer).value();
   EXPECT_EQ(loaded.vocabulary.size(), 18u);
   EXPECT_EQ(loaded.doc_labels.size(), 14u);
   EXPECT_EQ(loaded.space.k(), 3u);
@@ -127,7 +129,7 @@ TEST(Io, RoundTripsDatabase) {
 TEST(Io, RejectsGarbage) {
   std::stringstream buffer;
   buffer << "this is not an LSI database";
-  EXPECT_THROW(core::load_database(buffer), std::runtime_error);
+  EXPECT_THROW(core::try_load_database(buffer).value(), std::runtime_error);
 }
 
 TEST(Flops, FoldingFormulasExact) {

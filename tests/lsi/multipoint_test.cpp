@@ -13,7 +13,7 @@ using core::MultiPointCombiner;
 using core::QueryOptions;
 
 core::SemanticSpace paper_space() {
-  auto space = core::build_semantic_space(data::table3_counts(), 4);
+  auto space = core::try_build_semantic_space(data::table3_counts(), 4).value();
   return space;
 }
 

@@ -15,8 +15,8 @@ using core::index_t;
 
 core::SemanticSpace make_space(index_t m, index_t n, index_t k,
                                std::uint64_t seed) {
-  return core::build_semantic_space(
-      synth::random_sparse_matrix(m, n, 0.05, seed), k);
+  return core::try_build_semantic_space(
+      synth::random_sparse_matrix(m, n, 0.05, seed), k).value();
 }
 
 /// Sigma-scaled query coordinates for the kColumnSpace similarity.

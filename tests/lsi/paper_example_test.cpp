@@ -30,7 +30,7 @@ using core::ScoredDoc;
 using core::SemanticSpace;
 
 SemanticSpace paper_space(core::index_t k) {
-  auto space = core::build_semantic_space(data::table3_counts(), k);
+  auto space = core::try_build_semantic_space(data::table3_counts(), k).value();
   core::align_signs_to(space, data::figure5_u2());
   return space;
 }
@@ -47,7 +47,9 @@ std::set<std::string> labels_of(const std::vector<ScoredDoc>& ranked,
                                 std::size_t take) {
   std::set<std::string> out;
   for (std::size_t i = 0; i < std::min(take, ranked.size()); ++i) {
-    out.insert("M" + std::to_string(ranked[i].doc + 1));
+    std::string label = "M";
+    label += std::to_string(ranked[i].doc + 1);
+    out.insert(std::move(label));
   }
   return out;
 }
@@ -171,7 +173,11 @@ TEST(Table4, M9RanksHighAtK2ButLexicalMissesIt) {
 TEST(Section32, LexicalMatchingReturnsPaperSet) {
   auto hits = baseline::lexical_match(data::table3_counts(), paper_query());
   std::set<std::string> got;
-  for (const auto& h : hits) got.insert("M" + std::to_string(h.doc + 1));
+  for (const auto& h : hits) {
+    std::string label = "M";
+    label += std::to_string(h.doc + 1);
+    got.insert(std::move(label));
+  }
   const auto& expect = data::lexical_match_results();
   EXPECT_EQ(got, std::set<std::string>(expect.begin(), expect.end()));
 }
@@ -184,7 +190,7 @@ TEST(Section32, ParsedTextMatrixAlsoWorks) {
   popts.min_document_frequency = 2;
   popts.fold_plurals = true;
   auto tdm = text::build_term_document_matrix(data::med_topics(), popts);
-  auto space = core::build_semantic_space(tdm.counts, 2);
+  auto space = core::try_build_semantic_space(tdm.counts, 2).value();
   auto q = text::text_to_term_vector(tdm, data::kQueryText, popts);
   auto ranked = core::retrieve(space, q);
   EXPECT_EQ(labels_of(ranked, 3),

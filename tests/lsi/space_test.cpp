@@ -15,7 +15,7 @@ using namespace lsi::core;
 
 TEST(SemanticSpace, DimensionsAndAccessors) {
   auto a = synth::random_sparse_matrix(30, 20, 0.2, 1);
-  auto space = build_semantic_space(a, 5);
+  auto space = try_build_semantic_space(a, 5).value();
   EXPECT_EQ(space.k(), 5u);
   EXPECT_EQ(space.num_terms(), 30u);
   EXPECT_EQ(space.num_docs(), 20u);
@@ -25,7 +25,7 @@ TEST(SemanticSpace, DimensionsAndAccessors) {
 
 TEST(SemanticSpace, SigmaDescending) {
   auto a = synth::random_sparse_matrix(25, 25, 0.3, 2);
-  auto space = build_semantic_space(a, 8);
+  auto space = try_build_semantic_space(a, 8).value();
   for (std::size_t i = 1; i < space.sigma.size(); ++i) {
     EXPECT_LE(space.sigma[i], space.sigma[i - 1]);
   }
@@ -33,7 +33,7 @@ TEST(SemanticSpace, SigmaDescending) {
 
 TEST(SemanticSpace, FullRankReconstructsExactly) {
   auto a = synth::random_sparse_matrix(12, 9, 0.5, 3);
-  auto space = build_semantic_space(a, 9);
+  auto space = try_build_semantic_space(a, 9).value();
   EXPECT_LT(la::max_abs_diff(space.reconstruct(), a.to_dense()), 1e-9);
 }
 
@@ -41,7 +41,7 @@ TEST(SemanticSpace, TruncationIsEckartYoungOptimal) {
   // ||A - A_k||_F^2 == sum of discarded sigma^2 (paper Theorem 2.2).
   auto a = synth::random_sparse_matrix(15, 12, 0.4, 4);
   auto full = la::jacobi_svd(a.to_dense());
-  auto space = build_semantic_space(a, 4);
+  auto space = try_build_semantic_space(a, 4).value();
   auto diff = a.to_dense();
   diff.add_scaled(space.reconstruct(), -1.0);
   double tail = 0.0;
@@ -51,7 +51,7 @@ TEST(SemanticSpace, TruncationIsEckartYoungOptimal) {
 
 TEST(SemanticSpace, DocCoordsAreSigmaScaledRows) {
   auto a = synth::random_sparse_matrix(20, 10, 0.4, 5);
-  auto space = build_semantic_space(a, 3);
+  auto space = try_build_semantic_space(a, 3).value();
   auto coords = space.doc_coords(4);
   for (index_t i = 0; i < 3; ++i) {
     EXPECT_DOUBLE_EQ(coords[i], space.v(4, i) * space.sigma[i]);
@@ -66,8 +66,8 @@ TEST(SemanticSpace, LanczosAndJacobiPathsAgree) {
   BuildOptions lanczos_path;
   lanczos_path.k = 6;
   lanczos_path.dense_cutoff = 0;  // force Lanczos
-  auto s1 = build_semantic_space(a, dense_path);
-  auto s2 = build_semantic_space(a, lanczos_path);
+  auto s1 = try_build_semantic_space(a, dense_path).value();
+  auto s2 = try_build_semantic_space(a, lanczos_path).value();
   for (index_t i = 0; i < 6; ++i) {
     EXPECT_NEAR(s1.sigma[i], s2.sigma[i], 1e-7 * s1.sigma[0]);
   }
@@ -75,13 +75,13 @@ TEST(SemanticSpace, LanczosAndJacobiPathsAgree) {
 
 TEST(SemanticSpace, KClampedToRank) {
   auto a = synth::random_sparse_matrix(8, 5, 0.6, 7);
-  auto space = build_semantic_space(a, 50);
+  auto space = try_build_semantic_space(a, 50).value();
   EXPECT_LE(space.k(), 5u);
 }
 
 TEST(AlignSigns, MatchesReferenceOrientation) {
   auto a = synth::random_sparse_matrix(20, 14, 0.3, 8);
-  auto space = build_semantic_space(a, 3);
+  auto space = try_build_semantic_space(a, 3).value();
   // Flip a column, then align back to the original orientation.
   auto reference = space.u;
   la::scale(space.u.col(1), -1.0);

@@ -37,10 +37,10 @@ TEST(UpdateDocuments, EqualsRecomputeWhenSubspaceCoversD) {
   // must agree with recomputing the SVD of (A | D) exactly.
   auto a = synth::random_sparse_matrix(8, 14, 0.5, 1);
   auto d = synth::random_sparse_matrix(8, 3, 0.5, 2);
-  auto space = core::build_semantic_space(a, 8);  // k = m: U spans R^m
+  auto space = core::try_build_semantic_space(a, 8).value();  // k = m: U spans R^m
   core::update_documents(space, d);
 
-  auto recomputed = core::build_semantic_space(a.with_appended_cols(d), 8);
+  auto recomputed = core::try_build_semantic_space(a.with_appended_cols(d), 8).value();
   expect_spaces_equivalent(space, recomputed, 1e-9);
 }
 
@@ -51,7 +51,7 @@ TEST(UpdateDocuments, EqualsRecomputeOfProjectedMatrix) {
   auto a = synth::random_sparse_matrix(14, 9, 0.5, 21);
   auto d = synth::random_sparse_matrix(14, 3, 0.5, 22);
   const index_t k = 5;
-  auto space = core::build_semantic_space(a, k);
+  auto space = core::try_build_semantic_space(a, k).value();
   const auto u_before = space.u;
   const auto sigma_before = space.sigma;
   const auto v_before = space.v;
@@ -66,13 +66,13 @@ TEST(UpdateDocuments, EqualsRecomputeOfProjectedMatrix) {
 
   core::update_documents(space, d);
   auto recomputed =
-      core::build_semantic_space(la::CscMatrix::from_dense(b), k);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(b), k).value();
   expect_spaces_equivalent(space, recomputed, 1e-8);
 }
 
 TEST(UpdateDocuments, ShapesAndOrthogonality) {
   auto a = synth::random_sparse_matrix(30, 20, 0.2, 3);
-  auto space = core::build_semantic_space(a, 6);
+  auto space = core::try_build_semantic_space(a, 6).value();
   core::update_documents(space, synth::random_sparse_matrix(30, 5, 0.2, 4));
   EXPECT_EQ(space.num_docs(), 25u);
   EXPECT_EQ(space.k(), 6u);
@@ -88,9 +88,9 @@ TEST(UpdateDocuments, BetterThanFoldingOnTruncatedSpace) {
   auto d = synth::random_sparse_matrix(40, 6, 0.15, 6);
   const index_t k = 5;
 
-  auto folded = core::build_semantic_space(a, k);
+  auto folded = core::try_build_semantic_space(a, k).value();
   core::fold_in_documents(folded, d);
-  auto updated = core::build_semantic_space(a, k);
+  auto updated = core::try_build_semantic_space(a, k).value();
   core::update_documents(updated, d);
 
   auto truth = a.with_appended_cols(d).to_dense();
@@ -106,16 +106,16 @@ TEST(UpdateTerms, EqualsRecomputeWhenSubspaceCoversT) {
   // the whole document space and term updating is exact.
   auto a = synth::random_sparse_matrix(13, 9, 0.5, 7);
   auto t = synth::random_sparse_matrix(4, 9, 0.5, 8);
-  auto space = core::build_semantic_space(a, 9);  // k = n: V spans R^n
+  auto space = core::try_build_semantic_space(a, 9).value();  // k = n: V spans R^n
   core::update_terms(space, t);
 
-  auto recomputed = core::build_semantic_space(a.with_appended_rows(t), 9);
+  auto recomputed = core::try_build_semantic_space(a.with_appended_rows(t), 9).value();
   expect_spaces_equivalent(space, recomputed, 1e-9);
 }
 
 TEST(UpdateTerms, ShapesAndOrthogonality) {
   auto a = synth::random_sparse_matrix(22, 18, 0.25, 9);
-  auto space = core::build_semantic_space(a, 5);
+  auto space = core::try_build_semantic_space(a, 5).value();
   core::update_terms(space, synth::random_sparse_matrix(7, 18, 0.25, 10));
   EXPECT_EQ(space.num_terms(), 29u);
   EXPECT_EQ(space.num_docs(), 18u);
@@ -128,7 +128,7 @@ TEST(UpdateWeights, EqualsRecomputeWhenFullRank) {
   // directly recomputed SVD. A square full-rank A with k = m = n keeps both
   // Y and Z inside the retained subspaces, so the update is exact.
   auto a = synth::random_sparse_matrix(11, 11, 0.6, 11);
-  auto space = core::build_semantic_space(a, 11);
+  auto space = core::try_build_semantic_space(a, 11).value();
 
   std::vector<double> old_g(11, 1.0);
   std::vector<double> new_g(11, 1.0);
@@ -141,13 +141,13 @@ TEST(UpdateWeights, EqualsRecomputeWhenFullRank) {
   auto w = a.to_dense();
   w.add_scaled(la::multiply_a_bt(corr.y, corr.z), 1.0);
   auto recomputed =
-      core::build_semantic_space(la::CscMatrix::from_dense(w), 11);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(w), 11).value();
   expect_spaces_equivalent(space, recomputed, 1e-9);
 }
 
 TEST(UpdateWeights, NoChangeIsIdentity) {
   auto a = synth::random_sparse_matrix(12, 10, 0.4, 12);
-  auto space = core::build_semantic_space(a, 4);
+  auto space = core::try_build_semantic_space(a, 4).value();
   const auto sigma_before = space.sigma;
   la::DenseMatrix y(12, 0), z(10, 0);
   core::update_weights(space, y, z);
@@ -160,11 +160,11 @@ TEST(UpdatePaperExample, M15JoinsTheRatsCluster) {
   // Section 4.4/4.5: after SVD-updating with M15/M16, {M13, M14, M15} forms
   // a cluster (folding-in fails to produce it) and M16 moves toward the
   // depressed/patients/pressure/fast centroid.
-  auto updated = core::build_semantic_space(data::table3_counts(), 2);
+  auto updated = core::try_build_semantic_space(data::table3_counts(), 2).value();
   core::align_signs_to(updated, data::figure5_u2());
   core::update_documents(updated, data::update_document_columns());
 
-  auto folded = core::build_semantic_space(data::table3_counts(), 2);
+  auto folded = core::try_build_semantic_space(data::table3_counts(), 2).value();
   core::align_signs_to(folded, data::figure5_u2());
   core::fold_in_documents(folded, data::update_document_columns());
 
@@ -181,7 +181,7 @@ TEST(UpdatePaperExample, M15JoinsTheRatsCluster) {
   // matrix much better than folding does (Frobenius reconstruction error).
   auto full = data::table3_counts().with_appended_cols(
       data::update_document_columns());
-  auto recomputed = core::build_semantic_space(full, 2);
+  auto recomputed = core::try_build_semantic_space(full, 2).value();
   auto err = [&](const SemanticSpace& s) {
     auto diff = full.to_dense();
     diff.add_scaled(s.reconstruct(), -1.0);
@@ -198,7 +198,7 @@ TEST(UpdateOrder, DocumentsThenTermsMatchesRecompute) {
   // bordered matrix.
   auto a = synth::random_sparse_matrix(8, 12, 0.5, 13);
   auto d = synth::random_sparse_matrix(8, 2, 0.5, 14);
-  auto space = core::build_semantic_space(a, 8);
+  auto space = core::try_build_semantic_space(a, 8).value();
   core::update_documents(space, d);
 
   // T = C V_B^T with random C (3 x k): rows of T lie in span(V_B).
@@ -213,7 +213,7 @@ TEST(UpdateOrder, DocumentsThenTermsMatchesRecompute) {
   auto big = a.with_appended_cols(d).to_dense();
   big.append_rows(t);
   auto recomputed =
-      core::build_semantic_space(la::CscMatrix::from_dense(big), 8);
+      core::try_build_semantic_space(la::CscMatrix::from_dense(big), 8).value();
   expect_spaces_equivalent(space, recomputed, 1e-8);
 }
 

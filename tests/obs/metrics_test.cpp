@@ -1,0 +1,130 @@
+// MetricsRegistry unit tests: counter/gauge semantics, histogram quantile
+// accuracy against exact quantiles of the recorded sample, and thread-safety
+// of concurrent recording.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lsi;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, KeepsLastValue) {
+  obs::Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.5);
+  g.set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+/// Exact quantile of a sorted sample with the same nearest-rank convention
+/// the histogram approximates.
+double exact_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+TEST(Histogram, QuantilesTrackExactQuantiles) {
+  // Log-uniform latencies spanning microseconds to tens of milliseconds —
+  // the range the span histograms actually see.
+  util::Rng rng(123);
+  std::vector<double> sample;
+  obs::Histogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 1e-6 * std::pow(10.0, 4.0 * rng.uniform());
+    sample.push_back(v);
+    h.record(v);
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, sample.size());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = exact_quantile(sample, q);
+    const double approx = snap.quantile(q);
+    // The documented bound: relative error at most the bucket growth factor
+    // (2^(1/4) - 1 ~ 19%).
+    EXPECT_NEAR(approx, exact, 0.20 * exact) << "q = " << q;
+  }
+}
+
+TEST(Histogram, ExtremeQuantilesReturnRecordedMinMax) {
+  obs::Histogram h;
+  for (const double v : {0.004, 0.001, 0.009, 0.002}) h.record(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.quantile(0.0), 0.001);
+  EXPECT_EQ(snap.quantile(1.0), 0.009);
+  EXPECT_EQ(snap.min, 0.001);
+  EXPECT_EQ(snap.max, 0.009);
+  EXPECT_NEAR(snap.mean(), 0.004, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeValuesLandInEdgeBuckets) {
+  obs::Histogram h;
+  h.record(0.0);     // below the first boundary
+  h.record(1e12);    // beyond the last boundary
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.buckets.front(), 1u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+}
+
+TEST(MetricsRegistry, SameNameSameMetric) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("x");
+  obs::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.counter("x").value(), 7u);
+  EXPECT_NE(&reg.counter("x"), &reg.counter("y"));
+}
+
+TEST(MetricsRegistry, SnapshotsAreNameOrdered) {
+  obs::MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("z").set(26.0);
+  reg.gauge("y").set(25.0);
+  const auto counters = reg.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a");
+  EXPECT_EQ(counters[1].first, "b");
+  const auto gauges = reg.gauges();
+  ASSERT_EQ(gauges.size(), 2u);
+  EXPECT_EQ(gauges[0].first, "y");
+  EXPECT_EQ(gauges[1].first, "z");
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingLosesNothing) {
+  obs::MetricsRegistry reg;
+  constexpr std::size_t kIters = 10000;
+  util::parallel_for(
+      0, kIters,
+      [&](std::size_t i) {
+        reg.counter("hits").add();
+        reg.histogram("lat").record(1e-6 * static_cast<double>(i + 1));
+      },
+      /*grain=*/64);
+  EXPECT_EQ(reg.counter("hits").value(), kIters);
+  EXPECT_EQ(reg.histogram("lat").count(), kIters);
+}
+
+}  // namespace

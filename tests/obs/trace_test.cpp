@@ -1,0 +1,150 @@
+// TraceSpan / Sink tests: the runtime toggle (no active sink = no-op),
+// ScopedSink nesting, parent/child self-time attribution, and aggregation of
+// spans opened inside util::parallel_for workers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lsi;
+
+/// The snapshot for `name`, or a default-constructed one if absent.
+obs::SpanSnapshot find_span(const obs::Sink& sink, const std::string& name) {
+  for (const auto& s : sink.spans()) {
+    if (s.name == name) return s;
+  }
+  return {};
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  // Every test starts and ends with observability off.
+  void SetUp() override { ASSERT_EQ(obs::Sink::active(), nullptr); }
+  void TearDown() override { ASSERT_EQ(obs::Sink::active(), nullptr); }
+};
+
+TEST_F(TraceTest, NoActiveSinkMeansDeadSpans) {
+  LSI_OBS_SPAN(span, "orphan");
+  EXPECT_FALSE(span.live());
+  // Helper shorthands are equally inert without a sink.
+  obs::count("orphan.counter");
+  obs::gauge("orphan.gauge", 1.0);
+}
+
+TEST_F(TraceTest, ScopedSinkInstallsAndRestores) {
+  obs::Sink outer, inner;
+  {
+    obs::ScopedSink a(&outer);
+    EXPECT_EQ(obs::Sink::active(), &outer);
+    {
+      obs::ScopedSink b(&inner);
+      EXPECT_EQ(obs::Sink::active(), &inner);
+    }
+    EXPECT_EQ(obs::Sink::active(), &outer);
+  }
+  EXPECT_EQ(obs::Sink::active(), nullptr);
+}
+
+TEST_F(TraceTest, SpanAggregatesCountAndTime) {
+  obs::Sink sink;
+  {
+    obs::ScopedSink scoped(&sink);
+    for (int i = 0; i < 5; ++i) {
+      LSI_OBS_SPAN(span, "work");
+      EXPECT_TRUE(span.live());
+    }
+  }
+  const auto snap = find_span(sink, "work");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_GE(snap.total_seconds, 0.0);
+  EXPECT_EQ(snap.latency.count, 5u);
+}
+
+TEST_F(TraceTest, ChildTimeIsSubtractedFromParentSelfTime) {
+  obs::Sink sink;
+  {
+    obs::ScopedSink scoped(&sink);
+    LSI_OBS_SPAN(parent, "outer");
+    for (int i = 0; i < 3; ++i) {
+      LSI_OBS_SPAN(child, "inner");
+      // Burn a little time so child totals are measurably nonzero.
+      volatile double x = 1.0;
+      for (int j = 0; j < 50000; ++j) x = x * 1.0000001;
+    }
+  }
+  const auto outer = find_span(sink, "outer");
+  const auto inner = find_span(sink, "inner");
+  ASSERT_EQ(outer.count, 1u);
+  ASSERT_EQ(inner.count, 3u);
+  // Self = total - directly nested children, so outer self strictly below
+  // outer total, and inner (a leaf) keeps self == total.
+  EXPECT_LT(outer.self_seconds, outer.total_seconds);
+  EXPECT_NEAR(outer.self_seconds, outer.total_seconds - inner.total_seconds,
+              1e-9);
+  EXPECT_NEAR(inner.self_seconds, inner.total_seconds, 1e-12);
+}
+
+TEST_F(TraceTest, StopIsIdempotentAndEndsTheSpanEarly) {
+  obs::Sink sink;
+  {
+    obs::ScopedSink scoped(&sink);
+    LSI_OBS_SPAN(span, "early");
+    span.stop();
+    span.stop();  // second stop must not double-record
+  }
+  EXPECT_EQ(find_span(sink, "early").count, 1u);
+}
+
+TEST_F(TraceTest, SpansNestPerThreadUnderParallelFor) {
+  obs::Sink sink;
+  constexpr std::size_t kIters = 512;
+  {
+    obs::ScopedSink scoped(&sink);
+    LSI_OBS_SPAN(parent, "par.outer");
+    util::parallel_for(
+        0, kIters,
+        [&](std::size_t) { LSI_OBS_SPAN(span, "par.work"); },
+        /*grain=*/8);
+  }
+  const auto work = find_span(sink, "par.work");
+  EXPECT_EQ(work.count, kIters);  // no lost or double-counted iterations
+  EXPECT_EQ(work.latency.count, kIters);
+  // Worker-thread spans have no parent on their own thread, so the outer
+  // span's self time never goes negative from cross-thread attribution.
+  const auto outer = find_span(sink, "par.outer");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_GE(outer.self_seconds, 0.0);
+}
+
+TEST_F(TraceTest, CountAndGaugeHelpersHitTheActiveSink) {
+  obs::Sink sink;
+  {
+    obs::ScopedSink scoped(&sink);
+    obs::count("events");
+    obs::count("events", 9);
+    obs::gauge("level", 0.75);
+  }
+  EXPECT_EQ(sink.metrics().counter("events").value(), 10u);
+  EXPECT_EQ(sink.metrics().gauge("level").value(), 0.75);
+}
+
+TEST_F(TraceTest, ConcurrentCountersFromWorkersLoseNothing) {
+  obs::Sink sink;
+  constexpr std::size_t kIters = 20000;
+  {
+    obs::ScopedSink scoped(&sink);
+    util::parallel_for(
+        0, kIters, [&](std::size_t) { obs::count("hits"); },
+        /*grain=*/64);
+  }
+  EXPECT_EQ(sink.metrics().counter("hits").value(), kIters);
+}
+
+}  // namespace

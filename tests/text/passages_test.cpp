@@ -25,7 +25,11 @@ TEST(Passages, SplitsOnBlankLines) {
 
 TEST(Passages, WindowsLongChunksWithOverlap) {
   std::string body;
-  for (int i = 0; i < 100; ++i) body += "w" + std::to_string(i) + " ";
+  for (int i = 0; i < 100; ++i) {
+    body += 'w';
+    body += std::to_string(i);
+    body += ' ';
+  }
   PassageOptions opts;
   opts.max_words = 40;
   opts.overlap_words = 10;
@@ -90,7 +94,7 @@ TEST(Passages, MixedTopicDocumentFoundByItsRelevantPart) {
   auto pc = split_into_passages(docs);
   lsi::core::IndexOptions opts;
   opts.k = 4;
-  auto index = lsi::core::LsiIndex::build(pc.passages, opts);
+  auto index = lsi::core::LsiIndex::try_build(pc.passages, opts).value();
 
   std::vector<std::pair<std::size_t, double>> passage_scores;
   for (const auto& r : index.query("elephant savanna")) {

@@ -1,0 +1,38 @@
+// CI gate over the machine-readable stats the benches and lsi_cli emit:
+// validates each argument as an "lsi.stats.v1" document and exits nonzero
+// naming the first malformed file. Keeps the JSON contract honest without
+// pulling a JSON library into the build.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/schema.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: stats_check <stats.json>...\n";
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream is(argv[i]);
+    if (!is) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ++bad;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    const auto status = lsi::obs::validate_stats_json(text);
+    if (!status.ok()) {
+      std::cerr << argv[i] << ": " << status.message() << "\n";
+      ++bad;
+    } else {
+      std::cout << argv[i] << ": ok\n";
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
