@@ -25,15 +25,19 @@
 // process, so the document shows build, lanczos, and retrieval spans side
 // by side.
 
+#include <algorithm>
+#include <atomic>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/med_topics.hpp"
 #include "lsi/lsi.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -68,6 +72,13 @@ int usage() {
          "  lsi_cli terms <db.lsi> <term> [--top N]\n"
          "  lsi_cli add   <db.lsi> <more.tsv>\n"
          "  lsi_cli info  <db.lsi>\n"
+         "  lsi_cli ingest-stress <docs.tsv> [--writers N] [--readers N] "
+         "[--repeat N]\n"
+         "                [--k N] [--queue N] [--consolidate-every N] "
+         "[--exact]\n"
+         "                (serve queries from snapshots while writer "
+         "threads fold in\n"
+         "                the tail of the collection)\n"
          "Every command also accepts --stats[=json|csv]; <docs.tsv> may be "
          "@med for the\nbuilt-in MEDLINE example collection.\n";
   return 2;
@@ -299,6 +310,136 @@ int cmd_add(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Serve-while-updating exerciser: builds an index from the head of the
+// collection, then streams the rest through ConcurrentIndexer writer threads
+// while reader threads hammer snapshot queries. Prints throughput and the
+// snapshot/consolidation counters; with --stats the concurrent.* and
+// serving.query spans land in the document.
+int cmd_ingest_stress(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto docs = read_tsv(args[0]);
+  if (docs.size() < 8) {
+    std::cerr << "ingest-stress needs at least 8 documents\n";
+    return 1;
+  }
+
+  std::size_t writers = 2, readers = 4, repeat = 1;
+  IndexOptions iopts;
+  iopts.k = 20;
+  ConcurrentOptions copts;
+  if (const auto v = flag_value(args, "--writers"); !v.empty()) {
+    writers = std::max<std::size_t>(1, std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--readers"); !v.empty()) {
+    readers = std::max<std::size_t>(1, std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--repeat"); !v.empty()) {
+    repeat = std::max<std::size_t>(1, std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--k"); !v.empty()) {
+    iopts.k = static_cast<core::index_t>(std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--queue"); !v.empty()) {
+    copts.queue_capacity = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--consolidate-every"); !v.empty()) {
+    copts.consolidate_every = std::stoul(v);
+  }
+  copts.exact_update = has_flag(args, "--exact");
+
+  const std::size_t base = std::max<std::size_t>(4, docs.size() / 3);
+  Collection head(docs.begin(), docs.begin() + base);
+  ConcurrentIndexer indexer(LsiIndex::try_build(head, iopts).value(), copts);
+  std::cout << "base index: " << base << " documents, k = "
+            << indexer.snapshot()->space().k() << "; streaming "
+            << (docs.size() - base) * repeat << " documents through "
+            << writers << " writers while " << readers
+            << " readers query\n";
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> queries{0};
+  std::atomic<std::size_t> overloads{0};
+  util::WallTimer wall;
+
+  std::vector<std::thread> writer_threads;
+  for (std::size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      for (std::size_t rep = 0; rep < repeat; ++rep) {
+        for (std::size_t d = base + w; d < docs.size(); d += writers) {
+          Document doc = docs[d];
+          if (rep > 0) {
+            doc.label += '#';
+            doc.label += std::to_string(rep);
+          }
+          // Alternate blocking and non-blocking ingestion so both
+          // backpressure paths run under load.
+          if (d % 2 == 0) {
+            if (!indexer.add(std::move(doc)).ok()) return;
+          } else {
+            for (;;) {
+              const Status s = indexer.try_add(doc);
+              if (s.ok()) break;
+              if (s.code() != StatusCode::kResourceExhausted) return;
+              overloads.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> reader_threads;
+  for (std::size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      std::size_t q = r;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = indexer.snapshot();
+        std::vector<QueryResult> hits;
+        {
+          LSI_OBS_SPAN(span, "serving.query");
+          hits = snap->query(docs[q % base].body);
+        }
+        if (hits.empty()) {
+          std::cerr << "empty ranking against " << snap->space().num_docs()
+                    << " documents\n";
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        q += readers;
+      }
+    });
+  }
+
+  for (auto& t : writer_threads) t.join();
+  indexer.flush();
+  done.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+  const double seconds = wall.seconds();
+  indexer.shutdown();
+
+  const auto snap = indexer.snapshot();
+  std::cout << "ingested " << indexer.ingested() << " documents in "
+            << seconds << "s ("
+            << static_cast<double>(indexer.ingested()) / seconds
+            << " docs/s)\n"
+            << "served   " << queries.load() << " queries ("
+            << static_cast<double>(queries.load()) / seconds << " q/s), "
+            << overloads.load() << " backpressure retries\n"
+            << "published " << indexer.publishes() << " snapshots, "
+            << indexer.consolidations() << " consolidations; final index "
+            << snap->space().num_docs() << " documents (generation "
+            << snap->generation() << ")\n";
+
+  stat_param("writers", static_cast<double>(writers));
+  stat_param("readers", static_cast<double>(readers));
+  stat_param("docs_ingested", static_cast<double>(indexer.ingested()));
+  stat_param("queries", static_cast<double>(queries.load()));
+  stat_param("qps", static_cast<double>(queries.load()) / seconds);
+  stat_param("publishes", static_cast<double>(indexer.publishes()));
+  stat_param("consolidations", static_cast<double>(indexer.consolidations()));
+  return 0;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const auto db = try_load_database_file(args[0]).value();
@@ -357,6 +498,8 @@ int main(int argc, char** argv) {
       rc = cmd_add(args);
     } else if (cmd == "info") {
       rc = cmd_info(args);
+    } else if (cmd == "ingest-stress" || cmd == "--ingest-stress") {
+      rc = cmd_ingest_stress(args);
     } else {
       return usage();
     }

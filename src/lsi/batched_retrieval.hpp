@@ -22,6 +22,8 @@
 // returns bit-identical results to the same query ranked alone.
 // rank_documents in retrieval.hpp is a batch-size-1 wrapper over this class.
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "la/dense.hpp"
@@ -61,7 +63,16 @@ class QueryBatch {
 /// Scores and ranks a QueryBatch against one semantic space.
 class BatchedRetriever {
  public:
+  /// Non-owning view: `space` must outlive the retriever and stay unmutated
+  /// while it is in use (the single-threaded convention).
   explicit BatchedRetriever(const SemanticSpace& space) : space_(space) {}
+
+  /// Snapshot-pinning view: shares ownership of an immutable space (e.g.
+  /// IndexSnapshot::space_ptr() from lsi/concurrent.hpp), so the entire
+  /// project/score/select pass of every rank() call runs against this one
+  /// space even while a writer concurrently publishes newer snapshots.
+  explicit BatchedRetriever(std::shared_ptr<const SemanticSpace> space)
+      : space_(*space), pinned_(std::move(space)) {}
 
   /// Full cosine matrix (num_docs x B, one query per column), no
   /// filtering or selection — the building block for layers that combine
@@ -82,6 +93,8 @@ class BatchedRetriever {
 
  private:
   const SemanticSpace& space_;
+  /// Keeps the pinned snapshot's space alive (null for the reference ctor).
+  std::shared_ptr<const SemanticSpace> pinned_;
 };
 
 }  // namespace lsi::core

@@ -1,0 +1,243 @@
+#include "lsi/concurrent.hpp"
+
+#include <utility>
+
+#include "lsi/retrieval.hpp"
+#include "obs/trace.hpp"
+#include "text/parser.hpp"
+
+namespace lsi::core {
+
+// ---------------------------------------------------------------------------
+// SnapshotQueryContext
+// ---------------------------------------------------------------------------
+
+SnapshotQueryContext::SnapshotQueryContext(const text::Vocabulary& vocabulary,
+                                           const text::ParserOptions& parser,
+                                           const weighting::Scheme& scheme,
+                                           std::vector<double> global_weights)
+    : parser_(parser),
+      scheme_(scheme),
+      global_weights_(std::move(global_weights)) {
+  vocab_shim_.vocabulary = vocabulary;
+}
+
+la::Vector SnapshotQueryContext::weighted_term_vector(
+    std::string_view text) const {
+  const la::Vector raw = text::text_to_term_vector(vocab_shim_, text, parser_);
+  return weighting::apply_to_vector(raw, global_weights_, scheme_.local);
+}
+
+// ---------------------------------------------------------------------------
+// IndexSnapshot
+// ---------------------------------------------------------------------------
+
+std::vector<QueryResult> IndexSnapshot::query(std::string_view text,
+                                              const QueryOptions& opts,
+                                              QueryStats* stats) const {
+  const la::Vector q_hat =
+      project_query(*space_, ctx_->weighted_term_vector(text));
+  std::vector<QueryResult> out;
+  for (const ScoredDoc& sd : rank_documents(*space_, q_hat, opts, stats)) {
+    out.push_back({(*labels_)[sd.doc], sd.doc, sd.cosine});
+  }
+  return out;
+}
+
+std::vector<ScoredDoc> IndexSnapshot::retrieve(const la::Vector& term_vector,
+                                               const QueryOptions& opts,
+                                               QueryStats* stats) const {
+  return core::retrieve(*space_, term_vector, opts, stats);
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentIndexer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+IncrementalOptions master_options(const ConcurrentOptions& opts) {
+  IncrementalOptions io;
+  // The consolidation *policy* lives in ConcurrentIndexer (it brackets the
+  // SVD-update with the consolidating_ flag and its own counters), so the
+  // wrapped IncrementalIndexer runs in manual mode.
+  io.consolidate_every = 0;
+  io.exact_update = opts.exact_update;
+  return io;
+}
+
+std::shared_ptr<const SnapshotQueryContext> make_context(
+    const LsiIndex& index) {
+  return std::make_shared<const SnapshotQueryContext>(
+      index.vocabulary(), index.options().parser, index.options().scheme,
+      index.global_weights());
+}
+
+}  // namespace
+
+ConcurrentIndexer::ConcurrentIndexer(LsiIndex index,
+                                     const ConcurrentOptions& opts)
+    : opts_(opts),
+      ctx_(make_context(index)),
+      master_(std::move(index), master_options(opts)),
+      queue_(opts.queue_capacity) {
+  // Generation 1: the base index is servable before the first add().
+  publish();
+}
+
+ConcurrentIndexer::~ConcurrentIndexer() { shutdown(); }
+
+Status ConcurrentIndexer::add(text::Document doc) {
+  switch (queue_.push(std::move(doc))) {
+    case util::QueuePush::kOk:
+      schedule_writer();
+      return Status::Ok();
+    case util::QueuePush::kClosed:
+      return Status::FailedPrecondition("ConcurrentIndexer is shut down");
+    case util::QueuePush::kFull:
+      break;  // push() blocks instead of reporting kFull
+  }
+  return Status::Internal("BoundedQueue::push returned kFull");
+}
+
+Status ConcurrentIndexer::try_add(text::Document doc) {
+  switch (queue_.try_push(std::move(doc))) {
+    case util::QueuePush::kOk:
+      schedule_writer();
+      return Status::Ok();
+    case util::QueuePush::kClosed:
+      return Status::FailedPrecondition("ConcurrentIndexer is shut down");
+    case util::QueuePush::kFull:
+      obs::count("concurrent.ingest_rejected");
+      return Status::ResourceExhausted(
+          "ingest queue full (capacity " +
+          std::to_string(queue_.capacity()) + ")");
+  }
+  return Status::Internal("unreachable");
+}
+
+void ConcurrentIndexer::flush() {
+  schedule_writer();
+  wait_idle();
+}
+
+Status ConcurrentIndexer::consolidate() {
+  if (queue_.closed()) {
+    return Status::FailedPrecondition("ConcurrentIndexer is shut down");
+  }
+  force_consolidate_.store(true, std::memory_order_release);
+  schedule_writer();
+  wait_idle();
+  return Status::Ok();
+}
+
+void ConcurrentIndexer::shutdown() {
+  queue_.close();  // blocked producers wake with kClosed
+  // Drain everything accepted before the close; accepted != dropped.
+  schedule_writer();
+  wait_idle();
+}
+
+void ConcurrentIndexer::schedule_writer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_active_) return;
+  writer_active_ = true;
+  writer_.submit([this] { writer_drain(); });
+}
+
+void ConcurrentIndexer::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return !writer_active_ && queue_.empty(); });
+}
+
+void ConcurrentIndexer::writer_drain() {
+  std::vector<text::Document> batch;
+  for (;;) {
+    batch.clear();
+    queue_.pop_batch(batch, opts_.max_batch);
+    if (!batch.empty()) {
+      ingest_batch(batch);
+      continue;
+    }
+    if (force_consolidate_.exchange(false, std::memory_order_acq_rel)) {
+      if (master_.pending() > 0) {
+        consolidate_now();
+        publish();
+      }
+      continue;  // re-check the queue before going idle
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    // Producers enqueue *then* check writer_active_ under mu_, so either
+    // they see us active (and we see their document here) or they schedule
+    // a fresh drain after we go idle — no missed wakeups.
+    if (!queue_.empty() ||
+        force_consolidate_.load(std::memory_order_acquire)) {
+      continue;
+    }
+    writer_active_ = false;
+    lock.unlock();
+    cv_idle_.notify_all();
+    return;
+  }
+}
+
+void ConcurrentIndexer::ingest_batch(std::vector<text::Document>& batch) {
+  {
+    LSI_OBS_SPAN(span, "concurrent.ingest");
+    for (text::Document& doc : batch) {
+      master_.add(doc);  // immediate fold-in (Equation 7)
+      ingested_.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.consolidate_every > 0 &&
+          master_.pending() >= opts_.consolidate_every) {
+        consolidate_now();
+      }
+    }
+  }
+  publish();
+}
+
+void ConcurrentIndexer::consolidate_now() {
+  consolidating_.store(true, std::memory_order_release);
+  {
+    LSI_OBS_SPAN(span, "concurrent.consolidate");
+    master_.consolidate();
+  }
+  consolidations_.fetch_add(1, std::memory_order_relaxed);
+  consolidating_.store(false, std::memory_order_release);
+}
+
+void ConcurrentIndexer::publish() {
+  LSI_OBS_SPAN(span, "concurrent.publish");
+  // Copy-on-publish: the writer's master space stays private and mutable,
+  // readers get an immutable copy whose norm caches are warm by
+  // construction. The copy inherits the master's caches, which folding
+  // keeps extended incrementally, so the prewarm below is usually free.
+  auto space = std::make_shared<SemanticSpace>(master_.index().space());
+  space->prewarm_doc_norms();
+  auto labels = std::make_shared<const std::vector<std::string>>(
+      master_.index().doc_labels());
+  const std::uint64_t generation =
+      publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto snap = std::make_shared<const IndexSnapshot>(
+      std::move(space), std::move(labels), ctx_, generation,
+      master_.pending(), IndexSnapshot::clock::now());
+  std::shared_ptr<const IndexSnapshot> old;
+  {
+    // The mutex covers only this swap; the retired snapshot (and anything
+    // only it kept alive) is released after the lock is dropped.
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    old = std::move(snapshot_);
+    snapshot_ = std::move(snap);
+  }
+  if (old) {
+    // Age of the snapshot being retired = how stale reads were allowed to
+    // get; a production SLO watches this gauge.
+    obs::gauge("concurrent.snapshot_age_seconds", old->age_seconds());
+  }
+  obs::count("concurrent.publishes");
+  obs::gauge("concurrent.pending_docs", static_cast<double>(queue_.size()));
+  obs::gauge("concurrent.unconsolidated_docs",
+             static_cast<double>(master_.pending()));
+}
+
+}  // namespace lsi::core

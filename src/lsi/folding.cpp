@@ -11,6 +11,7 @@ void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
   assert(d.rows() == space.num_terms());
   LSI_OBS_SPAN(span, "foldin.documents");
   obs::count("foldin.documents_added", d.cols());
+  const index_t old_docs = space.num_docs();
   la::DenseMatrix new_rows(d.cols(), space.k());
   la::Vector dense_col(d.rows());
   for (index_t j = 0; j < d.cols(); ++j) {
@@ -22,7 +23,12 @@ void fold_in_documents(SemanticSpace& space, const la::CscMatrix& d) {
     for (index_t i = 0; i < space.k(); ++i) new_rows(j, i) = d_hat[i];
   }
   space.v.append_rows(new_rows);
-  space.invalidate_doc_norms();
+  // Folding appends rows and leaves the existing V rows and sigma untouched,
+  // so warm norm caches are extended with the p new norms instead of being
+  // recomputed from scratch — O(p k) per fold instead of O(n k), which is
+  // what keeps the serve-while-updating publish path (lsi/concurrent.hpp)
+  // cheap. Extension is bit-identical to a full refill.
+  space.extend_doc_norms(old_docs);
 }
 
 void fold_in_terms(SemanticSpace& space, const la::CscMatrix& t) {

@@ -13,8 +13,10 @@
 //   for (const auto& hit : index.query("graph partitioning")) ...
 
 #include "lsi/batched_retrieval.hpp"
+#include "lsi/concurrent.hpp"
 #include "lsi/flops.hpp"
 #include "lsi/folding.hpp"
+#include "lsi/incremental.hpp"
 #include "lsi/io.hpp"
 #include "lsi/lsi_index.hpp"
 #include "lsi/retrieval.hpp"
@@ -70,8 +72,16 @@ using core::retrieve;
 // Incremental maintenance (Sections 2.3 and 4).
 using core::fold_in_documents;
 using core::fold_in_terms;
+using core::IncrementalIndexer;
+using core::IncrementalOptions;
 using core::update_documents;
 using core::update_terms;
+
+// Concurrent serve-while-updating (Section 5.6; docs/CONCURRENCY.md).
+using core::ConcurrentIndexer;
+using core::ConcurrentOptions;
+using core::IndexSnapshot;
+using core::SnapshotQueryContext;
 
 // Persistence.
 using core::LsiDatabase;

@@ -9,20 +9,12 @@
 
 namespace lsi::core {
 
-const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
-  auto& cache = doc_norm_cache_[static_cast<std::size_t>(mode)];
-  // Row-count mismatch means documents were appended (folding) since the
-  // cache was built; same-size mutation must call invalidate_doc_norms().
-  if (cache.size() == num_docs()) {
-    obs::count("retrieval.norm_cache.hit");
-    return cache;
-  }
-  obs::count("retrieval.norm_cache.miss");
-  LSI_OBS_SPAN(span, "retrieval.norm_cache.fill");
+void SemanticSpace::fill_doc_norm_range(SimilarityMode mode, index_t begin,
+                                        index_t end,
+                                        std::vector<double>& norms) const {
   const bool scale_docs = mode != SimilarityMode::kPlainV;
-  std::vector<double> norms(num_docs());
   util::parallel_for_chunks(
-      0, num_docs(),
+      begin, end,
       [&](std::size_t lo, std::size_t hi) {
         // The scratch row is built exactly like the single-query scorer
         // builds its document vector, so the cached norm is bit-identical to
@@ -37,12 +29,49 @@ const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
         }
       },
       /*grain=*/256);
+}
+
+const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
+  auto& cache = doc_norm_cache_[static_cast<std::size_t>(mode)];
+  // Row-count mismatch means documents were appended (folding) since the
+  // cache was built; same-size mutation must call invalidate_doc_norms().
+  if (cache.size() == num_docs()) {
+    obs::count("retrieval.norm_cache.hit");
+    return cache;
+  }
+  obs::count("retrieval.norm_cache.miss");
+  LSI_OBS_SPAN(span, "retrieval.norm_cache.fill");
+  std::vector<double> norms(num_docs());
+  fill_doc_norm_range(mode, 0, num_docs(), norms);
   cache = std::move(norms);
   return cache;
 }
 
 void SemanticSpace::invalidate_doc_norms() noexcept {
   for (auto& cache : doc_norm_cache_) cache.clear();
+}
+
+void SemanticSpace::prewarm_doc_norms() const {
+  for (std::size_t m = 0; m < kNumSimilarityModes; ++m) {
+    (void)doc_norms(static_cast<SimilarityMode>(m));
+  }
+}
+
+void SemanticSpace::extend_doc_norms(index_t old_num_docs) const {
+  for (std::size_t m = 0; m < kNumSimilarityModes; ++m) {
+    auto& cache = doc_norm_cache_[m];
+    if (cache.empty()) continue;  // cold stays cold, lazy fill handles it
+    if (cache.size() != old_num_docs || old_num_docs > num_docs()) {
+      // Cache does not correspond to the pre-append row count (or the
+      // "append" shrank V): length-stale, drop it.
+      cache.clear();
+      continue;
+    }
+    obs::count("retrieval.norm_cache.extend", num_docs() - old_num_docs);
+    cache.resize(num_docs());
+    fill_doc_norm_range(static_cast<SimilarityMode>(m), old_num_docs,
+                        num_docs(), cache);
+  }
 }
 
 la::Vector SemanticSpace::doc_coords(index_t j) const {

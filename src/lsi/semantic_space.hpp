@@ -57,6 +57,24 @@ struct SemanticSpace {
   /// Drops every cached per-mode norm vector (call after mutating v/sigma).
   void invalidate_doc_norms() noexcept;
 
+  /// Eagerly fills the norm cache for every SimilarityMode. After this call,
+  /// doc_norms() is a pure read for any mode, so the space can be shared
+  /// read-only across threads (the snapshot-publish path of
+  /// lsi/concurrent.hpp prewarms every published space — see
+  /// docs/CONCURRENCY.md: caches are made valid *by construction*, never by
+  /// locking readers).
+  void prewarm_doc_norms() const;
+
+  /// Append-only cache maintenance: after new document rows were appended
+  /// to V (folding-in), extends every already-filled mode cache with the
+  /// norms of rows [old_num_docs, num_docs()) instead of recomputing all n
+  /// of them. The extended entries are computed exactly like the lazy fill,
+  /// so the result is bit-identical to an invalidate-and-refill. Caches that
+  /// were cold (or whose length does not match `old_num_docs`) are cleared.
+  /// Only valid for mutations that appended rows and left the existing rows
+  /// and sigma untouched; rotations must call invalidate_doc_norms().
+  void extend_doc_norms(index_t old_num_docs) const;
+
   /// Row i of U (term i's k-vector).
   la::Vector term_vector(index_t i) const { return u.row(i); }
   /// Row j of V (document j's k-vector).
@@ -72,6 +90,11 @@ struct SemanticSpace {
   la::DenseMatrix reconstruct() const;
 
  private:
+  /// Shared fill kernel for the lazy fill / prewarm / append-extension
+  /// paths: computes norms for rows [begin, end) into `norms` (pre-sized).
+  void fill_doc_norm_range(SimilarityMode mode, index_t begin, index_t end,
+                           std::vector<double>& norms) const;
+
   /// One lazily-filled norm vector per SimilarityMode; empty = not computed.
   mutable std::array<std::vector<double>, kNumSimilarityModes> doc_norm_cache_;
 };

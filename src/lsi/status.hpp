@@ -26,6 +26,8 @@ enum class StatusCode {
   kFailedPrecondition,  ///< object state does not admit the operation
   kNotFound,            ///< named resource (file, term) absent
   kDataLoss,            ///< malformed or truncated serialized data
+  kResourceExhausted,   ///< a bounded resource (ingest queue) is full —
+                        ///< retry later or apply backpressure upstream
   kInternal,            ///< invariant violation inside the library
 };
 
@@ -51,6 +53,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string msg) {
     return {StatusCode::kDataLoss, std::move(msg)};
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
   static Status Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
@@ -84,6 +89,7 @@ inline std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kFailedPrecondition: return "failed-precondition";
     case StatusCode::kNotFound: return "not-found";
     case StatusCode::kDataLoss: return "data-loss";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

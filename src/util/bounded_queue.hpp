@@ -1,0 +1,109 @@
+#pragma once
+// A bounded multi-producer FIFO with blocking backpressure and cooperative
+// shutdown — the ingest side of the serve-while-updating pipeline
+// (docs/CONCURRENCY.md). Producers that outrun the consumer either block
+// (push) or are refused (try_push) once `capacity` items are waiting, so a
+// burst of arrivals degrades into latency instead of unbounded memory.
+//
+// The queue is deliberately mutex-based rather than lock-free: items are
+// whole documents, push/pop rates are thousands per second (not millions),
+// and a mutex keeps the close()/blocked-producer interaction trivially
+// correct under ThreadSanitizer.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lsi::util {
+
+/// Outcome of a push attempt.
+enum class QueuePush {
+  kOk,      ///< item enqueued
+  kFull,    ///< try_push only: queue at capacity, item not enqueued
+  kClosed,  ///< queue closed, item not enqueued
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue admitting at most `capacity` waiting items (>= 1 enforced).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is at capacity; returns kClosed if the queue is
+  /// (or becomes, while waiting) closed, kOk otherwise.
+  QueuePush push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return QueuePush::kClosed;
+    items_.push_back(std::move(item));
+    return QueuePush::kOk;
+  }
+
+  /// Non-blocking push: kFull when at capacity (the caller's backpressure
+  /// signal), kClosed after close().
+  QueuePush try_push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return QueuePush::kClosed;
+    if (items_.size() >= capacity_) return QueuePush::kFull;
+    items_.push_back(std::move(item));
+    return QueuePush::kOk;
+  }
+
+  /// Moves up to `max` items into `out` (appended) in FIFO order; returns
+  /// the number taken. Never blocks — an empty queue takes nothing. Each
+  /// taken item frees capacity for one blocked producer.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (taken < max && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 0) cv_space_.notify_all();
+    return taken;
+  }
+
+  /// Closes the queue: subsequent pushes fail with kClosed and blocked
+  /// producers wake immediately. Items already queued remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_space_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_space_;  ///< signaled when space frees or close()
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace lsi::util

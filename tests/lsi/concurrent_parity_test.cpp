@@ -1,0 +1,185 @@
+// Property tests for the concurrent indexer's determinism contract
+// (concurrent.hpp header comment): with a single producer, the fold /
+// consolidate / publish sequence is *bit-identical* to running the
+// sequential IncrementalIndexer with the same consolidation budget — even
+// while reader threads hammer snapshots the whole time. Also asserts the
+// batched-vs-single retrieval parity on pinned snapshots across seeds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lsi/batched_retrieval.hpp"
+#include "lsi/concurrent.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+struct ParityCase {
+  std::uint64_t seed;
+  std::size_t consolidate_every;
+  bool exact_update;
+};
+
+synth::SyntheticCorpus parity_corpus(std::uint64_t seed) {
+  synth::CorpusSpec spec;
+  spec.topics = 5;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 16;
+  spec.queries_per_topic = 2;
+  spec.consistent_forms_per_doc = true;
+  spec.seed = seed;
+  return synth::generate_corpus(spec);
+}
+
+void expect_bit_identical(const core::SemanticSpace& a,
+                          const core::SemanticSpace& b) {
+  ASSERT_EQ(a.k(), b.k());
+  ASSERT_EQ(a.num_terms(), b.num_terms());
+  ASSERT_EQ(a.num_docs(), b.num_docs());
+  for (la::index_t j = 0; j < a.k(); ++j) {
+    EXPECT_EQ(a.sigma[j], b.sigma[j]) << "sigma[" << j << "]";
+    const auto ua = a.u.col(j), ub = b.u.col(j);
+    for (la::index_t i = 0; i < a.num_terms(); ++i) {
+      ASSERT_EQ(ua[i], ub[i]) << "u(" << i << "," << j << ")";
+    }
+    const auto va = a.v.col(j), vb = b.v.col(j);
+    for (la::index_t i = 0; i < a.num_docs(); ++i) {
+      ASSERT_EQ(va[i], vb[i]) << "v(" << i << "," << j << ")";
+    }
+  }
+}
+
+class ConcurrentParity : public ::testing::TestWithParam<ParityCase> {};
+
+// Single producer + the same consolidation budget => the concurrently
+// published space equals the sequential IncrementalIndexer's result bit for
+// bit, with concurrent readers running the whole time (reads must not
+// perturb writes).
+TEST_P(ConcurrentParity, MatchesSequentialFoldAndConsolidate) {
+  const ParityCase& pc = GetParam();
+  auto corpus = parity_corpus(pc.seed);
+  const std::size_t train = corpus.docs.size() / 2;
+
+  core::IndexOptions iopts;
+  iopts.k = 14;
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+  auto base = core::LsiIndex::try_build(head, iopts).value();
+
+  // Sequential reference: same base index, same budget, same arrival order.
+  core::IncrementalOptions seq_opts;
+  seq_opts.consolidate_every = pc.consolidate_every;
+  seq_opts.exact_update = pc.exact_update;
+  core::IncrementalIndexer sequential(base, seq_opts);  // copies the index
+  for (std::size_t d = train; d < corpus.docs.size(); ++d) {
+    sequential.add(corpus.docs[d]);
+  }
+
+  // Concurrent run: one producer, two readers querying snapshots throughout.
+  core::ConcurrentOptions copts;
+  copts.consolidate_every = pc.consolidate_every;
+  copts.exact_update = pc.exact_update;
+  copts.max_batch = 4;
+  copts.queue_capacity = 8;
+  core::ConcurrentIndexer indexer(std::move(base), copts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t q = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto snap = indexer.snapshot();
+        auto results =
+            snap->query(corpus.queries[q % corpus.queries.size()].text);
+        for (const auto& hit : results) {
+          // Internal consistency: a snapshot never mixes generations.
+          ASSERT_LT(hit.doc, snap->space().num_docs());
+          ASSERT_EQ(snap->doc_labels().size(), snap->space().num_docs());
+        }
+        ++q;
+      }
+    });
+  }
+  for (std::size_t d = train; d < corpus.docs.size(); ++d) {
+    ASSERT_TRUE(indexer.add(corpus.docs[d]).ok());
+  }
+  indexer.flush();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  auto snap = indexer.snapshot();
+  expect_bit_identical(snap->space(), sequential.index().space());
+  EXPECT_EQ(snap->doc_labels(), sequential.index().doc_labels());
+  EXPECT_EQ(snap->unconsolidated(), sequential.pending());
+  EXPECT_EQ(indexer.consolidations(), sequential.consolidations());
+
+  // Rankings over the final generation are bit-identical too.
+  for (const auto& query : corpus.queries) {
+    const auto concurrent_hits = snap->query(query.text);
+    const auto sequential_hits = sequential.index().query(query.text);
+    ASSERT_EQ(concurrent_hits.size(), sequential_hits.size());
+    for (std::size_t i = 0; i < concurrent_hits.size(); ++i) {
+      EXPECT_EQ(concurrent_hits[i].doc, sequential_hits[i].doc);
+      EXPECT_EQ(concurrent_hits[i].label, sequential_hits[i].label);
+      EXPECT_EQ(concurrent_hits[i].cosine, sequential_hits[i].cosine);
+    }
+  }
+}
+
+// Batched retrieval pinned to a snapshot returns exactly what one-at-a-time
+// retrieval over the same snapshot returns (the batched engine's bit-parity
+// guarantee, exercised here through the concurrent surface).
+TEST_P(ConcurrentParity, BatchedMatchesSingleQueryOnSnapshot) {
+  const ParityCase& pc = GetParam();
+  auto corpus = parity_corpus(pc.seed + 1000);
+  const std::size_t train = (3 * corpus.docs.size()) / 4;
+
+  core::IndexOptions iopts;
+  iopts.k = 14;
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+  core::ConcurrentOptions copts;
+  copts.consolidate_every = pc.consolidate_every;
+  core::ConcurrentIndexer indexer(
+      core::LsiIndex::try_build(head, iopts).value(), copts);
+  for (std::size_t d = train; d < corpus.docs.size(); ++d) {
+    ASSERT_TRUE(indexer.add(corpus.docs[d]).ok());
+  }
+  indexer.flush();
+  auto snap = indexer.snapshot();
+
+  std::vector<la::Vector> weighted;
+  for (const auto& query : corpus.queries) {
+    weighted.push_back(snap->context().weighted_term_vector(query.text));
+  }
+  core::BatchedRetriever batched(snap->space_ptr());
+  const auto ranked = batched.rank(
+      core::QueryBatch::from_term_vectors(snap->space(), weighted));
+  ASSERT_EQ(ranked.size(), weighted.size());
+  for (std::size_t b = 0; b < ranked.size(); ++b) {
+    const auto single = snap->retrieve(weighted[b]);
+    ASSERT_EQ(ranked[b].size(), single.size()) << "query " << b;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(ranked[b][i].doc, single[i].doc);
+      EXPECT_EQ(ranked[b][i].cosine, single[i].cosine);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConcurrentParity,
+    ::testing::Values(ParityCase{101, 6, false}, ParityCase{202, 10, false},
+                      ParityCase{303, 4, true},
+                      ParityCase{404, 0, false}),  // 0 = never consolidate
+    [](const ::testing::TestParamInfo<ParityCase>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed) + "_budget" +
+             std::to_string(param_info.param.consolidate_every) +
+             (param_info.param.exact_update ? "_exact" : "_approx");
+    });
+
+}  // namespace

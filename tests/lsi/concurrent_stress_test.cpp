@@ -1,0 +1,178 @@
+// Concurrency stress test (CTest label "stress"): 4 reader threads + 2
+// producer threads + a consolidation driver hammer one ConcurrentIndexer
+// for well over 1000 operations. Run under ThreadSanitizer in CI
+// (-DLSI_SANITIZE=thread) this is the race detector's target: any reader
+// observing a half-published snapshot, a cold norm cache being filled
+// concurrently, or writer state leaking across the publish fence shows up
+// as a TSan report and fails the job.
+//
+// The assertions themselves are deliberately invariant-shaped (snapshot
+// self-consistency, conservation of accepted documents) rather than
+// value-shaped: interleaving is nondeterministic, the invariants are not.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsi/batched_retrieval.hpp"
+#include "lsi/concurrent.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+constexpr std::size_t kReaders = 4;
+constexpr std::size_t kProducers = 2;
+constexpr std::size_t kQueriesPerReader = 250;
+constexpr std::size_t kBatchedEvery = 10;  // every 10th query runs batched
+
+TEST(ConcurrentStress, ReadersAndProducersRaceFree) {
+  synth::CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 6;
+  spec.docs_per_topic = 40;  // 160 docs
+  spec.queries_per_topic = 3;
+  spec.seed = 99;
+  auto corpus = synth::generate_corpus(spec);
+  const std::size_t train = 60;
+
+  core::IndexOptions iopts;
+  iopts.k = 10;
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+
+  core::ConcurrentOptions copts;
+  copts.queue_capacity = 8;  // small: exercises blocking backpressure
+  copts.consolidate_every = 16;
+  copts.max_batch = 4;
+  core::ConcurrentIndexer indexer(
+      core::LsiIndex::try_build(head, iopts).value(), copts);
+
+  // --- producers: split the remaining 100 docs, mixing add / try_add ----
+  std::atomic<std::size_t> accepted{0};
+  std::atomic<std::size_t> rejected{0};
+  std::vector<std::thread> producers;
+  const std::size_t tail = corpus.docs.size() - train;
+  const std::size_t per_producer = tail / kProducers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::size_t begin = train + p * per_producer;
+      const std::size_t end =
+          (p + 1 == kProducers) ? corpus.docs.size() : begin + per_producer;
+      for (std::size_t d = begin; d < end; ++d) {
+        if (d % 2 == 0) {
+          ASSERT_TRUE(indexer.add(corpus.docs[d]).ok());
+          accepted.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        // Non-blocking path: retry on backpressure, never drop.
+        for (;;) {
+          const Status s = indexer.try_add(corpus.docs[d]);
+          if (s.ok()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          ASSERT_EQ(s.code(), StatusCode::kResourceExhausted) << s.message();
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // --- readers: pin a snapshot per query, check self-consistency ----------
+  std::atomic<std::size_t> queries_done{0};
+  std::atomic<std::size_t> during_consolidation{0};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      for (std::size_t i = 0; i < kQueriesPerReader; ++i) {
+        const auto& query =
+            corpus.queries[(r * kQueriesPerReader + i) % corpus.queries.size()];
+        auto snap = indexer.snapshot();
+        const bool overlapped = indexer.consolidating();
+        if (i % kBatchedEvery == 0) {
+          // Batched path pinned to the same snapshot must agree with the
+          // single-query path bit for bit, even mid-ingest.
+          const la::Vector w = snap->context().weighted_term_vector(query.text);
+          core::BatchedRetriever batched(snap->space_ptr());
+          const auto ranked = batched.rank(
+              core::QueryBatch::from_term_vectors(snap->space(), {w, w}));
+          const auto single = snap->retrieve(w);
+          ASSERT_EQ(ranked.size(), 2u);
+          for (const auto& lane : ranked) {
+            ASSERT_EQ(lane.size(), single.size());
+            for (std::size_t s = 0; s < single.size(); ++s) {
+              ASSERT_EQ(lane[s].doc, single[s].doc);
+              ASSERT_EQ(lane[s].cosine, single[s].cosine);
+            }
+          }
+        } else {
+          const auto results = snap->query(query.text);
+          const std::size_t docs = snap->space().num_docs();
+          ASSERT_EQ(snap->doc_labels().size(), docs);
+          ASSERT_GE(docs, train);
+          for (const auto& hit : results) {
+            ASSERT_LT(hit.doc, docs);
+            ASSERT_EQ(hit.label, snap->doc_labels()[hit.doc]);
+          }
+        }
+        if (overlapped && indexer.consolidating()) {
+          during_consolidation.fetch_add(1, std::memory_order_relaxed);
+        }
+        queries_done.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // --- consolidation driver: force SVD-updates mid-stream ----------------
+  std::thread driver([&] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::yield();
+      ASSERT_TRUE(indexer.consolidate().ok());
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  driver.join();
+  for (auto& t : readers) t.join();
+  indexer.flush();
+
+  // ≥ 1000 operations total, per the acceptance criterion.
+  const std::size_t ops = queries_done.load() + accepted.load();
+  EXPECT_GE(ops, 1000u) << "queries=" << queries_done.load()
+                        << " ingests=" << accepted.load()
+                        << " backpressure_retries=" << rejected.load();
+
+  // Conservation: every accepted document is in the final snapshot exactly
+  // once — nothing dropped, nothing duplicated, base prefix untouched.
+  EXPECT_EQ(indexer.ingested(), tail);
+  auto snap = indexer.snapshot();
+  ASSERT_EQ(snap->space().num_docs(), corpus.docs.size());
+  ASSERT_EQ(snap->doc_labels().size(), corpus.docs.size());
+  for (std::size_t d = 0; d < train; ++d) {
+    EXPECT_EQ(snap->doc_labels()[d], corpus.docs[d].label);
+  }
+  std::set<std::string> tail_labels(snap->doc_labels().begin() + train,
+                                    snap->doc_labels().end());
+  EXPECT_EQ(tail_labels.size(), tail) << "duplicate or missing labels";
+  for (std::size_t d = train; d < corpus.docs.size(); ++d) {
+    EXPECT_EQ(tail_labels.count(corpus.docs[d].label), 1u)
+        << "lost " << corpus.docs[d].label;
+  }
+
+  EXPECT_GE(indexer.publishes(), 1u + tail / copts.max_batch / 2);
+  EXPECT_GE(indexer.consolidations(), 3u);  // the driver forced three
+
+  // shutdown() must be clean while snapshots are still held.
+  indexer.shutdown();
+  EXPECT_EQ(snap->space().num_docs(), corpus.docs.size());
+}
+
+}  // namespace

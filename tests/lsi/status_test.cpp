@@ -35,6 +35,14 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
   EXPECT_THROW(s.or_throw(), std::runtime_error);
 }
 
+TEST(Status, ResourceExhaustedNamesItself) {
+  const auto s = Status::ResourceExhausted("ingest queue full (capacity 8)");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.to_string(),
+            "resource-exhausted: ingest queue full (capacity 8)");
+}
+
 TEST(Expected, HoldsValueOrStatus) {
   Expected<int> good(7);
   ASSERT_TRUE(good.ok());

@@ -1,0 +1,117 @@
+// BoundedQueue: FIFO order, capacity backpressure, close semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/bounded_queue.hpp"
+
+namespace {
+
+using lsi::util::BoundedQueue;
+using lsi::util::QueuePush;
+
+TEST(BoundedQueue, FifoOrderAndBatchPop) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.try_push(i), QueuePush::kOk);
+  EXPECT_EQ(q.size(), 5u);
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.pop_batch(out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pop_batch(out, 1), 0u);  // empty pop never blocks
+}
+
+TEST(BoundedQueue, TryPushReportsFull) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.try_push(1), QueuePush::kOk);
+  EXPECT_EQ(q.try_push(2), QueuePush::kOk);
+  EXPECT_EQ(q.try_push(3), QueuePush::kFull);
+  std::vector<int> out;
+  q.pop_batch(out, 1);
+  EXPECT_EQ(q.try_push(3), QueuePush::kOk);  // space freed
+}
+
+TEST(BoundedQueue, ZeroCapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_EQ(q.try_push(1), QueuePush::kOk);
+  EXPECT_EQ(q.try_push(2), QueuePush::kFull);
+}
+
+TEST(BoundedQueue, PushBlocksUntilSpaceFrees) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(1), QueuePush::kOk);
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2), QueuePush::kOk);  // blocks: queue is full
+    pushed.store(true);
+  });
+
+  // The producer cannot finish until we free capacity.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop_batch(out, 1), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducersAndKeepsItems) {
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(7), QueuePush::kOk);
+
+  std::thread producer([&] { EXPECT_EQ(q.push(8), QueuePush::kClosed); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  producer.join();
+
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.try_push(9), QueuePush::kClosed);
+  // Already-accepted items survive the close.
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_batch(out, 4), 1u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(BoundedQueue, ManyProducersAllItemsArrive) {
+  BoundedQueue<int> q(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  std::vector<int> seen;
+  std::thread consumer([&] {
+    while (seen.size() < kProducers * kPerProducer) {
+      if (q.pop_batch(seen, 8) == 0) std::this_thread::yield();
+    }
+  });
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_EQ(q.push(p * kPerProducer + i), QueuePush::kOk);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  std::vector<bool> got(kProducers * kPerProducer, false);
+  for (int v : seen) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, kProducers * kPerProducer);
+    EXPECT_FALSE(got[v]) << "duplicate item " << v;
+    got[v] = true;
+  }
+}
+
+}  // namespace
