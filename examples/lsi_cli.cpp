@@ -37,6 +37,7 @@
 
 #include "data/med_topics.hpp"
 #include "lsi/lsi.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -75,10 +76,18 @@ int usage() {
          "  lsi_cli ingest-stress <docs.tsv> [--writers N] [--readers N] "
          "[--repeat N]\n"
          "                [--k N] [--queue N] [--consolidate-every N] "
-         "[--exact]\n"
+         "[--exact] [--shards N]\n"
          "                (serve queries from snapshots while writer "
          "threads fold in\n"
-         "                the tail of the collection)\n"
+         "                the tail of the collection; --shards > 1 routes "
+         "ingest and\n"
+         "                scatter-gathers the queries over a sharded "
+         "index)\n"
+         "  lsi_cli shard-stats <docs.tsv> [--shards N] [--k N] "
+         "[--routing rr|size|hash]\n"
+         "                [--no-split-k] [--probe \"free text\"] [--top N]\n"
+         "                (partition, build every shard's SVD and print the "
+         "per-shard table)\n"
          "Every command also accepts --stats[=json|csv]; <docs.tsv> may be "
          "@med for the\nbuilt-in MEDLINE example collection.\n";
   return 2;
@@ -310,11 +319,190 @@ int cmd_add(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_shard_table(const std::vector<ShardedIndex::ShardInfo>& infos,
+                       const std::string& title) {
+  util::TextTable table({"shard", "docs", "terms", "k", "gen", "unconsol",
+                         "queued", "ingested", "publishes", "consol"});
+  for (const auto& info : infos) {
+    table.add_row({util::fmt_int(static_cast<long long>(info.shard)),
+                   util::fmt_int(static_cast<long long>(info.docs)),
+                   util::fmt_int(static_cast<long long>(info.terms)),
+                   util::fmt_int(static_cast<long long>(info.k)),
+                   util::fmt_int(static_cast<long long>(info.generation)),
+                   util::fmt_int(static_cast<long long>(info.unconsolidated)),
+                   util::fmt_int(static_cast<long long>(info.queued)),
+                   util::fmt_int(static_cast<long long>(info.ingested)),
+                   util::fmt_int(static_cast<long long>(info.publishes)),
+                   util::fmt_int(static_cast<long long>(info.consolidations))});
+  }
+  table.print(std::cout, title);
+}
+
+// Partition a collection, build every shard's independent truncated SVD and
+// print the per-shard statistics table — the operational face of the
+// Section 6 subcollection decomposition (docs/SHARDING.md).
+int cmd_shard_stats(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto docs = read_tsv(args[0]);
+
+  ShardingOptions sopts;
+  if (const auto v = flag_value(args, "--shards"); !v.empty()) {
+    sopts.num_shards = std::max<std::size_t>(1, std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--k"); !v.empty()) {
+    sopts.index.k = static_cast<core::index_t>(std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--routing"); !v.empty()) {
+    sopts.routing = parse_routing_policy(v).value();
+  }
+  sopts.split_k_budget = !has_flag(args, "--no-split-k");
+
+  util::WallTimer wall;
+  auto index = ShardedIndex::try_build(docs, sopts).value();
+  const double build_s = wall.seconds();
+
+  std::cout << "sharded index: " << docs.size() << " documents across "
+            << index.num_shards() << " shards ("
+            << routing_policy_name(sopts.routing) << " routing, total k = "
+            << sopts.index.k
+            << (sopts.split_k_budget ? ", split across shards"
+                                     : " per shard")
+            << "), built in " << build_s << "s\n";
+  print_shard_table(index.shard_infos(), "");
+
+  stat_param("shards", static_cast<double>(index.num_shards()));
+  stat_param("docs", static_cast<double>(docs.size()));
+  stat_param("k_total", static_cast<double>(sopts.index.k));
+
+  if (const auto probe = flag_value(args, "--probe"); !probe.empty()) {
+    QueryOptions qopts;
+    qopts.top_z = 10;
+    if (const auto top = flag_value(args, "--top"); !top.empty()) {
+      qopts.top_z = std::stoul(top);
+    }
+    QueryStats stats;
+    std::cout << "# probe: " << probe << '\n';
+    for (const auto& hit : index.snapshot().query(probe, qopts, &stats)) {
+      std::cout << hit.label << '\t' << hit.cosine << '\n';
+    }
+    stat_param("probe_docs_scored", static_cast<double>(stats.docs_scored));
+  }
+  return 0;
+}
+
+// The --shards > 1 variant of ingest-stress: writers route documents through
+// the ShardedIndex (per-shard queues and backpressure) while readers pin
+// ShardedSnapshots and scatter-gather their queries.
+int run_sharded_ingest_stress(const Collection& docs, std::size_t shards,
+                              std::size_t writers, std::size_t readers,
+                              std::size_t repeat, const IndexOptions& iopts,
+                              const ConcurrentOptions& copts) {
+  ShardingOptions sopts;
+  sopts.num_shards = shards;
+  sopts.index = iopts;
+  sopts.split_k_budget = false;  // operational tool: keep each shard's k
+  sopts.concurrent = copts;
+
+  const std::size_t base = std::max<std::size_t>(4, docs.size() / 3);
+  Collection head(docs.begin(), docs.begin() + base);
+  auto index = ShardedIndex::try_build(head, sopts).value();
+  std::cout << "base index: " << base << " documents across " << shards
+            << " shards; streaming " << (docs.size() - base) * repeat
+            << " documents through " << writers << " writers while "
+            << readers << " readers scatter-gather\n";
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> queries{0};
+  std::atomic<std::size_t> overloads{0};
+  util::WallTimer wall;
+
+  std::vector<std::thread> writer_threads;
+  for (std::size_t w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      for (std::size_t rep = 0; rep < repeat; ++rep) {
+        for (std::size_t d = base + w; d < docs.size(); d += writers) {
+          Document doc = docs[d];
+          if (rep > 0) {
+            doc.label += '#';
+            doc.label += std::to_string(rep);
+          }
+          if (d % 2 == 0) {
+            if (!index.add(std::move(doc)).ok()) return;
+          } else {
+            for (;;) {
+              const Status s = index.try_add(doc);
+              if (s.ok()) break;
+              if (s.code() != StatusCode::kResourceExhausted) return;
+              overloads.fetch_add(1, std::memory_order_relaxed);
+              std::this_thread::yield();
+            }
+          }
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> reader_threads;
+  for (std::size_t r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      std::size_t q = r;
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = index.snapshot();
+        std::vector<QueryResult> hits;
+        {
+          LSI_OBS_SPAN(span, "serving.query");
+          hits = snap.query(docs[q % base].body);
+        }
+        if (hits.empty()) {
+          std::cerr << "empty ranking against " << snap.num_docs()
+                    << " documents\n";
+        }
+        queries.fetch_add(1, std::memory_order_relaxed);
+        q += readers;
+      }
+    });
+  }
+
+  for (auto& t : writer_threads) t.join();
+  index.flush();
+  done.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+  const double seconds = wall.seconds();
+  index.shutdown();
+
+  const auto infos = index.shard_infos();
+  std::uint64_t publishes = 0, consolidations = 0;
+  for (const auto& info : infos) {
+    publishes += info.publishes;
+    consolidations += info.consolidations;
+  }
+  std::cout << "ingested " << index.ingested() << " documents in " << seconds
+            << "s (" << static_cast<double>(index.ingested()) / seconds
+            << " docs/s)\n"
+            << "served   " << queries.load() << " queries ("
+            << static_cast<double>(queries.load()) / seconds << " q/s), "
+            << overloads.load() << " backpressure retries\n"
+            << "published " << publishes << " snapshots, " << consolidations
+            << " consolidations across " << shards << " shards\n";
+  print_shard_table(infos, "");
+
+  stat_param("shards", static_cast<double>(shards));
+  stat_param("writers", static_cast<double>(writers));
+  stat_param("readers", static_cast<double>(readers));
+  stat_param("docs_ingested", static_cast<double>(index.ingested()));
+  stat_param("queries", static_cast<double>(queries.load()));
+  stat_param("qps", static_cast<double>(queries.load()) / seconds);
+  stat_param("publishes", static_cast<double>(publishes));
+  stat_param("consolidations", static_cast<double>(consolidations));
+  return 0;
+}
+
 // Serve-while-updating exerciser: builds an index from the head of the
 // collection, then streams the rest through ConcurrentIndexer writer threads
 // while reader threads hammer snapshot queries. Prints throughput and the
 // snapshot/consolidation counters; with --stats the concurrent.* and
-// serving.query spans land in the document.
+// serving.query spans land in the document. With --shards > 1 the same
+// workload runs against a ShardedIndex instead.
 int cmd_ingest_stress(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const auto docs = read_tsv(args[0]);
@@ -346,6 +534,14 @@ int cmd_ingest_stress(const std::vector<std::string>& args) {
     copts.consolidate_every = std::stoul(v);
   }
   copts.exact_update = has_flag(args, "--exact");
+
+  if (const auto v = flag_value(args, "--shards"); !v.empty()) {
+    if (const std::size_t shards = std::max<std::size_t>(1, std::stoul(v));
+        shards > 1) {
+      return run_sharded_ingest_stress(docs, shards, writers, readers, repeat,
+                                       iopts, copts);
+    }
+  }
 
   const std::size_t base = std::max<std::size_t>(4, docs.size() / 3);
   Collection head(docs.begin(), docs.begin() + base);
@@ -500,6 +696,8 @@ int main(int argc, char** argv) {
       rc = cmd_info(args);
     } else if (cmd == "ingest-stress" || cmd == "--ingest-stress") {
       rc = cmd_ingest_stress(args);
+    } else if (cmd == "shard-stats") {
+      rc = cmd_shard_stats(args);
     } else {
       return usage();
     }

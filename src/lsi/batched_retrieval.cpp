@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
+#include "lsi/ranking.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -11,12 +13,10 @@ namespace lsi::core {
 
 namespace {
 
-/// The total order every ranking obeys: higher cosine first, then lower
-/// document index. Also the heap ordering for bounded top-z selection.
-inline bool ranks_before(const ScoredDoc& a, const ScoredDoc& b) noexcept {
-  if (a.cosine != b.cosine) return a.cosine > b.cosine;
-  return a.doc < b.doc;
-}
+// ranks_before (lsi/ranking.hpp) is the total order every ranking obeys:
+// higher cosine first, then lower document index. Also the heap ordering for
+// bounded top-z selection.
+constexpr auto by_rank = ranks_before<ScoredDoc, ScoredDoc>;
 
 /// Threshold-then-select for one query's score column. The min_cosine
 /// filter runs first, so the bounded heap only ever holds documents that
@@ -35,20 +35,20 @@ std::vector<ScoredDoc> select_ranked(std::span<const double> scores,
       if (cand.cosine < opts.min_cosine) continue;
       if (keep.size() < z) {
         keep.push_back(cand);
-        std::push_heap(keep.begin(), keep.end(), ranks_before);
-      } else if (ranks_before(cand, keep.front())) {
-        std::pop_heap(keep.begin(), keep.end(), ranks_before);
+        std::push_heap(keep.begin(), keep.end(), by_rank);
+      } else if (by_rank(cand, keep.front())) {
+        std::pop_heap(keep.begin(), keep.end(), by_rank);
         keep.back() = cand;
-        std::push_heap(keep.begin(), keep.end(), ranks_before);
+        std::push_heap(keep.begin(), keep.end(), by_rank);
       }
     }
-    std::sort(keep.begin(), keep.end(), ranks_before);
+    std::sort(keep.begin(), keep.end(), by_rank);
   } else {
     keep.reserve(n);
     for (std::size_t j = 0; j < n; ++j) {
       if (scores[j] >= opts.min_cosine) keep.push_back({j, scores[j]});
     }
-    std::sort(keep.begin(), keep.end(), ranks_before);
+    std::sort(keep.begin(), keep.end(), by_rank);
     if (z > 0 && keep.size() > z) keep.resize(z);
   }
   return keep;
@@ -66,6 +66,33 @@ QueryBatch QueryBatch::from_projected(const SemanticSpace& space,
     for (index_t i = 0; i < space.k(); ++i) col[i] = qhats[b][i];
   }
   return batch;
+}
+
+Expected<QueryBatch> QueryBatch::try_from_projected(
+    const SemanticSpace& space, const std::vector<la::Vector>& qhats) {
+  for (std::size_t b = 0; b < qhats.size(); ++b) {
+    if (qhats[b].size() != static_cast<std::size_t>(space.k())) {
+      return Status::InvalidArgument(
+          "projected query " + std::to_string(b) + " has length " +
+          std::to_string(qhats[b].size()) + ", space has k = " +
+          std::to_string(space.k()));
+    }
+  }
+  return from_projected(space, qhats);
+}
+
+Expected<QueryBatch> QueryBatch::try_from_term_vectors(
+    const SemanticSpace& space, const std::vector<la::Vector>& term_vectors,
+    QueryStats* stats) {
+  for (std::size_t b = 0; b < term_vectors.size(); ++b) {
+    if (term_vectors[b].size() != static_cast<std::size_t>(space.num_terms())) {
+      return Status::InvalidArgument(
+          "term vector " + std::to_string(b) + " has length " +
+          std::to_string(term_vectors[b].size()) + ", space has " +
+          std::to_string(space.num_terms()) + " terms");
+    }
+  }
+  return from_term_vectors(space, term_vectors, stats);
 }
 
 QueryBatch QueryBatch::from_term_vectors(
@@ -212,6 +239,17 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
     stats->total_seconds += elapsed;
   }
   return out;
+}
+
+Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
+    const QueryBatch& batch, const QueryOptions& opts,
+    QueryStats* stats) const {
+  if (batch.size() > 0 && batch.k() != space_.k()) {
+    return Status::InvalidArgument(
+        "batch was projected with k = " + std::to_string(batch.k()) +
+        ", this retriever's space has k = " + std::to_string(space_.k()));
+  }
+  return rank(batch, opts, stats);
 }
 
 }  // namespace lsi::core

@@ -37,15 +37,32 @@ class QueryBatch {
  public:
   QueryBatch() = default;
 
-  /// Wraps already-projected k-vectors, one query per column.
+  /// Wraps already-projected k-vectors, one query per column. Every vector
+  /// must have length space.k() (assert in debug; use try_from_projected for
+  /// a checked Status instead).
   static QueryBatch from_projected(const SemanticSpace& space,
                                    const std::vector<la::Vector>& qhats);
+
+  /// Checked variant: kInvalidArgument when any vector's length differs from
+  /// space.k(). An empty `qhats` is valid and yields an empty batch.
+  static Expected<QueryBatch> try_from_projected(
+      const SemanticSpace& space, const std::vector<la::Vector>& qhats);
 
   /// Projects B raw (weighted) m-vectors at once: the batched Equation 6,
   /// Q_hat = S_k^{-1} (U_k^T Q), via the blocked GEMM. Runs under the
   /// "retrieval.project" span; `stats`, when non-null, accumulates the
-  /// projection time and flops (see QueryStats).
+  /// projection time and flops (see QueryStats). Every vector must have
+  /// length space.num_terms() (assert in debug; use try_from_term_vectors
+  /// for a checked Status instead). An empty `term_vectors` is valid and
+  /// yields an empty batch that ranks to an empty result list.
   static QueryBatch from_term_vectors(
+      const SemanticSpace& space,
+      const std::vector<la::Vector>& term_vectors,
+      QueryStats* stats = nullptr);
+
+  /// Checked variant: kInvalidArgument when any vector's length differs from
+  /// space.num_terms().
+  static Expected<QueryBatch> try_from_term_vectors(
       const SemanticSpace& space,
       const std::vector<la::Vector>& term_vectors,
       QueryStats* stats = nullptr);
@@ -83,13 +100,25 @@ class BatchedRetriever {
                          QueryStats* stats = nullptr) const;
 
   /// result[b] is query b's ranking: cosine descending, ties broken by
-  /// ascending document index; `opts.min_cosine` is applied before top-z
-  /// selection (see QueryOptions). Honors `opts.sink` for the duration of
-  /// the call; selection runs under the "retrieval.select" span and `stats`
-  /// accumulates the per-stage breakdown when non-null.
+  /// ascending document index (the shared lsi/ranking.hpp order);
+  /// `opts.min_cosine` is applied before top-z selection (see QueryOptions).
+  /// Honors `opts.sink` for the duration of the call; selection runs under
+  /// the "retrieval.select" span and `stats` accumulates the per-stage
+  /// breakdown when non-null.
+  ///
+  /// Edge cases return cleanly rather than invoking UB: an empty batch
+  /// yields an empty result vector, and `opts.top_z` larger than the number
+  /// of documents returns every document passing the threshold.
   std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
                                            const QueryOptions& opts = {},
                                            QueryStats* stats = nullptr) const;
+
+  /// Checked variant: kInvalidArgument when a non-empty batch was projected
+  /// against a space with a different number of factors than this
+  /// retriever's (the release-mode guard for the assert in scores()).
+  Expected<std::vector<std::vector<ScoredDoc>>> try_rank(
+      const QueryBatch& batch, const QueryOptions& opts = {},
+      QueryStats* stats = nullptr) const;
 
  private:
   const SemanticSpace& space_;

@@ -19,8 +19,11 @@
 #include "lsi/incremental.hpp"
 #include "lsi/io.hpp"
 #include "lsi/lsi_index.hpp"
+#include "lsi/ranking.hpp"
 #include "lsi/retrieval.hpp"
 #include "lsi/semantic_space.hpp"
+#include "lsi/sharding/router.hpp"
+#include "lsi/sharding/sharded_index.hpp"
 #include "lsi/status.hpp"
 #include "lsi/update.hpp"
 #include "obs/export.hpp"
@@ -82,6 +85,20 @@ using core::ConcurrentIndexer;
 using core::ConcurrentOptions;
 using core::IndexSnapshot;
 using core::SnapshotQueryContext;
+
+// The canonical ranking order (lsi/ranking.hpp).
+using core::merge_rankings;
+using core::ranks_before;
+using core::sort_ranking;
+
+// Sharded scatter-gather serving (docs/SHARDING.md).
+using core::parse_routing_policy;
+using core::routing_policy_name;
+using core::RoutingPolicy;
+using core::ShardedIndex;
+using core::ShardedSnapshot;
+using core::ShardingOptions;
+using core::ShardRouter;
 
 // Persistence.
 using core::LsiDatabase;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "lsi/ranking.hpp"
 #include "util/rng.hpp"
 
 namespace lsi::core {
@@ -131,11 +132,7 @@ std::vector<ScoredDoc> DocNeighborIndex::query(
       out.push_back({d, cos});
     }
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const ScoredDoc& a, const ScoredDoc& b) {
-                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
-                     return a.doc < b.doc;
-                   });
+  std::stable_sort(out.begin(), out.end(), ranks_before<ScoredDoc>);
   if (top_z > 0 && out.size() > top_z) out.resize(top_z);
   if (stats) *stats = local;
   return out;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "lsi/batched_retrieval.hpp"
+#include "lsi/ranking.hpp"
 
 namespace lsi::core {
 
@@ -103,11 +104,7 @@ std::vector<ScoredDoc> rank_documents_multipoint(
     }
     if (combined >= opts.min_cosine) out.push_back({d, combined});
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const ScoredDoc& a, const ScoredDoc& b) {
-                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
-                     return a.doc < b.doc;
-                   });
+  std::stable_sort(out.begin(), out.end(), ranks_before<ScoredDoc>);
   if (opts.top_z > 0 && out.size() > opts.top_z) out.resize(opts.top_z);
   return out;
 }
@@ -121,11 +118,7 @@ std::vector<ScoredDoc> rank_terms(const SemanticSpace& space,
     const la::Vector t = space.term_coords(i);
     out.push_back({i, la::cosine(term_coords, t)});
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const ScoredDoc& a, const ScoredDoc& b) {
-                     if (a.cosine != b.cosine) return a.cosine > b.cosine;
-                     return a.doc < b.doc;
-                   });
+  std::stable_sort(out.begin(), out.end(), ranks_before<ScoredDoc>);
   if (top_z > 0 && out.size() > top_z) out.resize(top_z);
   return out;
 }

@@ -1,0 +1,64 @@
+#include "lsi/sharding/router.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/hash.hpp"
+
+namespace lsi::core {
+
+std::string_view routing_policy_name(RoutingPolicy policy) noexcept {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin: return "round-robin";
+    case RoutingPolicy::kSizeBalanced: return "size-balanced";
+    case RoutingPolicy::kHashLabel: return "hash-label";
+  }
+  return "unknown";
+}
+
+Expected<RoutingPolicy> parse_routing_policy(std::string_view name) {
+  if (name == "round-robin" || name == "rr") {
+    return RoutingPolicy::kRoundRobin;
+  }
+  if (name == "size-balanced" || name == "size") {
+    return RoutingPolicy::kSizeBalanced;
+  }
+  if (name == "hash-label" || name == "hash") {
+    return RoutingPolicy::kHashLabel;
+  }
+  return Status::InvalidArgument("unknown routing policy: " +
+                                 std::string(name));
+}
+
+ShardRouter::ShardRouter(RoutingPolicy policy, std::size_t num_shards)
+    : policy_(policy), assigned_(num_shards, 0), load_(num_shards, 0) {
+  assert(num_shards > 0);
+}
+
+std::size_t ShardRouter::route(std::string_view label,
+                               std::size_t size_hint) {
+  const std::size_t n = assigned_.size();
+  std::size_t shard = 0;
+  switch (policy_) {
+    case RoutingPolicy::kRoundRobin:
+      shard = next_;
+      next_ = (next_ + 1) % n;
+      break;
+    case RoutingPolicy::kSizeBalanced:
+      // Greedy: the least-loaded shard takes the next document; ties go to
+      // the lowest shard index so the assignment is deterministic.
+      shard = static_cast<std::size_t>(
+          std::min_element(load_.begin(), load_.end()) - load_.begin());
+      break;
+    case RoutingPolicy::kHashLabel:
+      shard = static_cast<std::size_t>(util::fnv1a64(label) % n);
+      break;
+  }
+  ++assigned_[shard];
+  // Count every document as at least one unit so kSizeBalanced still cycles
+  // (rather than piling onto shard 0) when callers pass size_hint = 0.
+  load_[shard] += std::max<std::size_t>(1, size_hint);
+  return shard;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,78 @@
+#pragma once
+// Document-to-shard routing for the sharded LSI index (docs/SHARDING.md).
+//
+// The paper's TREC section could not compute one SVD over the full
+// collection and decomposed it into subcollections instead; ShardRouter is
+// the policy deciding which subcollection a document joins. Three policies:
+//
+//   kRoundRobin    cycle through shards in arrival order — every shard gets
+//                  the same *count* of documents (the default; also what
+//                  makes the N = 1 configuration trivially identical to the
+//                  monolithic index);
+//   kSizeBalanced  greedy bin-packing on accumulated document *text size* —
+//                  shards end up with similar token mass even when document
+//                  lengths are skewed, which balances both per-shard SVD
+//                  cost and per-shard scoring cost;
+//   kHashLabel     stable FNV-1a hash of the document label — a document id
+//                  always routes to the same shard, across runs, platforms
+//                  and restarts (util/hash.hpp fixes the hash for all time).
+//                  The anchor for future replication/rebalancing work.
+//
+// A router is deliberately cheap, synchronous state (a counter or a size
+// table); ShardedIndex serializes route() calls under its routing mutex.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsi/status.hpp"
+
+namespace lsi::core {
+
+enum class RoutingPolicy {
+  kRoundRobin,
+  kSizeBalanced,
+  kHashLabel,
+};
+
+/// Canonical lower-case name ("round-robin", "size-balanced", "hash-label").
+std::string_view routing_policy_name(RoutingPolicy policy) noexcept;
+
+/// Parses a policy name (also accepts the CLI short forms "rr", "size",
+/// "hash"); kInvalidArgument for anything else.
+Expected<RoutingPolicy> parse_routing_policy(std::string_view name);
+
+/// Deterministic assignment of documents to `num_shards` shards. route() is
+/// pure for kHashLabel and stateful (arrival-order dependent) for the other
+/// two policies, so replaying the same sequence of calls always reproduces
+/// the same assignment.
+class ShardRouter {
+ public:
+  ShardRouter(RoutingPolicy policy, std::size_t num_shards);
+
+  /// Shard for the next document. `label` keys the kHashLabel policy;
+  /// `size_hint` (document text size in bytes, or any monotone proxy for
+  /// its cost) feeds kSizeBalanced. Both are ignored by policies that do
+  /// not need them.
+  std::size_t route(std::string_view label, std::size_t size_hint);
+
+  RoutingPolicy policy() const noexcept { return policy_; }
+  std::size_t num_shards() const noexcept { return assigned_.size(); }
+
+  /// Documents routed to each shard so far.
+  const std::vector<std::size_t>& assigned() const noexcept {
+    return assigned_;
+  }
+  /// Accumulated size hints per shard (the kSizeBalanced load measure).
+  const std::vector<std::size_t>& load() const noexcept { return load_; }
+
+ private:
+  RoutingPolicy policy_;
+  std::size_t next_ = 0;  ///< round-robin cursor
+  std::vector<std::size_t> assigned_;
+  std::vector<std::size_t> load_;
+};
+
+}  // namespace lsi::core

@@ -1,0 +1,477 @@
+#include "lsi/sharding/sharded_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "lsi/ranking.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lsi::core {
+
+namespace {
+
+/// The pool shard fan-out (scatter tasks, parallel shard builds) runs on.
+/// Deliberately NOT util::ThreadPool::global(): the per-shard work itself
+/// calls parallel_for, whose wait_idle blocks until the *global* pool
+/// drains — a global-pool worker waiting for its own pool would deadlock.
+/// Keeping the fan-out on a separate pool makes the nesting a clean
+/// cross-pool wait: scatter workers sleep, global-pool workers progress.
+util::ThreadPool& scatter_pool() {
+  static util::ThreadPool pool;  // hardware concurrency
+  return pool;
+}
+
+/// Runs tasks[0..n) on the scatter pool and blocks until all complete.
+/// Completion is tracked per call (not via ThreadPool::wait_idle, which
+/// waits for *global* pool idleness and could starve under concurrent
+/// queries from other threads).
+void fan_out(std::size_t n, const std::function<void(std::size_t)>& task) {
+  if (n == 0) return;
+  if (n == 1 || scatter_pool().thread_count() <= 1) {
+    // A single-threaded pool cannot overlap anything with the caller, so the
+    // dispatch/latch round-trip would be pure overhead per batch.
+    for (std::size_t i = 0; i < n; ++i) task(i);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    scatter_pool().submit([&, i] {
+      task(i);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
+
+/// Accumulates one shard's per-stage stats into the batch aggregate. Times
+/// sum to CPU-seconds across shards (shards overlap in wall time).
+void accumulate_stats(QueryStats& into, const QueryStats& shard) {
+  into.docs_scored += shard.docs_scored;
+  into.project_seconds += shard.project_seconds;
+  into.score_seconds += shard.score_seconds;
+  into.select_seconds += shard.select_seconds;
+  into.total_seconds += shard.total_seconds;
+  into.flops += shard.flops;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardingOptions
+// ---------------------------------------------------------------------------
+
+Status ShardingOptions::Validate() const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be at least 1");
+  }
+  if (min_shard_k < 1) {
+    return Status::InvalidArgument("min_shard_k must be at least 1");
+  }
+  if (split_k_budget &&
+      static_cast<std::size_t>(index.k) < num_shards) {
+    return Status::InvalidArgument(
+        "k budget " + std::to_string(index.k) + " cannot be split across " +
+        std::to_string(num_shards) + " shards (fewer than one factor each)");
+  }
+  return index.Validate();
+}
+
+index_t ShardingOptions::shard_k(std::size_t shard) const {
+  if (!split_k_budget) return index.k;
+  const index_t n = static_cast<index_t>(num_shards);
+  const index_t base = index.k / n;
+  const index_t extra = static_cast<index_t>(shard) < index.k % n ? 1 : 0;
+  return std::max(min_shard_k, base + extra);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSnapshot
+// ---------------------------------------------------------------------------
+
+ShardedSnapshot::ShardedSnapshot(std::vector<ShardView> shards)
+    : shards_(std::move(shards)) {
+  for ([[maybe_unused]] const ShardView& s : shards_) {
+    assert(s.snapshot != nullptr);
+    assert(s.global_ids != nullptr);
+    assert(s.global_ids->size() >=
+           static_cast<std::size_t>(s.snapshot->space().num_docs()));
+  }
+}
+
+index_t ShardedSnapshot::num_docs() const noexcept {
+  index_t total = 0;
+  for (const ShardView& s : shards_) total += s.snapshot->space().num_docs();
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedSnapshot::generations() const {
+  std::vector<std::uint64_t> gens;
+  gens.reserve(shards_.size());
+  for (const ShardView& s : shards_) gens.push_back(s.snapshot->generation());
+  return gens;
+}
+
+std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
+    const std::vector<std::string>& texts, const QueryOptions& opts,
+    QueryStats* stats) const {
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  const std::size_t bsz = texts.size();
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::vector<ScoredDoc>> merged(bsz);
+  if (bsz == 0 || n_shards == 0) return merged;
+
+  // Scatter: every shard handles the whole batch against its own space.
+  // Per-shard results stay in shard-local document indices until the
+  // gather; each worker writes only its own slot, so no synchronization
+  // beyond the fan_out join is needed.
+  QueryOptions shard_opts = opts;
+  shard_opts.sink = nullptr;  // installed once above, for all shards
+  std::vector<std::vector<std::vector<ScoredDoc>>> per_shard(n_shards);
+  std::vector<QueryStats> shard_stats(n_shards);
+  {
+    LSI_OBS_SPAN(span, "sharding.scatter");
+    fan_out(n_shards, [&](std::size_t s) {
+      LSI_OBS_SPAN(shard_span, "sharding.shard_rank");
+      const IndexSnapshot& snap = *shards_[s].snapshot;
+      std::vector<la::Vector> vectors;
+      vectors.reserve(bsz);
+      for (const std::string& text : texts) {
+        vectors.push_back(snap.context().weighted_term_vector(text));
+      }
+      QueryStats* qs = stats ? &shard_stats[s] : nullptr;
+      const QueryBatch batch =
+          QueryBatch::from_term_vectors(snap.space(), vectors, qs);
+      per_shard[s] =
+          BatchedRetriever(snap.space_ptr()).rank(batch, shard_opts, qs);
+    });
+  }
+
+  // Gather: map shard-local indices to global ids, then merge every query's
+  // N sorted lists under the shared comparator. Equal cosines order by
+  // global id — independent of which shard produced them, so the tie order
+  // is identical across shard counts.
+  {
+    LSI_OBS_SPAN(span, "sharding.gather");
+    for (std::size_t b = 0; b < bsz; ++b) {
+      std::vector<std::vector<ScoredDoc>> lists(n_shards);
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        const std::vector<index_t>& ids = *shards_[s].global_ids;
+        lists[s] = std::move(per_shard[s][b]);
+        for (ScoredDoc& sd : lists[s]) sd.doc = ids[sd.doc];
+      }
+      merged[b] = merge_rankings(lists, opts.top_z);
+    }
+  }
+
+  if (stats) {
+    stats->batch_size += static_cast<index_t>(bsz);
+    for (const QueryStats& qs : shard_stats) accumulate_stats(*stats, qs);
+  }
+  obs::count("sharding.batches");
+  obs::count("sharding.queries", bsz);
+  return merged;
+}
+
+std::vector<ScoredDoc> ShardedSnapshot::retrieve(std::string_view text,
+                                                 const QueryOptions& opts,
+                                                 QueryStats* stats) const {
+  auto ranked = rank_batch({std::string(text)}, opts, stats);
+  return ranked.empty() ? std::vector<ScoredDoc>{} : std::move(ranked[0]);
+}
+
+std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
+                                                const QueryOptions& opts,
+                                                QueryStats* stats) const {
+  const std::vector<ScoredDoc> ranked = retrieve(text, opts, stats);
+  // Resolve labels: global ids are sparse in the merged list, so build the
+  // reverse (global id -> shard, local) view only for the returned docs.
+  std::vector<QueryResult> out;
+  out.reserve(ranked.size());
+  for (const ScoredDoc& sd : ranked) {
+    QueryResult qr;
+    qr.doc = sd.doc;
+    qr.cosine = sd.cosine;
+    for (const ShardView& shard : shards_) {
+      const std::vector<index_t>& ids = *shard.global_ids;
+      const std::size_t docs =
+          static_cast<std::size_t>(shard.snapshot->space().num_docs());
+      for (std::size_t j = 0; j < docs; ++j) {
+        if (ids[j] == sd.doc) {
+          qr.label = shard.snapshot->doc_labels()[j];
+          break;
+        }
+      }
+      if (!qr.label.empty()) break;
+    }
+    out.push_back(std::move(qr));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardedIndex
+// ---------------------------------------------------------------------------
+
+/// One shard: a ConcurrentIndexer plus the copy-on-write shard-local →
+/// global id map. `add_mu` orders (id append, queue push) pairs so the map
+/// always lists ids in the shard's fold order; `ids_mu` guards only the map
+/// pointer (snapshot readers copy it without touching add_mu).
+struct ShardedIndex::Shard {
+  Shard(LsiIndex index, const ConcurrentOptions& copts,
+        std::vector<index_t> initial_ids)
+      : ids(std::make_shared<const std::vector<index_t>>(
+            std::move(initial_ids))),
+        indexer(std::move(index), copts) {}
+
+  std::shared_ptr<const std::vector<index_t>> ids_snapshot() const {
+    std::lock_guard<std::mutex> lock(ids_mu);
+    return ids;
+  }
+
+  /// Appends `gid` (copy-on-write); returns the previous map so a failed
+  /// enqueue can roll back. Caller must hold add_mu.
+  std::shared_ptr<const std::vector<index_t>> append_id(index_t gid) {
+    auto next = std::make_shared<std::vector<index_t>>();
+    std::shared_ptr<const std::vector<index_t>> prev;
+    {
+      std::lock_guard<std::mutex> lock(ids_mu);
+      prev = ids;
+    }
+    next->reserve(prev->size() + 1);
+    *next = *prev;
+    next->push_back(gid);
+    {
+      std::lock_guard<std::mutex> lock(ids_mu);
+      ids = std::move(next);
+    }
+    return prev;
+  }
+
+  void restore_ids(std::shared_ptr<const std::vector<index_t>> prev) {
+    std::lock_guard<std::mutex> lock(ids_mu);
+    ids = std::move(prev);
+  }
+
+  mutable std::mutex ids_mu;
+  std::shared_ptr<const std::vector<index_t>> ids;
+  std::mutex add_mu;
+  ConcurrentIndexer indexer;  ///< declared last: joins before ids dies
+};
+
+/// Routing decisions and global id assignment, serialized under one mutex so
+/// a single-threaded producer gets a fully deterministic assignment.
+struct ShardedIndex::RouterState {
+  RouterState(RoutingPolicy policy, std::size_t num_shards, index_t next_gid)
+      : router(policy, num_shards), next_global_id(next_gid) {}
+
+  index_t allocate_id() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!free_ids.empty()) {
+      const index_t id = free_ids.back();
+      free_ids.pop_back();
+      return id;
+    }
+    return next_global_id++;
+  }
+
+  /// Returns a reserved id after a failed enqueue so ids stay dense: every
+  /// rejected attempt is followed by a retry (or nothing at all), and
+  /// allocation prefers freed ids, so the ids actually ingested always form
+  /// a contiguous [0, n) — no holes burned by backpressure.
+  void release_id(index_t id) {
+    std::lock_guard<std::mutex> lock(mu);
+    free_ids.push_back(id);
+  }
+
+  std::mutex mu;
+  ShardRouter router;
+  index_t next_global_id;
+  std::vector<index_t> free_ids;
+};
+
+Expected<ShardedIndex> ShardedIndex::try_build(const text::Collection& docs,
+                                               const ShardingOptions& opts) {
+  if (Status s = opts.Validate(); !s.ok()) return s;
+  if (docs.empty()) {
+    return Status::InvalidArgument("cannot build from an empty collection");
+  }
+  if (docs.size() < opts.num_shards) {
+    return Status::InvalidArgument(
+        "collection of " + std::to_string(docs.size()) +
+        " documents cannot fill " + std::to_string(opts.num_shards) +
+        " shards");
+  }
+
+  LSI_OBS_SPAN(span, "sharding.build");
+
+  // Partition: global id of a document is its position in `docs`.
+  auto router = std::make_unique<RouterState>(
+      opts.routing, opts.num_shards, static_cast<index_t>(docs.size()));
+  std::vector<text::Collection> shard_docs(opts.num_shards);
+  std::vector<std::vector<index_t>> shard_ids(opts.num_shards);
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    const std::size_t s =
+        router->router.route(docs[d].label, docs[d].body.size());
+    shard_docs[s].push_back(docs[d]);
+    shard_ids[s].push_back(static_cast<index_t>(d));
+  }
+  for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    if (shard_docs[s].empty()) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(s) + " received no documents under " +
+          std::string(routing_policy_name(opts.routing)) +
+          " routing; use fewer shards");
+    }
+  }
+
+  // Build every shard's index in parallel (each build's numerical kernels
+  // additionally parallel_for over the global pool).
+  std::vector<std::optional<Expected<LsiIndex>>> built(opts.num_shards);
+  fan_out(opts.num_shards, [&](std::size_t s) {
+    IndexOptions shard_opts = opts.index;
+    shard_opts.k = opts.shard_k(s);
+    built[s].emplace(LsiIndex::try_build(shard_docs[s], shard_opts));
+  });
+  for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    if (!built[s]->ok()) {
+      const Status& st = built[s]->status();
+      return Status(st.code(),
+                    "shard " + std::to_string(s) + ": " + st.message());
+    }
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(opts.num_shards);
+  for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    shards.push_back(std::make_unique<Shard>(std::move(built[s]->value()),
+                                             opts.concurrent,
+                                             std::move(shard_ids[s])));
+  }
+  ShardedIndex index(opts, std::move(router), std::move(shards));
+  obs::gauge("sharding.shards", static_cast<double>(opts.num_shards));
+  const auto& assigned = index.router_->router.assigned();
+  obs::gauge("sharding.docs_per_shard_min",
+             static_cast<double>(
+                 *std::min_element(assigned.begin(), assigned.end())));
+  obs::gauge("sharding.docs_per_shard_max",
+             static_cast<double>(
+                 *std::max_element(assigned.begin(), assigned.end())));
+  return index;
+}
+
+ShardedIndex::ShardedIndex(ShardingOptions opts,
+                           std::unique_ptr<RouterState> router,
+                           std::vector<std::unique_ptr<Shard>> shards)
+    : opts_(std::move(opts)),
+      router_(std::move(router)),
+      shards_(std::move(shards)) {}
+
+ShardedIndex::ShardedIndex() = default;
+ShardedIndex::ShardedIndex(ShardedIndex&&) noexcept = default;
+ShardedIndex& ShardedIndex::operator=(ShardedIndex&&) noexcept = default;
+
+ShardedIndex::~ShardedIndex() {
+  if (!shards_.empty()) shutdown();
+}
+
+Status ShardedIndex::add(text::Document doc) {
+  return add_impl(std::move(doc), /*blocking=*/true);
+}
+
+Status ShardedIndex::try_add(text::Document doc) {
+  return add_impl(std::move(doc), /*blocking=*/false);
+}
+
+Status ShardedIndex::add_impl(text::Document doc, bool blocking) {
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(router_->mu);
+    target = router_->router.route(doc.label, doc.body.size());
+  }
+  const index_t gid = router_->allocate_id();
+  Shard& shard = *shards_[target];
+  // add_mu makes (append id, enqueue) atomic with respect to other
+  // producers targeting this shard, so the id map's order always matches
+  // the queue's FIFO fold order. Blocking adds hold it through the
+  // backpressure wait — producers to a saturated shard serialize, producers
+  // to other shards are unaffected (independent per-shard backpressure).
+  std::lock_guard<std::mutex> lock(shard.add_mu);
+  auto prev = shard.append_id(gid);
+  Status status = blocking ? shard.indexer.add(std::move(doc))
+                           : shard.indexer.try_add(std::move(doc));
+  if (!status.ok()) {
+    shard.restore_ids(std::move(prev));
+    router_->release_id(gid);
+    obs::count("sharding.ingest_rejected");
+  }
+  return status;
+}
+
+void ShardedIndex::flush() {
+  for (auto& shard : shards_) shard->indexer.flush();
+}
+
+Status ShardedIndex::consolidate() {
+  for (auto& shard : shards_) {
+    if (Status s = shard->indexer.consolidate(); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void ShardedIndex::shutdown() {
+  for (auto& shard : shards_) shard->indexer.shutdown();
+}
+
+ShardedSnapshot ShardedIndex::snapshot() const {
+  std::vector<ShardedSnapshot::ShardView> views;
+  views.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardedSnapshot::ShardView view;
+    // Order matters: pin the index snapshot FIRST. Ids are appended before
+    // their document is enqueued, so any id map read afterwards covers
+    // every document the pinned snapshot can contain.
+    view.snapshot = shard->indexer.snapshot();
+    view.global_ids = shard->ids_snapshot();
+    views.push_back(std::move(view));
+  }
+  return ShardedSnapshot(std::move(views));
+}
+
+std::uint64_t ShardedIndex::ingested() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->indexer.ingested();
+  return total;
+}
+
+std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos() const {
+  std::vector<ShardInfo> infos;
+  infos.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& shard = *shards_[s];
+    const auto snap = shard.indexer.snapshot();
+    ShardInfo info;
+    info.shard = s;
+    info.docs = static_cast<std::size_t>(snap->space().num_docs());
+    info.terms = snap->context().vocabulary().size();
+    info.k = snap->space().k();
+    info.generation = snap->generation();
+    info.unconsolidated = snap->unconsolidated();
+    info.queued = shard.indexer.queued();
+    info.ingested = shard.indexer.ingested();
+    info.publishes = shard.indexer.publishes();
+    info.consolidations = shard.indexer.consolidations();
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+}  // namespace lsi::core

@@ -1,0 +1,218 @@
+#pragma once
+// Sharded LSI index with scatter-gather query serving (docs/SHARDING.md).
+//
+// The paper's TREC section (Section 6) could not compute one SVD over the
+// full collection and decomposed it into subcollections, each with its own
+// truncated SVD; this header is that decomposition as a first-class
+// subsystem. A ShardedIndex partitions a collection into N shards by a
+// ShardRouter policy; each shard owns a full, independent pipeline — its own
+// vocabulary, Equation-5 weighting, truncated SVD, and a ConcurrentIndexer
+// writer with an independent bounded ingest queue (backpressure is per
+// shard: one hot shard refusing documents does not stall the others).
+//
+// Queries are served scatter-gather against a ShardedSnapshot, which pins
+// ONE IndexSnapshot per shard — the multi-shard analogue of the concurrent
+// index's snapshot consistency contract: every shard's project/score/select
+// pass runs against the same pinned generation vector, so a query never
+// mixes a shard's pre-consolidation basis with another's post-consolidation
+// one from a later publish.
+//
+//   scatter  each shard projects the whole query batch once against its own
+//            (U_k, S_k) — the batched Equation 6 via QueryBatch — and ranks
+//            it with the shard-local BatchedRetriever into a per-shard
+//            bounded top-z heap; shards fan out across a dedicated pool;
+//   gather   per-shard rankings are mapped from shard-local document
+//            indices to global document ids and merged with the shared
+//            lsi/ranking.hpp comparator (cosine descending, global id
+//            ascending) into one deterministic global top-z.
+//
+// With N = 1 the scatter is a single BatchedRetriever pass and the gather a
+// truncation, so the sharded path is bit-identical to the monolithic batched
+// engine (the parity tests assert this). With N > 1 each shard's SVD spans
+// only its own subcollection, so scores are computed in N different latent
+// spaces — the deliberate TREC trade-off: per-shard SVDs are cheaper to
+// build, cheaper to update, and cheaper to score (n/N documents against
+// k/N factors under the default split-k budget), at the cost of rank
+// blending across independently-estimated spaces (docs/SHARDING.md
+// quantifies the overlap against the monolithic index).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsi/batched_retrieval.hpp"
+#include "lsi/concurrent.hpp"
+#include "lsi/sharding/router.hpp"
+#include "lsi/status.hpp"
+
+namespace lsi::core {
+
+struct ShardingOptions {
+  std::size_t num_shards = 4;
+  RoutingPolicy routing = RoutingPolicy::kRoundRobin;
+  /// Per-shard pipeline configuration. `index.k` is the TOTAL factor
+  /// budget: with `split_k_budget` (the default) shard s receives
+  /// k/N + (s < k mod N) factors, so the factor count summed across shards
+  /// equals the monolithic budget — the "equal total k-budget" contract the
+  /// sharded-vs-monolithic benches compare under. With it off, every shard
+  /// uses `index.k` outright (N times the monolithic budget).
+  IndexOptions index;
+  bool split_k_budget = true;
+  /// Floor applied to every per-shard factor count after the split (a shard
+  /// with one factor is a degenerate ranking).
+  index_t min_shard_k = 2;
+  /// Each shard's ConcurrentIndexer configuration: queue capacity bounds
+  /// that shard's ingest backpressure independently of its siblings.
+  ConcurrentOptions concurrent;
+
+  /// First violation found, or OK (checked by ShardedIndex::try_build).
+  Status Validate() const;
+  /// The factor count the budget split assigns to shard `shard`.
+  index_t shard_k(std::size_t shard) const;
+};
+
+/// A consistent multi-shard read view: one pinned IndexSnapshot (plus the
+/// matching shard-local → global document id map) per shard. Immutable and
+/// freely shareable across threads; hold one for the duration of a logical
+/// query (or batch) so every per-shard pass answers against the same
+/// generation vector even while shard writers publish newer snapshots.
+class ShardedSnapshot {
+ public:
+  struct ShardView {
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    /// global_ids[j] is the global document id of the shard's document j.
+    /// May be longer than the snapshot's document count (ids are recorded
+    /// at enqueue time, before the writer folds); never shorter.
+    std::shared_ptr<const std::vector<index_t>> global_ids;
+  };
+
+  /// Assembled by ShardedIndex::snapshot (directly constructible for tests
+  /// — e.g. the tie-break determinism tests build shard views by hand).
+  explicit ShardedSnapshot(std::vector<ShardView> shards);
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const ShardView& shard(std::size_t s) const { return shards_[s]; }
+  /// Documents across all pinned shard snapshots.
+  index_t num_docs() const noexcept;
+  /// The pinned generation vector, one publish sequence number per shard —
+  /// two queries against equal generation vectors see identical indexes.
+  std::vector<std::uint64_t> generations() const;
+
+  /// Batched scatter-gather retrieval over free-text queries: result[b] is
+  /// query b's global top-z ranking with GLOBAL document ids, in the shared
+  /// lsi/ranking.hpp order. Each shard parses/weights the texts against its
+  /// own vocabulary, projects the whole batch once, ranks with its
+  /// BatchedRetriever, and the per-shard top-z lists are merged
+  /// deterministically. Runs under the "sharding.scatter" / "sharding.gather"
+  /// spans; `stats` (when non-null) accumulates the summed per-shard stage
+  /// breakdown (seconds are CPU-seconds across shards, not wall time).
+  std::vector<std::vector<ScoredDoc>> rank_batch(
+      const std::vector<std::string>& texts, const QueryOptions& opts = {},
+      QueryStats* stats = nullptr) const;
+
+  /// Single-query convenience wrapper over rank_batch.
+  std::vector<ScoredDoc> retrieve(std::string_view text,
+                                  const QueryOptions& opts = {},
+                                  QueryStats* stats = nullptr) const;
+
+  /// Free-text retrieval with labels resolved against the pinned shard
+  /// snapshots; `doc` carries the global document id.
+  std::vector<QueryResult> query(std::string_view text,
+                                 const QueryOptions& opts = {},
+                                 QueryStats* stats = nullptr) const;
+
+ private:
+  std::vector<ShardView> shards_;
+};
+
+/// Partition, build, ingest and serve: the sharded face of the library.
+/// Thread-safe throughout — add/try_add may be called from any thread, and
+/// snapshot() hands out consistent read views concurrently with ingestion.
+class ShardedIndex {
+ public:
+  /// Routes `docs` across opts.num_shards shards and builds every shard's
+  /// index (shards build in parallel). Fails with the first
+  /// ShardingOptions::Validate() violation, kInvalidArgument when a shard
+  /// receives no documents (possible under hash-label routing on small
+  /// collections), or whatever a shard's LsiIndex::try_build reports.
+  /// Global document ids are the positions in `docs` (0-based), so routing
+  /// never changes what a result's `doc` field means.
+  static Expected<ShardedIndex> try_build(const text::Collection& docs,
+                                          const ShardingOptions& opts);
+
+  /// An empty index with no shards — exists only so Expected<ShardedIndex>
+  /// can default-construct its error slot. Every member function requires a
+  /// try_build result. (Special members are defined out of line: Shard is
+  /// incomplete here.)
+  ShardedIndex();
+
+  ShardedIndex(ShardedIndex&&) noexcept;
+  ShardedIndex& operator=(ShardedIndex&&) noexcept;
+  ~ShardedIndex();
+
+  /// Routes one document to its shard (assigning it the next global id) and
+  /// enqueues it there, blocking while that shard's ingest queue is at
+  /// capacity. kFailedPrecondition after shutdown().
+  Status add(text::Document doc);
+
+  /// Non-blocking variant: kResourceExhausted when the routed shard's queue
+  /// is full — only that shard is saturated; a later retry re-routes under
+  /// the same policy (hash-label lands on the same shard, round-robin moves
+  /// on).
+  Status try_add(text::Document doc);
+
+  /// Blocks until every accepted document is folded into its shard and a
+  /// snapshot containing it is published (all shards).
+  void flush();
+
+  /// Requests SVD-update consolidation on every shard and blocks until all
+  /// are published. Fails with kFailedPrecondition after shutdown().
+  Status consolidate();
+
+  /// Stops ingestion, drains every shard and joins their writers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  /// The current consistent read view: pins every shard's latest published
+  /// snapshot (each a cheap pointer copy — readers never wait on writer
+  /// work, per shard, exactly as in ConcurrentIndexer).
+  ShardedSnapshot snapshot() const;
+
+  std::size_t num_shards() const noexcept { return shards_.size(); }
+  const ShardingOptions& options() const noexcept { return opts_; }
+  /// Documents folded across all shards so far.
+  std::uint64_t ingested() const;
+
+  /// Point-in-time per-shard statistics (the CLI's shard-stats table).
+  struct ShardInfo {
+    std::size_t shard = 0;
+    std::size_t docs = 0;       ///< documents in the latest snapshot
+    std::size_t terms = 0;      ///< shard vocabulary size
+    index_t k = 0;              ///< shard factor count
+    std::uint64_t generation = 0;
+    std::size_t unconsolidated = 0;
+    std::size_t queued = 0;
+    std::uint64_t ingested = 0;
+    std::uint64_t publishes = 0;
+    std::uint64_t consolidations = 0;
+  };
+  std::vector<ShardInfo> shard_infos() const;
+
+ private:
+  struct Shard;
+  struct RouterState;
+
+  ShardedIndex(ShardingOptions opts, std::unique_ptr<RouterState> router,
+               std::vector<std::unique_ptr<Shard>> shards);
+
+  Status add_impl(text::Document doc, bool blocking);
+
+  ShardingOptions opts_;
+  std::unique_ptr<RouterState> router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace lsi::core

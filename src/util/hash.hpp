@@ -1,0 +1,24 @@
+#pragma once
+// Stable, platform-independent string hashing. std::hash makes no cross-
+// process or cross-platform guarantees, so anything that must route the same
+// key to the same place on every run — the sharded index's hash-by-doc-id
+// policy, persisted partition assignments — uses this FNV-1a implementation
+// instead. The function is pure and fixed for all time: changing it would
+// silently re-partition every hash-routed collection.
+
+#include <cstdint>
+#include <string_view>
+
+namespace lsi::util {
+
+/// 64-bit FNV-1a over the bytes of `s`. Deterministic on every platform.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace lsi::util

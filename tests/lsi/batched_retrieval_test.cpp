@@ -199,6 +199,91 @@ TEST(BatchedRetrieval, BatchLargerThanCollection) {
   }
 }
 
+TEST(BatchedRetrieval, TopZExceedsNumDocs) {
+  // z beyond the collection size is a clean no-op on selection: every
+  // document passing the threshold comes back, in canonical order.
+  auto a = synth::random_sparse_matrix(30, 9, 0.4, 2);
+  auto space = try_build_semantic_space(a, 4).value();
+  const auto queries = sparse_queries(30, 4, 53);
+  QueryOptions opts;
+  opts.top_z = 50;  // n = 9
+  const auto ranked = BatchedRetriever(space).rank(
+      QueryBatch::from_term_vectors(space, queries), opts);
+  ASSERT_EQ(ranked.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(ranked[q].size(), 9u);
+    expect_identical(ranked[q], retrieve(space, queries[q], {}));
+  }
+}
+
+TEST(BatchedRetrieval, TryFromTermVectorsReportsBadLengths) {
+  auto a = synth::random_sparse_matrix(20, 12, 0.4, 19);
+  auto space = try_build_semantic_space(a, 4).value();
+
+  // Valid input: same batch as the unchecked factory.
+  const auto queries = sparse_queries(20, 3, 59);
+  auto good = QueryBatch::try_from_term_vectors(space, queries);
+  ASSERT_TRUE(good.ok()) << good.status().to_string();
+  EXPECT_EQ(good->size(), 3);
+  EXPECT_EQ(good->k(), space.k());
+
+  // Empty input: a valid empty batch, not an error.
+  auto empty = QueryBatch::try_from_term_vectors(space, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->size(), 0);
+
+  // One vector of the wrong length: kInvalidArgument naming the offender.
+  std::vector<la::Vector> bad = queries;
+  bad[1] = la::Vector(7, 0.0);
+  auto status = QueryBatch::try_from_term_vectors(space, bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.status().message().find("1"), std::string::npos);
+}
+
+TEST(BatchedRetrieval, TryFromProjectedReportsBadLengths) {
+  auto a = synth::random_sparse_matrix(20, 12, 0.4, 19);
+  auto space = try_build_semantic_space(a, 4).value();
+
+  std::vector<la::Vector> qhats = {la::Vector(space.k(), 0.5),
+                                   la::Vector(space.k(), 1.0)};
+  auto good = QueryBatch::try_from_projected(space, qhats);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->size(), 2);
+
+  qhats.push_back(la::Vector(space.k() + 1, 0.0));
+  auto status = QueryBatch::try_from_projected(space, qhats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BatchedRetrieval, TryRankRejectsForeignBatch) {
+  auto a = synth::random_sparse_matrix(25, 14, 0.35, 43);
+  auto space4 = try_build_semantic_space(a, 4).value();
+  auto space6 = try_build_semantic_space(a, 6).value();
+  const auto queries = sparse_queries(25, 3, 61);
+
+  const auto batch = QueryBatch::from_term_vectors(space4, queries);
+  const BatchedRetriever retriever(space6);
+
+  auto mismatched = retriever.try_rank(batch);
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+
+  // The same call against the right space agrees with the unchecked path,
+  // and an empty batch is accepted by any retriever.
+  auto ranked = BatchedRetriever(space4).try_rank(batch);
+  ASSERT_TRUE(ranked.ok());
+  const auto want = BatchedRetriever(space4).rank(batch);
+  ASSERT_EQ(ranked->size(), want.size());
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    expect_identical((*ranked)[q], want[q]);
+  }
+  auto empty = retriever.try_rank(QueryBatch());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
 TEST(BatchedRetrieval, DocNormCacheInvalidatesOnMutation) {
   auto a = synth::random_sparse_matrix(25, 14, 0.35, 43);
   auto space = try_build_semantic_space(a, 4).value();
