@@ -1,0 +1,485 @@
+// Open-loop load bench for the LSI query daemon (docs/SERVING.md).
+//
+// Modes:
+//   (default)      start an in-process daemon over a synthetic corpus and
+//                  sweep target qps levels with an open-loop generator:
+//                  request i is *scheduled* at start + i/qps and its latency
+//                  is measured from that scheduled instant, so queueing
+//                  delay when the server falls behind is charged to the
+//                  server (no coordinated omission). Emits per-level
+//                  p50/p99/p999 and the error budget to BENCH_serving.json.
+//                  Full mode enforces the acceptance gate: the 10k q/s
+//                  level must sustain >= 10k with p99 <= 5 ms and zero
+//                  non-2xx answers. Quick mode (LSI_BENCH_QUICK) shrinks
+//                  the sweep to smoke scale and skips the gate.
+//   --smoke        scripted functional drive — ingest, search, session
+//                  paging, stats, drain — failing on any non-2xx answer.
+//                  With --port it drives an EXTERNAL daemon (the CI
+//                  serve-smoke job runs `lsi_cli serve` under ASan and
+//                  points this mode at it); without, an in-process one.
+//   --expect-429   (with --smoke) additionally bulk-POSTs /ingest until the
+//                  shard queues overflow and REQUIRES the scripted 429.
+//   --shutdown     (with --smoke) finish by POSTing /shutdown and verifying
+//                  the daemon drains.
+//
+// Flags: --port N, --connections C, --seconds S, --qps "a,b,c".
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lsi/lsi.hpp"
+#include "serve/server.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+using clock_type = std::chrono::steady_clock;
+
+// ---------------------------------------------------------------------------
+// Minimal blocking client (one fd, keep-alive, Content-Length or chunked)
+// ---------------------------------------------------------------------------
+
+struct Response {
+  int status = 0;
+  std::string body;
+  bool closed = false;
+};
+
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ok_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool ok() const { return ok_; }
+
+  Response request(const std::string& method, const std::string& target,
+                   const std::string& body = {}) {
+    std::string wire = method + " " + target + " HTTP/1.1\r\nHost: l\r\n";
+    if (!body.empty()) {
+      wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    wire += "\r\n";
+    wire += body;
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return {.status = 0, .body = {}, .closed = true};
+      sent += static_cast<std::size_t>(n);
+    }
+    return read_response();
+  }
+
+  Response read_response() {
+    Response resp;
+    std::size_t head_end;
+    while ((head_end = buf_.find("\r\n\r\n")) == std::string::npos) {
+      if (!fill()) {
+        resp.closed = true;
+        return resp;
+      }
+    }
+    const std::string head = buf_.substr(0, head_end);
+    buf_.erase(0, head_end + 4);
+    resp.status = std::atoi(head.c_str() + head.find(' ') + 1);
+    if (head.find("Transfer-Encoding: chunked") != std::string::npos) {
+      for (;;) {
+        std::size_t eol;
+        while ((eol = buf_.find("\r\n")) == std::string::npos) {
+          if (!fill()) return resp;
+        }
+        const std::size_t n = std::strtoul(buf_.c_str(), nullptr, 16);
+        buf_.erase(0, eol + 2);
+        while (buf_.size() < n + 2) {
+          if (!fill()) return resp;
+        }
+        if (n == 0) break;
+        resp.body.append(buf_, 0, n);
+        buf_.erase(0, n + 2);
+      }
+    } else {
+      std::size_t want = 0;
+      const std::size_t cl = head.find("Content-Length: ");
+      if (cl != std::string::npos) {
+        want = std::strtoul(head.c_str() + cl + 16, nullptr, 10);
+      }
+      while (buf_.size() < want) {
+        if (!fill()) return resp;
+      }
+      resp.body.assign(buf_, 0, want);
+      buf_.erase(0, want);
+    }
+    resp.closed = head.find("Connection: close") != std::string::npos;
+    return resp;
+  }
+
+ private:
+  bool fill() {
+    char chunk[16384];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) return false;
+    buf_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+  int fd_ = -1;
+  bool ok_ = false;
+  std::string buf_;
+};
+
+std::string encode(const std::string& text) {
+  std::string out;
+  for (char c : text) out += (c == ' ') ? '+' : c;
+  return out;
+}
+
+std::string find_string(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t begin = pos + needle.size();
+  return body.substr(begin, body.find('"', begin) - begin);
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop sweep
+// ---------------------------------------------------------------------------
+
+struct SweepResult {
+  double target_qps = 0;
+  double achieved_qps = 0;
+  double p50_ms = 0, p99_ms = 0, p999_ms = 0;
+  std::size_t sent = 0;
+  std::size_t errors = 0;  ///< non-2xx answers (no 429s occur: reads only)
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+SweepResult run_level(std::uint16_t port, const std::vector<std::string>& targets,
+                      double qps, double seconds, std::size_t connections) {
+  const std::size_t total =
+      static_cast<std::size_t>(qps * seconds);
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::size_t> errors(connections, 0);
+  std::atomic<bool> abort{false};
+
+  const auto start = clock_type::now() + std::chrono::milliseconds(50);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < connections; ++t) {
+    threads.emplace_back([&, t] {
+      Client client(static_cast<std::uint16_t>(port));
+      if (!client.ok()) {
+        abort.store(true);
+        return;
+      }
+      latencies[t].reserve(total / connections + 1);
+      // Thread t owns requests t, t+C, t+2C, ... of the global schedule.
+      for (std::size_t i = t; i < total && !abort.load(); i += connections) {
+        const auto scheduled =
+            start + std::chrono::duration_cast<clock_type::duration>(
+                        std::chrono::duration<double>(
+                            static_cast<double>(i) / qps));
+        std::this_thread::sleep_until(scheduled);
+        const Response resp =
+            client.request("GET", targets[i % targets.size()]);
+        const auto done = clock_type::now();
+        if (resp.status < 200 || resp.status >= 300) {
+          ++errors[t];
+          if (resp.closed) {
+            abort.store(true);
+            return;
+          }
+          continue;
+        }
+        latencies[t].push_back(
+            std::chrono::duration<double, std::milli>(done - scheduled)
+                .count());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+
+  SweepResult result;
+  result.target_qps = qps;
+  result.sent = total;
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  for (std::size_t e : errors) result.errors += e;
+  std::sort(all.begin(), all.end());
+  result.achieved_qps =
+      elapsed > 0 ? static_cast<double>(all.size()) / elapsed : 0;
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.p999_ms = percentile(all, 0.999);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------------
+
+int fail(const char* step, const Response& resp) {
+  std::cerr << "SMOKE FAIL at " << step << ": status=" << resp.status
+            << " body=" << resp.body << "\n";
+  return 1;
+}
+
+int run_smoke(std::uint16_t port, const std::string& query, bool expect_429,
+              bool do_shutdown) {
+  Client client(port);
+  if (!client.ok()) {
+    std::cerr << "SMOKE FAIL: cannot connect to 127.0.0.1:" << port << "\n";
+    return 1;
+  }
+  Response resp = client.request("GET", "/healthz");
+  if (resp.status != 200) return fail("healthz", resp);
+
+  resp = client.request("POST", "/session");
+  if (resp.status != 201) return fail("session create", resp);
+  const std::string token = find_string(resp.body, "session");
+
+  // Ingest a handful of documents with read-your-writes. One document per
+  // POST with wait=1: each flush empties the shard queues, so this leg
+  // stays deterministic even against a daemon started with a tiny --queue
+  // (the scripted-429 configuration).
+  for (int i = 0; i < 8; ++i) {
+    resp = client.request("POST", "/ingest?session=" + token + "&wait=1",
+                          "smoke" + std::to_string(i) + "\t" + query +
+                              " padding words\n");
+    if (resp.status != 202) return fail("ingest", resp);
+  }
+
+  // Search + page three times through the session cursor.
+  resp = client.request(
+      "GET", "/search?session=" + token + "&q=" + encode(query) + "&top=3");
+  if (resp.status != 200) return fail("search", resp);
+  for (int page = 0; page < 2; ++page) {
+    resp = client.request("GET", "/search?session=" + token + "&top=3");
+    if (resp.status != 200) return fail("paging", resp);
+  }
+
+  resp = client.request("GET", "/search?q=" + encode(query) + "&labels=1");
+  if (resp.status != 200) return fail("labels search", resp);
+
+  resp = client.request("GET", "/stats");
+  if (resp.status != 200) return fail("stats", resp);
+
+  if (expect_429) {
+    // The scripted 429: one bulk POST large enough that the routed shard's
+    // bounded queue must refuse mid-body (the daemon is started with a tiny
+    // --queue for this leg). Anything but 429 fails the smoke.
+    std::string bulk;
+    for (int i = 0; i < 400; ++i) {
+      bulk += "bulk" + std::to_string(i) + "\t" + query + " flood\n";
+    }
+    resp = client.request("POST", "/ingest", bulk);
+    if (resp.status != 429) return fail("scripted 429", resp);
+    std::cout << "smoke: scripted 429 delivered (" << resp.body << ")\n";
+  }
+
+  resp = client.request("DELETE", "/session?session=" + token);
+  if (resp.status != 200) return fail("session delete", resp);
+
+  if (do_shutdown) {
+    resp = client.request("POST", "/shutdown");
+    if (resp.status != 200) return fail("shutdown", resp);
+    if (!resp.closed) {
+      std::cerr << "SMOKE FAIL: shutdown answer did not close\n";
+      return 1;
+    }
+  }
+  std::cout << "smoke: all scripted exchanges answered as expected\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Daemon {
+  synth::SyntheticCorpus corpus;
+  std::unique_ptr<core::ShardedIndex> index;
+  std::unique_ptr<serve::HttpServer> server;
+};
+
+Daemon start_daemon(bool quick, std::size_t queue_capacity = 256) {
+  Daemon d;
+  synth::CorpusSpec spec;
+  spec.topics = quick ? 3 : 6;
+  spec.concepts_per_topic = 6;
+  spec.docs_per_topic = quick ? 20 : 60;
+  spec.queries_per_topic = 4;
+  spec.seed = 20260808;
+  d.corpus = synth::generate_corpus(spec);
+
+  core::ShardingOptions sopts;
+  sopts.num_shards = 2;
+  sopts.index.k = 16;
+  sopts.concurrent.queue_capacity = queue_capacity;
+  auto built = core::ShardedIndex::try_build(d.corpus.docs, sopts);
+  if (!built.ok()) {
+    std::cerr << "index build failed: " << built.status().to_string() << "\n";
+    std::exit(1);
+  }
+  d.index = std::make_unique<core::ShardedIndex>(std::move(*built));
+  serve::ServerOptions opts;
+  opts.max_connections = 256;
+  d.server = std::make_unique<serve::HttpServer>(*d.index, opts);
+  if (Status s = d.server->start(); !s.ok()) {
+    std::cerr << "server start failed: " << s.to_string() << "\n";
+    std::exit(1);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false, expect_429 = false, do_shutdown = false;
+  std::uint16_t port = 0;
+  std::size_t connections = 8;
+  double seconds = 2.0;
+  std::vector<double> qps_levels;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    else if (arg == "--expect-429") expect_429 = true;
+    else if (arg == "--shutdown") do_shutdown = true;
+    else if (arg == "--port" && i + 1 < argc)
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    else if (arg == "--connections" && i + 1 < argc)
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    else if (arg == "--seconds" && i + 1 < argc)
+      seconds = std::atof(argv[++i]);
+    else if (arg == "--qps" && i + 1 < argc) {
+      const char* p = argv[++i];
+      while (*p) {
+        qps_levels.push_back(std::strtod(p, const_cast<char**>(&p)));
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const bool quick = lsi::bench::quick_mode();
+
+  if (smoke) {
+    // External daemon (--port) or a private in-process one.
+    if (port != 0) {
+      return run_smoke(port, "information retrieval access", expect_429,
+                       do_shutdown);
+    }
+    // A scripted 429 needs shard queues tiny enough for one bulk POST to
+    // overflow them deterministically.
+    Daemon d = start_daemon(/*quick=*/true, expect_429 ? 2 : 256);
+    const int rc = run_smoke(d.server->port(), d.corpus.queries.front().text,
+                             expect_429, do_shutdown);
+    d.server->drain();  // no-op when the scripted /shutdown already drained
+    d.index->shutdown();
+    return rc;
+  }
+
+  lsi::bench::banner("the serving-layer load test",
+                     "Open-loop qps sweep against the HTTP query daemon");
+  lsi::bench::StatsSession stats("serving", /*install=*/false);
+
+  Daemon d = start_daemon(quick);
+  if (qps_levels.empty()) {
+    qps_levels = quick ? std::vector<double>{500.0}
+                       : std::vector<double>{2000.0, 5000.0, 11000.0, 14000.0};
+  }
+  if (quick) seconds = std::min(seconds, 0.5);
+
+  // The query mix: every synthetic query, sessionless, top-5.
+  std::vector<std::string> targets;
+  for (const auto& q : d.corpus.queries) {
+    targets.push_back("/search?q=" + encode(q.text) + "&top=5");
+  }
+
+  // Unrecorded warm-up: fault in code paths, spin up the scatter pool, and
+  // let the allocator reach steady state before anything is measured.
+  (void)run_level(d.server->port(), targets, quick ? 200.0 : 2000.0,
+                  quick ? 0.1 : 0.5, connections);
+
+  std::printf("%10s %12s %9s %9s %9s %8s %7s\n", "target", "achieved",
+              "p50(ms)", "p99(ms)", "p999(ms)", "sent", "errors");
+  // The acceptance gate (full mode): SOME level must sustain >= 10k q/s
+  // with p99 <= 5 ms, and the whole sweep must answer with a zero error
+  // budget (no dropped / non-2xx requests — reads never draw 429s).
+  bool sustained_10k = false;
+  bool zero_errors = true;
+  for (double qps : qps_levels) {
+    const SweepResult r =
+        run_level(d.server->port(), targets, qps, seconds, connections);
+    std::printf("%10.0f %12.1f %9.3f %9.3f %9.3f %8zu %7zu\n", r.target_qps,
+                r.achieved_qps, r.p50_ms, r.p99_ms, r.p999_ms, r.sent,
+                r.errors);
+    const std::string prefix = "qps" + std::to_string(static_cast<int>(qps));
+    stats.param(prefix + "_achieved", r.achieved_qps);
+    stats.param(prefix + "_p50_ms", r.p50_ms);
+    stats.param(prefix + "_p99_ms", r.p99_ms);
+    stats.param(prefix + "_p999_ms", r.p999_ms);
+    stats.param(prefix + "_errors", static_cast<double>(r.errors));
+    if (r.achieved_qps >= 10000.0 && r.p99_ms <= 5.0 && r.errors == 0) {
+      sustained_10k = true;
+    }
+    if (r.errors != 0) zero_errors = false;
+  }
+  const bool gate_pass = sustained_10k && zero_errors;
+  stats.param("gate_pass", gate_pass ? 1.0 : 0.0);
+  stats.param("connections", static_cast<double>(connections));
+  stats.param("seconds_per_level", seconds);
+
+  const serve::HttpServer::Stats ss = d.server->stats();
+  std::printf("\nserver ledger: %llu requests, %llu 2xx, %llu 4xx, %llu 5xx\n",
+              static_cast<unsigned long long>(ss.requests),
+              static_cast<unsigned long long>(ss.responses_2xx),
+              static_cast<unsigned long long>(ss.responses_4xx),
+              static_cast<unsigned long long>(ss.responses_5xx));
+  d.server->drain();
+  d.index->shutdown();
+
+  if (!quick && !gate_pass) {
+    std::cerr << "\nGATE FAIL: 10k q/s @ p99<=5ms with zero errors not met\n";
+    return 1;
+  }
+  std::cout << (quick ? "\nquick mode: sweep complete (gate skipped)\n"
+                      : "\nGATE PASS\n");
+  return 0;
+}

@@ -27,6 +27,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -37,6 +39,7 @@
 
 #include "data/med_topics.hpp"
 #include "lsi/lsi.hpp"
+#include "serve/server.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +86,15 @@ int usage() {
          "ingest and\n"
          "                scatter-gathers the queries over a sharded "
          "index)\n"
+         "  lsi_cli serve <docs.tsv> [--port N] [--shards N] [--k N] "
+         "[--queue N]\n"
+         "                [--max-conn N] [--session-ttl SECONDS]\n"
+         "                (build a sharded index and run the HTTP/1.1 query "
+         "daemon on\n"
+         "                loopback until SIGINT/SIGTERM or POST /shutdown; "
+         "--port 0\n"
+         "                binds an ephemeral port, printed on startup — see "
+         "docs/SERVING.md)\n"
          "  lsi_cli shard-stats <docs.tsv> [--shards N] [--k N] "
          "[--routing rr|size|hash]\n"
          "                [--no-split-k] [--probe \"free text\"] [--top N]\n"
@@ -636,6 +648,79 @@ int cmd_ingest_stress(const std::vector<std::string>& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// serve: build a sharded index and run the HTTP/1.1 query daemon
+// ---------------------------------------------------------------------------
+
+std::atomic<bool> g_interrupted{false};
+
+void on_signal(int) { g_interrupted.store(true); }
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const auto docs = read_tsv(args[0]);
+
+  core::ShardingOptions sopts;
+  sopts.num_shards = 2;
+  sopts.index.k = 16;
+  if (const auto v = flag_value(args, "--shards"); !v.empty()) {
+    sopts.num_shards = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--k"); !v.empty()) {
+    sopts.index.k = static_cast<core::index_t>(std::stol(v));
+  }
+  if (const auto v = flag_value(args, "--queue"); !v.empty()) {
+    sopts.concurrent.queue_capacity = std::stoul(v);
+  }
+
+  serve::ServerOptions opts;
+  if (const auto v = flag_value(args, "--port"); !v.empty()) {
+    opts.port = static_cast<std::uint16_t>(std::stoul(v));
+  }
+  if (const auto v = flag_value(args, "--max-conn"); !v.empty()) {
+    opts.max_connections = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--session-ttl"); !v.empty()) {
+    opts.session_ttl = std::chrono::seconds(std::stol(v));
+  }
+
+  util::WallTimer timer;
+  auto built = core::ShardedIndex::try_build(docs, sopts);
+  if (!built.ok()) {
+    std::cerr << "build failed: " << built.status().to_string() << "\n";
+    return 1;
+  }
+  core::ShardedIndex& index = *built;
+  std::cout << "built " << docs.size() << " docs across " << index.num_shards()
+            << " shards in " << timer.millis() << " ms\n";
+
+  serve::HttpServer server(index, opts);
+  if (Status s = server.start(); !s.ok()) {
+    std::cerr << "serve failed: " << s.to_string() << "\n";
+    return 1;
+  }
+  // The line smoke drivers wait for; flushed so a piped reader sees it now.
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // Park until POST /shutdown drains the daemon or a signal asks us to.
+  while (!server.stopped() && !g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (g_interrupted.load()) std::cout << "signal: draining\n";
+  server.drain();
+
+  const serve::HttpServer::Stats stats = server.stats();
+  std::cout << "served " << stats.requests << " requests ("
+            << stats.responses_2xx << " 2xx, " << stats.responses_4xx
+            << " 4xx, " << stats.responses_5xx << " 5xx, "
+            << stats.backpressure_429 << " throttled), ingested "
+            << stats.docs_ingested << " docs\n";
+  index.shutdown();
+  return 0;
+}
+
 int cmd_info(const std::vector<std::string>& args) {
   if (args.empty()) return usage();
   const auto db = try_load_database_file(args[0]).value();
@@ -696,6 +781,8 @@ int main(int argc, char** argv) {
       rc = cmd_info(args);
     } else if (cmd == "ingest-stress" || cmd == "--ingest-stress") {
       rc = cmd_ingest_stress(args);
+    } else if (cmd == "serve") {
+      rc = cmd_serve(args);
     } else if (cmd == "shard-stats") {
       rc = cmd_shard_stats(args);
     } else {

@@ -1,6 +1,7 @@
 #include "lsi/sharding/sharded_index.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <functional>
@@ -368,14 +369,21 @@ Expected<ShardedIndex> ShardedIndex::try_build(const text::Collection& docs,
   return index;
 }
 
+/// Outstanding pin_snapshot handles. Heap-allocated and co-owned by every
+/// handle so a release after the index is destroyed decrements live memory.
+struct ShardedIndex::PinCount {
+  std::atomic<std::size_t> count{0};
+};
+
 ShardedIndex::ShardedIndex(ShardingOptions opts,
                            std::unique_ptr<RouterState> router,
                            std::vector<std::unique_ptr<Shard>> shards)
     : opts_(std::move(opts)),
       router_(std::move(router)),
-      shards_(std::move(shards)) {}
+      shards_(std::move(shards)),
+      pins_(std::make_shared<PinCount>()) {}
 
-ShardedIndex::ShardedIndex() = default;
+ShardedIndex::ShardedIndex() : pins_(std::make_shared<PinCount>()) {}
 ShardedIndex::ShardedIndex(ShardedIndex&&) noexcept = default;
 ShardedIndex& ShardedIndex::operator=(ShardedIndex&&) noexcept = default;
 
@@ -444,6 +452,23 @@ ShardedSnapshot ShardedIndex::snapshot() const {
     views.push_back(std::move(view));
   }
   return ShardedSnapshot(std::move(views));
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedIndex::pin_snapshot() const {
+  std::shared_ptr<PinCount> pins = pins_;
+  pins->count.fetch_add(1, std::memory_order_relaxed);
+  obs::count("sharding.snapshot_pins");
+  // The deleter co-owns the count, so releasing a pin after the index is
+  // destroyed is well-defined (the count block outlives the index).
+  return std::shared_ptr<const ShardedSnapshot>(
+      new ShardedSnapshot(snapshot()), [pins](const ShardedSnapshot* view) {
+        delete view;
+        pins->count.fetch_sub(1, std::memory_order_relaxed);
+      });
+}
+
+std::size_t ShardedIndex::pinned() const noexcept {
+  return pins_->count.load(std::memory_order_relaxed);
 }
 
 std::uint64_t ShardedIndex::ingested() const {

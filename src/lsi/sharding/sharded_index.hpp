@@ -181,6 +181,22 @@ class ShardedIndex {
   /// work, per shard, exactly as in ConcurrentIndexer).
   ShardedSnapshot snapshot() const;
 
+  /// Explicitly refcounted pin over the current read view, for holders that
+  /// outlive the call frame (serving sessions, paging cursors). The handle
+  /// keeps every per-shard IndexSnapshot alive — consolidations may retire
+  /// and republish underneath it, but the pinned generation vector stays
+  /// dereferenceable until the last copy of the handle is dropped, at which
+  /// point the pin count decrements and the retired shard snapshots are
+  /// freed. Release is the handle going out of scope; there is no unpin
+  /// call to forget. Safe to hold across (and after) ShardedIndex
+  /// destruction: the count outlives the index.
+  std::shared_ptr<const ShardedSnapshot> pin_snapshot() const;
+
+  /// Outstanding pin_snapshot handles not yet released (0 when every
+  /// session has dropped its view — the drain-completion check the serving
+  /// layer gates on).
+  std::size_t pinned() const noexcept;
+
   std::size_t num_shards() const noexcept { return shards_.size(); }
   const ShardingOptions& options() const noexcept { return opts_; }
   /// Documents folded across all shards so far.
@@ -204,6 +220,7 @@ class ShardedIndex {
  private:
   struct Shard;
   struct RouterState;
+  struct PinCount;
 
   ShardedIndex(ShardingOptions opts, std::unique_ptr<RouterState> router,
                std::vector<std::unique_ptr<Shard>> shards);
@@ -213,6 +230,9 @@ class ShardedIndex {
   ShardingOptions opts_;
   std::unique_ptr<RouterState> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Shared (not owned) so a pin handle released after this index is gone
+  /// still has a live count to decrement.
+  std::shared_ptr<PinCount> pins_;
 };
 
 }  // namespace lsi::core

@@ -1,0 +1,131 @@
+#include "serve/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lsi::serve {
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EventLoop::add(int fd, std::uint32_t events, Callback callback) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl add: ") +
+                            std::strerror(errno));
+  }
+  callbacks_[fd] = std::make_shared<Callback>(std::move(callback));
+  return Status::Ok();
+}
+
+Status EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl mod: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::defer(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    deferred_.push_back(std::move(fn));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void EventLoop::set_tick(std::chrono::milliseconds interval,
+                         std::function<void()> fn) {
+  tick_interval_ = interval;
+  tick_ = std::move(fn);
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t count = 0;
+  while (::read(wake_fd_, &count, sizeof count) > 0) {
+  }
+}
+
+void EventLoop::run_deferred() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    batch.swap(deferred_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::run() {
+  using clock = std::chrono::steady_clock;
+  running_.store(true, std::memory_order_release);
+  clock::time_point next_tick = clock::now() + tick_interval_;
+
+  epoll_event events[64];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const auto now = clock::now();
+    int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(next_tick - now)
+            .count());
+    if (timeout_ms < 0) timeout_ms = 0;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+
+    run_deferred();
+    for (int i = 0; i < n; ++i) {
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        drain_wakeup();
+        continue;
+      }
+      // Hold the closure across the call: the callback may remove(fd).
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // removed by an earlier event
+      std::shared_ptr<Callback> cb = it->second;
+      (*cb)(events[i].events);
+    }
+    if (clock::now() >= next_tick) {
+      if (tick_) tick_();
+      next_tick = clock::now() + tick_interval_;
+    }
+  }
+  run_deferred();
+  running_.store(false, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+}
+
+}  // namespace lsi::serve

@@ -1,0 +1,82 @@
+#pragma once
+// A single-threaded epoll event loop — the pazpar2 `eventl.c` architecture
+// with a C++ surface: file descriptors register a callback for a level-
+// triggered interest set, run() dispatches readiness until stop(), and a
+// periodic tick drives housekeeping (session TTL eviction, drain deadlines).
+//
+// Everything except stop() and defer() must run on the loop thread; both of
+// those are thread-safe and wake the loop through an eventfd, which is how
+// the serving layer requests drain from outside. Callbacks may add, modify
+// or remove fds — including their own — mid-dispatch: dispatch holds a
+// shared_ptr to the callback it invokes, so self-removal never frees a
+// running closure.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "lsi/status.hpp"
+
+namespace lsi::serve {
+
+class EventLoop {
+ public:
+  /// Readiness callback; `events` is the epoll event mask (EPOLLIN, ...).
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (level-triggered). The loop never closes
+  /// registered fds; owners do, after remove().
+  Status add(int fd, std::uint32_t events, Callback callback);
+  /// Replaces the interest set of a registered fd.
+  Status modify(int fd, std::uint32_t events);
+  /// Deregisters; safe from inside the fd's own callback.
+  void remove(int fd);
+
+  /// Dispatches until stop(). Runs on the caller's thread, which becomes
+  /// the loop thread for the duration.
+  void run();
+
+  /// Requests loop exit; thread-safe, returns immediately.
+  void stop();
+
+  /// Enqueues `fn` to run on the loop thread before the next dispatch
+  /// round; thread-safe. The loop wakes immediately.
+  void defer(std::function<void()> fn);
+
+  /// Housekeeping hook invoked roughly every `interval` while running.
+  void set_tick(std::chrono::milliseconds interval,
+                std::function<void()> fn);
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void drain_wakeup();
+  void run_deferred();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: stop()/defer() wakeups
+  std::unordered_map<int, std::shared_ptr<Callback>> callbacks_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  std::mutex deferred_mu_;
+  std::vector<std::function<void()>> deferred_;
+
+  std::chrono::milliseconds tick_interval_{100};
+  std::function<void()> tick_;
+};
+
+}  // namespace lsi::serve

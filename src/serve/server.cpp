@@ -1,0 +1,753 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace lsi::serve {
+
+namespace {
+
+/// Nonnegative integer parameter, or `fallback` on absence/garbage.
+std::size_t parse_size(std::string_view s, std::size_t fallback) {
+  if (s.empty()) return fallback;
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+std::string generations_json(const std::vector<std::uint64_t>& gens) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(gens[i]);
+  }
+  out += ']';
+  return out;
+}
+
+std::string ranking_page_json(const std::vector<core::ScoredDoc>& ranking,
+                              std::size_t begin, std::size_t end) {
+  std::string out = "[";
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i != begin) out += ',';
+    out += "{\"doc\":";
+    out += std::to_string(ranking[i].doc);
+    out += ",\"cosine\":";
+    append_double(out, ranking[i].cosine);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+/// One accepted socket: its parser, its pending output, and the flags the
+/// state machine needs. Owned by the loop thread exclusively.
+struct HttpServer::Connection {
+  Connection(int fd_in, HttpParser::Limits limits)
+      : fd(fd_in), parser(limits) {}
+  int fd;
+  HttpParser parser;
+  std::string outbuf;
+  std::size_t out_pos = 0;
+  bool close_after_flush = false;
+  bool want_write = false;  ///< EPOLLOUT currently in the interest set
+};
+
+HttpServer::HttpServer(core::ShardedIndex& index, ServerOptions opts)
+    : index_(index),
+      opts_(std::move(opts)),
+      sessions_(opts_.max_sessions, opts_.session_ttl, opts_.token_seed) {}
+
+HttpServer::~HttpServer() {
+  if (thread_.joinable()) {
+    request_drain();
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Status HttpServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host: " + opts_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+
+  if (Status s = loop_.add(listen_fd_, EPOLLIN,
+                           [this](std::uint32_t ev) { on_accept(ev); });
+      !s.ok()) {
+    return s;
+  }
+  loop_.set_tick(std::chrono::milliseconds(50), [this] { tick(); });
+  started_at_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { loop_main(); });
+  return Status::Ok();
+}
+
+void HttpServer::loop_main() {
+  loop_.run();
+  // Whatever survived the drain deadline: hard-close and release.
+  for (auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+  counters_.connections_open.store(0, std::memory_order_relaxed);
+  sessions_.clear();
+  counters_.sessions_open.store(0, std::memory_order_relaxed);
+  state_.store(static_cast<int>(RunState::kStopped),
+               std::memory_order_release);
+  stopped_.store(true, std::memory_order_release);
+}
+
+void HttpServer::request_drain() {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  loop_.defer([this] {
+    if (state_.load(std::memory_order_relaxed) !=
+        static_cast<int>(RunState::kRunning)) {
+      return;
+    }
+    state_.store(static_cast<int>(RunState::kDraining),
+                 std::memory_order_release);
+    drain_started_ = std::chrono::steady_clock::now();
+    obs::count("serve.drains");
+    if (listen_fd_ >= 0) {
+      loop_.remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // In-flight = bytes already buffered: answer them, flush, then close.
+    // New reads stop (on_connection_event ignores EPOLLIN while draining).
+    std::vector<int> fds;
+    fds.reserve(connections_.size());
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    for (int fd : fds) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      conn.close_after_flush = true;
+      process_buffered(conn);
+      if (connections_.count(fd)) flush(conn);
+    }
+    finish_drain();
+  });
+}
+
+void HttpServer::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::drain() {
+  request_drain();
+  join();
+}
+
+void HttpServer::finish_drain() {
+  if (state_.load(std::memory_order_relaxed) !=
+          static_cast<int>(RunState::kDraining) ||
+      !connections_.empty()) {
+    return;
+  }
+  // Last writer out: sessions die here, dropping every snapshot pin before
+  // the loop reports stopped.
+  sessions_.clear();
+  counters_.sessions_open.store(0, std::memory_order_relaxed);
+  loop_.stop();
+}
+
+void HttpServer::tick() {
+  const auto now = std::chrono::steady_clock::now();
+  const std::size_t evicted = sessions_.evict_expired(now);
+  if (evicted > 0) {
+    counters_.sessions_expired.fetch_add(evicted, std::memory_order_relaxed);
+    counters_.sessions_open.store(sessions_.size(),
+                                  std::memory_order_relaxed);
+    obs::count("serve.sessions_expired", evicted);
+  }
+  obs::gauge("serve.connections", static_cast<double>(connections_.size()));
+  obs::gauge("serve.sessions", static_cast<double>(sessions_.size()));
+  obs::gauge("serve.pinned_snapshots", static_cast<double>(index_.pinned()));
+
+  if (state_.load(std::memory_order_relaxed) ==
+          static_cast<int>(RunState::kDraining) &&
+      now - drain_started_ > opts_.drain_deadline) {
+    std::vector<int> fds;
+    for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+    for (int fd : fds) close_connection(fd);
+    finish_drain();
+  }
+}
+
+void HttpServer::on_accept(std::uint32_t) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // EMFILE etc: retry on the next readiness
+    }
+    if (connections_.size() >= opts_.max_connections) {
+      // Admission control at the door: a one-shot 503 with Retry-After.
+      counters_.draining_503.fetch_add(1, std::memory_order_relaxed);
+      obs::count("serve.overload_503");
+      HttpResponse resp;
+      resp.status = 503;
+      resp.keep_alive = false;
+      resp.set_header("Retry-After", std::to_string(opts_.retry_after_seconds));
+      resp.body = "{\"error\":\"connection table full\"}";
+      const std::string wire = serialize(resp);
+      [[maybe_unused]] ssize_t n =
+          ::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(fd, opts_.limits);
+    if (!loop_.add(fd, EPOLLIN,
+                   [this, fd](std::uint32_t ev) {
+                     on_connection_event(fd, ev);
+                   })
+             .ok()) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_open.store(connections_.size(),
+                                     std::memory_order_relaxed);
+    obs::count("serve.connections_accepted");
+  }
+}
+
+void HttpServer::on_connection_event(int fd, std::uint32_t events) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    flush(conn);
+    if (!connections_.count(fd)) return;
+  }
+  if ((events & EPOLLIN) &&
+      state_.load(std::memory_order_relaxed) ==
+          static_cast<int>(RunState::kRunning)) {
+    char buf[16384];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n == 0) {
+        peer_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      peer_closed = true;
+      break;
+    }
+    process_buffered(conn);
+    if (!connections_.count(fd)) return;
+    if (peer_closed) conn.close_after_flush = true;
+    flush(conn);
+    if (!connections_.count(fd)) return;
+    if (peer_closed && conn.outbuf.empty()) close_connection(fd);
+  }
+}
+
+void HttpServer::process_buffered(Connection& conn) {
+  while (conn.parser.complete() && !conn.close_after_flush) {
+    const HttpRequest request = conn.parser.take();
+    HttpResponse response = dispatch(request);
+    if (!request.keep_alive) response.keep_alive = false;
+    if (state_.load(std::memory_order_relaxed) !=
+        static_cast<int>(RunState::kRunning)) {
+      response.keep_alive = false;
+    }
+    if (!response.keep_alive) conn.close_after_flush = true;
+    conn.outbuf += serialize(response);
+    count_response(response.status);
+  }
+  if (conn.parser.failed()) {
+    counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.parse_errors");
+    HttpResponse response =
+        error_response(conn.parser.error_status(), conn.parser.error_reason());
+    response.keep_alive = false;
+    conn.outbuf += serialize(response);
+    count_response(response.status);
+    conn.close_after_flush = true;
+  }
+}
+
+void HttpServer::flush(Connection& conn) {
+  const int fd = conn.fd;
+  while (conn.out_pos < conn.outbuf.size()) {
+    const ssize_t n = ::send(fd, conn.outbuf.data() + conn.out_pos,
+                             conn.outbuf.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        (void)loop_.modify(fd, EPOLLIN | EPOLLOUT);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+  conn.outbuf.clear();
+  conn.out_pos = 0;
+  if (conn.want_write) {
+    conn.want_write = false;
+    (void)loop_.modify(fd, EPOLLIN);
+  }
+  if (conn.close_after_flush) close_connection(fd);
+}
+
+void HttpServer::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_.remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+  counters_.connections_open.store(connections_.size(),
+                                   std::memory_order_relaxed);
+  if (state_.load(std::memory_order_relaxed) ==
+      static_cast<int>(RunState::kDraining)) {
+    finish_drain();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command dispatch
+// ---------------------------------------------------------------------------
+
+void HttpServer::count_response(int status) {
+  if (status < 400) {
+    counters_.responses_2xx.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.responses_2xx");
+  } else if (status < 500) {
+    counters_.responses_4xx.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.responses_4xx");
+  } else {
+    counters_.responses_5xx.fetch_add(1, std::memory_order_relaxed);
+    obs::count("serve.responses_5xx");
+  }
+}
+
+HttpResponse HttpServer::error_response(int status, std::string_view message) {
+  HttpResponse resp;
+  resp.status = status;
+  if (status == 429 || status == 503) {
+    resp.set_header("Retry-After", std::to_string(opts_.retry_after_seconds));
+  }
+  resp.body = "{\"error\":\"";
+  resp.body += json_escape(message);
+  resp.body += "\"}";
+  return resp;
+}
+
+HttpResponse HttpServer::dispatch(const HttpRequest& request) {
+  LSI_OBS_SPAN(span, "serve.request");
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  obs::count("serve.requests");
+
+  const std::string& path = request.path;
+  const std::string& method = request.method;
+  auto method_not_allowed = [&](const char* allow) {
+    HttpResponse resp = error_response(405, "method not allowed");
+    resp.set_header("Allow", allow);
+    return resp;
+  };
+
+  if (path == "/search") {
+    if (method != "GET") return method_not_allowed("GET");
+    return handle_search(request);
+  }
+  if (path == "/ingest") {
+    if (method != "POST") return method_not_allowed("POST");
+    return handle_ingest(request);
+  }
+  if (path == "/consolidate") {
+    if (method != "POST") return method_not_allowed("POST");
+    return handle_consolidate(request);
+  }
+  if (path == "/stats") {
+    if (method != "GET") return method_not_allowed("GET");
+    return handle_stats(request);
+  }
+  if (path == "/session") {
+    if (method == "POST") return handle_session_create(request);
+    if (method == "DELETE") return handle_session_delete(request);
+    return method_not_allowed("POST, DELETE");
+  }
+  if (path == "/healthz") {
+    if (method != "GET") return method_not_allowed("GET");
+    HttpResponse resp;
+    resp.body = "{\"status\":\"ok\"}";
+    return resp;
+  }
+  if (path == "/shutdown") {
+    if (method != "POST") return method_not_allowed("POST");
+    // Answer first, drain after: request_drain defers onto this loop, so
+    // the drain runs after this response is queued and flushed.
+    request_drain();
+    HttpResponse resp;
+    resp.keep_alive = false;
+    resp.body = "{\"draining\":true}";
+    return resp;
+  }
+  return error_response(404, "no such command: " + path);
+}
+
+HttpResponse HttpServer::handle_search(const HttpRequest& request) {
+  LSI_OBS_SPAN(span, "serve.search");
+  const std::size_t page =
+      std::min(parse_size(request.param("top"), opts_.default_page_size),
+               opts_.max_ranking);
+  const std::string_view token = request.param("session");
+  const std::string_view q = request.param("q");
+
+  if (token.empty()) {
+    // Sessionless: one-shot against the current view, no paging state.
+    if (q.empty()) return error_response(400, "missing q parameter");
+    core::QueryOptions qopts;
+    qopts.top_z = page;
+    const core::ShardedSnapshot snap = index_.snapshot();
+    HttpResponse resp;
+    if (request.param("labels") == "1") {
+      const auto hits = snap.query(q, qopts);
+      resp.body = "{\"results\":[";
+      for (std::size_t i = 0; i < hits.size(); ++i) {
+        if (i) resp.body += ',';
+        resp.body += "{\"doc\":";
+        resp.body += std::to_string(hits[i].doc);
+        resp.body += ",\"label\":\"";
+        resp.body += json_escape(hits[i].label);
+        resp.body += "\",\"cosine\":";
+        append_double(resp.body, hits[i].cosine);
+        resp.body += '}';
+      }
+      resp.body += ']';
+    } else {
+      const auto ranked = snap.retrieve(q, qopts);
+      resp.body = "{\"results\":";
+      resp.body += ranking_page_json(ranked, 0, ranked.size());
+    }
+    resp.body += ",\"generations\":";
+    resp.body += generations_json(snap.generations());
+    resp.body += '}';
+    return resp;
+  }
+
+  Session* session =
+      sessions_.find(token, std::chrono::steady_clock::now());
+  if (session == nullptr) return error_response(404, "unknown session");
+
+  if (!q.empty() && std::string(q) != session->last_query) {
+    // New query for this session: rank once against the PINNED view (depth
+    // capped at max_ranking) and page from the cache.
+    core::QueryOptions qopts;
+    qopts.top_z = opts_.max_ranking;
+    session->ranking = session->pin->retrieve(q, qopts);
+    session->last_query = std::string(q);
+    session->cursor = 0;
+  } else if (session->last_query.empty()) {
+    return error_response(400, "missing q parameter and no cached query");
+  }
+  if (request.has_param("cursor")) {
+    session->cursor =
+        parse_size(request.param("cursor"), session->cursor);
+  }
+
+  const std::size_t begin = std::min(session->cursor, session->ranking.size());
+  const std::size_t end = std::min(begin + page, session->ranking.size());
+  session->cursor = end;
+
+  HttpResponse resp;
+  resp.body = "{\"session\":\"";
+  resp.body += json_escape(session->token);
+  resp.body += "\",\"results\":";
+  resp.body += ranking_page_json(session->ranking, begin, end);
+  resp.body += ",\"cursor\":";
+  resp.body += std::to_string(end);
+  resp.body += ",\"total\":";
+  resp.body += std::to_string(session->ranking.size());
+  resp.body += ",\"more\":";
+  resp.body += end < session->ranking.size() ? "true" : "false";
+  resp.body += ",\"generations\":";
+  resp.body += generations_json(session->pin->generations());
+  resp.body += '}';
+  return resp;
+}
+
+HttpResponse HttpServer::handle_ingest(const HttpRequest& request) {
+  LSI_OBS_SPAN(span, "serve.ingest");
+  if (request.body.empty()) {
+    return error_response(400, "empty ingest body (label\\ttext per line)");
+  }
+  Session* session = nullptr;
+  if (const std::string_view token = request.param("session");
+      !token.empty()) {
+    session = sessions_.find(token, std::chrono::steady_clock::now());
+    if (session == nullptr) return error_response(404, "unknown session");
+  }
+
+  std::size_t accepted = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  const std::string& body = request.body;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    std::string_view line(body.data() + pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    ++line_no;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return error_response(
+          400, "ingest line " + std::to_string(line_no) + " has no tab");
+    }
+    text::Document doc{std::string(line.substr(0, tab)),
+                       std::string(line.substr(tab + 1))};
+    const Status status = index_.try_add(std::move(doc));
+    if (status.ok()) {
+      ++accepted;
+      continue;
+    }
+    if (status.code() == StatusCode::kResourceExhausted) {
+      // The routed shard's bounded queue is full: the library's
+      // backpressure becomes HTTP 429 and the client retries after a beat.
+      counters_.backpressure_429.fetch_add(1, std::memory_order_relaxed);
+      obs::count("serve.backpressure_429");
+      HttpResponse resp = error_response(429, "shard ingest queue full");
+      resp.body = "{\"error\":\"shard ingest queue full\",\"accepted\":" +
+                  std::to_string(accepted) +
+                  ",\"rejected_line\":" + std::to_string(line_no) + "}";
+      counters_.docs_ingested.fetch_add(accepted, std::memory_order_relaxed);
+      if (session) session->writes += accepted;
+      return resp;
+    }
+    // kFailedPrecondition: the index is shut down underneath the daemon.
+    return error_response(503, status.message());
+  }
+  counters_.docs_ingested.fetch_add(accepted, std::memory_order_relaxed);
+  obs::count("serve.docs_ingested", accepted);
+  if (session) session->writes += accepted;
+
+  bool refreshed = false;
+  if (request.param("wait") == "1") {
+    // Read-your-writes: block until every accepted document is folded and
+    // published, then refresh the session's pin to the view containing
+    // them. Other sessions keep their older pinned generations.
+    index_.flush();
+    if (session) {
+      session->pin = index_.pin_snapshot();
+      session->last_query.clear();
+      session->ranking.clear();
+      session->cursor = 0;
+      refreshed = true;
+    }
+  }
+
+  HttpResponse resp;
+  resp.status = 202;
+  resp.body = "{\"accepted\":" + std::to_string(accepted) +
+              ",\"pin_refreshed\":" + (refreshed ? "true" : "false") + "}";
+  return resp;
+}
+
+HttpResponse HttpServer::handle_consolidate(const HttpRequest&) {
+  LSI_OBS_SPAN(span, "serve.consolidate");
+  const Status status = index_.consolidate();
+  if (!status.ok()) return error_response(503, status.message());
+  HttpResponse resp;
+  resp.body = "{\"consolidated\":true,\"generations\":";
+  resp.body += generations_json(index_.snapshot().generations());
+  resp.body += '}';
+  return resp;
+}
+
+HttpResponse HttpServer::handle_session_create(const HttpRequest&) {
+  Session* session = sessions_.create(index_.pin_snapshot(),
+                                      std::chrono::steady_clock::now());
+  if (session == nullptr) {
+    return error_response(503, "session table full");
+  }
+  counters_.sessions_created.fetch_add(1, std::memory_order_relaxed);
+  counters_.sessions_open.store(sessions_.size(), std::memory_order_relaxed);
+  obs::count("serve.sessions_created");
+  HttpResponse resp;
+  resp.status = 201;
+  resp.body = "{\"session\":\"";
+  resp.body += json_escape(session->token);
+  resp.body += "\",\"generations\":";
+  resp.body += generations_json(session->pin->generations());
+  resp.body += ",\"ttl_seconds\":";
+  resp.body += std::to_string(sessions_.ttl().count());
+  resp.body += '}';
+  return resp;
+}
+
+HttpResponse HttpServer::handle_session_delete(const HttpRequest& request) {
+  const std::string_view token = request.param("session");
+  if (token.empty()) return error_response(400, "missing session parameter");
+  if (!sessions_.release(token)) {
+    return error_response(404, "unknown session");
+  }
+  counters_.sessions_open.store(sessions_.size(), std::memory_order_relaxed);
+  obs::count("serve.sessions_released");
+  HttpResponse resp;
+  resp.body = "{\"released\":true}";
+  return resp;
+}
+
+HttpResponse HttpServer::handle_stats(const HttpRequest&) {
+  LSI_OBS_SPAN(span, "serve.stats");
+  const Stats s = stats();
+  const double uptime = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started_at_)
+                            .count();
+  std::string body = "{\"state\":\"";
+  body += state_.load(std::memory_order_relaxed) ==
+                  static_cast<int>(RunState::kRunning)
+              ? "running"
+              : "draining";
+  body += "\",\"uptime_seconds\":";
+  append_double(body, uptime);
+  body += ",\"connections\":{\"open\":";
+  body += std::to_string(s.connections_open);
+  body += ",\"accepted\":";
+  body += std::to_string(s.connections_accepted);
+  body += "},\"requests\":";
+  body += std::to_string(s.requests);
+  body += ",\"responses\":{\"2xx\":";
+  body += std::to_string(s.responses_2xx);
+  body += ",\"4xx\":";
+  body += std::to_string(s.responses_4xx);
+  body += ",\"5xx\":";
+  body += std::to_string(s.responses_5xx);
+  body += "},\"backpressure_429\":";
+  body += std::to_string(s.backpressure_429);
+  body += ",\"parse_errors\":";
+  body += std::to_string(s.parse_errors);
+  body += ",\"sessions\":{\"open\":";
+  body += std::to_string(s.sessions_open);
+  body += ",\"created\":";
+  body += std::to_string(s.sessions_created);
+  body += ",\"expired\":";
+  body += std::to_string(s.sessions_expired);
+  body += "},\"pinned_snapshots\":";
+  body += std::to_string(index_.pinned());
+  body += ",\"docs_ingested\":";
+  body += std::to_string(s.docs_ingested);
+  body += ",\"shards\":[";
+  const auto infos = index_.shard_infos();
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    if (i) body += ',';
+    body += "{\"shard\":";
+    body += std::to_string(infos[i].shard);
+    body += ",\"docs\":";
+    body += std::to_string(infos[i].docs);
+    body += ",\"terms\":";
+    body += std::to_string(infos[i].terms);
+    body += ",\"k\":";
+    body += std::to_string(infos[i].k);
+    body += ",\"generation\":";
+    body += std::to_string(infos[i].generation);
+    body += ",\"queued\":";
+    body += std::to_string(infos[i].queued);
+    body += ",\"ingested\":";
+    body += std::to_string(infos[i].ingested);
+    body += ",\"publishes\":";
+    body += std::to_string(infos[i].publishes);
+    body += ",\"consolidations\":";
+    body += std::to_string(infos[i].consolidations);
+    body += '}';
+  }
+  body += "]}";
+
+  HttpResponse resp;
+  resp.body = std::move(body);
+  resp.chunked = true;  // the daemon's demonstration of the chunked coder
+  return resp;
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  s.connections_open =
+      counters_.connections_open.load(std::memory_order_relaxed);
+  s.requests = counters_.requests.load(std::memory_order_relaxed);
+  s.responses_2xx = counters_.responses_2xx.load(std::memory_order_relaxed);
+  s.responses_4xx = counters_.responses_4xx.load(std::memory_order_relaxed);
+  s.responses_5xx = counters_.responses_5xx.load(std::memory_order_relaxed);
+  s.backpressure_429 =
+      counters_.backpressure_429.load(std::memory_order_relaxed);
+  s.draining_503 = counters_.draining_503.load(std::memory_order_relaxed);
+  s.parse_errors = counters_.parse_errors.load(std::memory_order_relaxed);
+  s.sessions_created =
+      counters_.sessions_created.load(std::memory_order_relaxed);
+  s.sessions_expired =
+      counters_.sessions_expired.load(std::memory_order_relaxed);
+  s.docs_ingested = counters_.docs_ingested.load(std::memory_order_relaxed);
+  s.sessions_open = counters_.sessions_open.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lsi::serve

@@ -1,0 +1,406 @@
+// HttpServer integration tests over real loopback sockets: the command
+// surface, session pinning and paging across consolidation (the
+// read-stability regression of docs/SERVING.md), admission control, and
+// graceful drain. Each fixture builds a small sharded index, starts the
+// daemon on an ephemeral port, and speaks HTTP/1.1 through TestClient.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lsi/lsi.hpp"
+#include "serve/server.hpp"
+#include "synth/corpus.hpp"
+#include "test_client.hpp"
+
+namespace {
+
+using namespace lsi;
+using lsi::serve::testing::ClientResponse;
+using lsi::serve::testing::TestClient;
+
+std::string encode_query(const std::string& text) {
+  std::string out;
+  for (char c : text) out += (c == ' ') ? '+' : c;
+  return out;
+}
+
+/// Extracts the value of a top-level "key":"value" string field.
+std::string json_string_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t begin = pos + needle.size();
+  return body.substr(begin, body.find('"', begin) - begin);
+}
+
+/// Extracts the value of a numeric/bool field (up to the next , } ]).
+std::string json_scalar_field(const std::string& body, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return {};
+  const std::size_t begin = pos + needle.size();
+  return body.substr(begin, body.find_first_of(",}]", begin) - begin);
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    synth::CorpusSpec spec;
+    spec.topics = 3;
+    spec.concepts_per_topic = 5;
+    spec.docs_per_topic = 20;  // 60 docs
+    spec.queries_per_topic = 2;
+    spec.seed = 4242;
+    corpus_ = synth::generate_corpus(spec);
+
+    core::ShardingOptions sopts;
+    sopts.num_shards = 2;
+    sopts.index.k = 8;
+    sopts.concurrent.queue_capacity = 64;
+    auto built = core::ShardedIndex::try_build(corpus_.docs, sopts);
+    ASSERT_TRUE(built.ok()) << built.status().to_string();
+    index_ = std::make_unique<core::ShardedIndex>(std::move(*built));
+
+    serve::ServerOptions opts;
+    opts.default_page_size = 5;
+    server_ = std::make_unique<serve::HttpServer>(*index_, opts);
+    ASSERT_TRUE(server_->start().ok());
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_) server_->drain();
+    if (index_) index_->shutdown();
+  }
+
+  std::string query_text() const { return corpus_.queries.front().text; }
+
+  synth::SyntheticCorpus corpus_;
+  std::unique_ptr<core::ShardedIndex> index_;
+  std::unique_ptr<serve::HttpServer> server_;
+};
+
+// ---------------------------------------------------------------------------
+// Command surface
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, HealthzAnswersOk) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  const ClientResponse resp = client.request("GET", "/healthz");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "{\"status\":\"ok\"}");
+}
+
+TEST_F(ServerTest, SessionlessSearchRanksDocs) {
+  TestClient client(server_->port());
+  const ClientResponse resp = client.request(
+      "GET", "/search?q=" + encode_query(query_text()) + "&top=7");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("\"results\":[{\"doc\":"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"generations\":["), std::string::npos);
+  // top=7 caps the ranking.
+  std::size_t hits = 0, pos = 0;
+  while ((pos = resp.body.find("\"doc\":", pos)) != std::string::npos) {
+    ++hits;
+    pos += 6;
+  }
+  EXPECT_LE(hits, 7u);
+  EXPECT_GT(hits, 0u);
+}
+
+TEST_F(ServerTest, SearchWithLabelsResolvesThem) {
+  TestClient client(server_->port());
+  const ClientResponse resp = client.request(
+      "GET", "/search?q=" + encode_query(query_text()) + "&labels=1&top=3");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_NE(resp.body.find("\"label\":\""), std::string::npos);
+}
+
+TEST_F(ServerTest, SearchWithoutQueryIs400) {
+  TestClient client(server_->port());
+  EXPECT_EQ(client.request("GET", "/search").status, 400);
+}
+
+TEST_F(ServerTest, UnknownPathIs404AndWrongMethodIs405) {
+  TestClient client(server_->port());
+  EXPECT_EQ(client.request("GET", "/no-such").status, 404);
+  const ClientResponse resp = client.request("POST", "/search?q=x");
+  EXPECT_EQ(resp.status, 405);
+  EXPECT_EQ(resp.header("Allow"), "GET");
+}
+
+TEST_F(ServerTest, MalformedRequestGets400AndClose) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.send_raw("NONSENSE\r\n\r\n"));
+  const ClientResponse resp = client.read_response();
+  EXPECT_EQ(resp.status, 400);
+  EXPECT_TRUE(resp.closed);
+}
+
+TEST_F(ServerTest, UnsupportedMethodTokenGets405AtParserLevel) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.send_raw("BREW /search?q=x HTTP/1.1\r\n\r\n"));
+  const ClientResponse resp = client.read_response();
+  EXPECT_EQ(resp.status, 405);
+  EXPECT_TRUE(resp.closed);
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.send_raw(
+      "GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /no-such HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n"));
+  EXPECT_EQ(client.read_response().status, 200);
+  EXPECT_EQ(client.read_response().status, 404);
+  EXPECT_EQ(client.read_response().status, 200);
+}
+
+TEST_F(ServerTest, StatsStreamsChunkedJson) {
+  TestClient client(server_->port());
+  (void)client.request("GET", "/healthz");
+  const ClientResponse resp = client.request("GET", "/stats");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.header("Transfer-Encoding"), "chunked");
+  EXPECT_EQ(json_string_field(resp.body, "state"), "running");
+  EXPECT_NE(resp.body.find("\"shards\":[{"), std::string::npos);
+  EXPECT_NE(resp.body.find("\"requests\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions: paging, read-your-writes, pin stability across consolidation
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, SessionPagesThroughOneRanking) {
+  TestClient client(server_->port());
+  const ClientResponse created = client.request("POST", "/session");
+  ASSERT_EQ(created.status, 201) << created.body;
+  const std::string token = json_string_field(created.body, "session");
+  ASSERT_FALSE(token.empty());
+
+  const std::string q = encode_query(query_text());
+  const ClientResponse page1 = client.request(
+      "GET", "/search?q=" + q + "&session=" + token + "&top=4");
+  ASSERT_EQ(page1.status, 200) << page1.body;
+  EXPECT_EQ(json_scalar_field(page1.body, "cursor"), "4");
+  EXPECT_EQ(json_scalar_field(page1.body, "more"), "true");
+
+  // No q: continue the cached ranking from the cursor.
+  const ClientResponse page2 =
+      client.request("GET", "/search?session=" + token + "&top=4");
+  ASSERT_EQ(page2.status, 200) << page2.body;
+  EXPECT_EQ(json_scalar_field(page2.body, "cursor"), "8");
+
+  // Pages must not overlap.
+  EXPECT_NE(page1.body.substr(0, page1.body.find("cursor")),
+            page2.body.substr(0, page2.body.find("cursor")));
+
+  // Explicit cursor rewind replays page 1's slice.
+  const ClientResponse rewound = client.request(
+      "GET", "/search?session=" + token + "&cursor=0&top=4");
+  ASSERT_EQ(rewound.status, 200);
+  EXPECT_EQ(json_scalar_field(rewound.body, "cursor"), "4");
+  // Same pinned view, same query, same slice: byte-identical replay.
+  EXPECT_EQ(rewound.body, page1.body);
+
+  EXPECT_EQ(client.request("DELETE", "/session?session=" + token).status, 200);
+  EXPECT_EQ(client
+                .request("GET", "/search?session=" + token + "&q=" + q)
+                .status,
+            404);
+}
+
+TEST_F(ServerTest, UnknownSessionIs404) {
+  TestClient client(server_->port());
+  EXPECT_EQ(client.request("GET", "/search?session=bogus&q=x").status, 404);
+  EXPECT_EQ(client.request("DELETE", "/session?session=bogus").status, 404);
+}
+
+TEST_F(ServerTest, SessionSurvivesConsolidationWhilePaging) {
+  // THE pin regression: a session pages a ranking while a consolidation
+  // retires and republishes every shard snapshot underneath it. The
+  // session's pages must keep coming from the pinned (pre-consolidation)
+  // generation vector — stable cursors, no mixed generations — while new
+  // sessionless queries see the post-consolidation generations.
+  TestClient client(server_->port());
+  const ClientResponse created = client.request("POST", "/session");
+  ASSERT_EQ(created.status, 201);
+  const std::string token = json_string_field(created.body, "session");
+
+  // Ingest extra documents so the consolidation has pending folds to chew.
+  std::string tsv;
+  for (int i = 0; i < 24; ++i) {
+    tsv += "extra" + std::to_string(i) + "\t" + corpus_.docs[i % 8].body +
+           "\n";
+  }
+  ASSERT_EQ(client.request("POST", "/ingest?wait=1", tsv).status, 202);
+
+  const std::string q = encode_query(query_text());
+  const ClientResponse page1 = client.request(
+      "GET", "/search?q=" + q + "&session=" + token + "&top=3");
+  ASSERT_EQ(page1.status, 200);
+  const std::string pinned_gens = json_scalar_field(page1.body, "generations");
+
+  const ClientResponse consolidated =
+      client.request("POST", "/consolidate");
+  ASSERT_EQ(consolidated.status, 200) << consolidated.body;
+
+  // Page 2 after consolidation: same pinned generations, cursor advanced.
+  const ClientResponse page2 =
+      client.request("GET", "/search?session=" + token + "&top=3");
+  ASSERT_EQ(page2.status, 200) << page2.body;
+  EXPECT_EQ(json_scalar_field(page2.body, "generations"), pinned_gens);
+  EXPECT_EQ(json_scalar_field(page2.body, "cursor"), "6");
+
+  // A sessionless query answers from the NEW generations.
+  const ClientResponse fresh = client.request("GET", "/search?q=" + q);
+  ASSERT_EQ(fresh.status, 200);
+  EXPECT_NE(json_scalar_field(fresh.body, "generations"), pinned_gens);
+}
+
+TEST_F(ServerTest, IngestWithWaitGivesReadYourWrites) {
+  TestClient client(server_->port());
+  const ClientResponse created = client.request("POST", "/session");
+  ASSERT_EQ(created.status, 201);
+  const std::string token = json_string_field(created.body, "session");
+
+  const std::string marker_body = corpus_.docs[0].body;
+  const ClientResponse ingested = client.request(
+      "POST", "/ingest?session=" + token + "&wait=1",
+      "rywdoc\t" + marker_body + "\n");
+  ASSERT_EQ(ingested.status, 202) << ingested.body;
+  EXPECT_EQ(json_scalar_field(ingested.body, "accepted"), "1");
+  EXPECT_EQ(json_scalar_field(ingested.body, "pin_refreshed"), "true");
+
+  // The refreshed pin sees the new document: its global id is the corpus
+  // size (ids are assigned in arrival order).
+  const ClientResponse found = client.request(
+      "GET", "/search?session=" + token + "&q=" +
+                 encode_query(marker_body.substr(0, 40)) + "&top=" +
+                 std::to_string(corpus_.docs.size() + 1));
+  ASSERT_EQ(found.status, 200);
+  EXPECT_NE(
+      found.body.find("\"doc\":" + std::to_string(corpus_.docs.size())),
+      std::string::npos)
+      << found.body;
+}
+
+TEST_F(ServerTest, IngestRejectsGarbage) {
+  TestClient client(server_->port());
+  EXPECT_EQ(client.request("POST", "/ingest").status, 400);  // empty body
+  const ClientResponse resp =
+      client.request("POST", "/ingest", "no tab separator here\n");
+  EXPECT_EQ(resp.status, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(ServerAdmission, IngestBackpressureBecomes429WithRetryAfter) {
+  synth::CorpusSpec spec;
+  spec.topics = 2;
+  spec.concepts_per_topic = 4;
+  spec.docs_per_topic = 12;
+  spec.seed = 99;
+  auto corpus = synth::generate_corpus(spec);
+
+  core::ShardingOptions sopts;
+  sopts.num_shards = 2;
+  sopts.index.k = 6;
+  sopts.concurrent.queue_capacity = 2;  // tiny: one bulk POST must overflow
+  auto built = core::ShardedIndex::try_build(corpus.docs, sopts);
+  ASSERT_TRUE(built.ok()) << built.status().to_string();
+
+  serve::HttpServer server(*built);
+  ASSERT_TRUE(server.start().ok());
+
+  std::string tsv;
+  for (int i = 0; i < 300; ++i) {
+    tsv += "bulk" + std::to_string(i) + "\t" + corpus.docs[i % 8].body + "\n";
+  }
+  TestClient client(server.port());
+  const ClientResponse resp = client.request("POST", "/ingest", tsv);
+  EXPECT_EQ(resp.status, 429) << resp.body;
+  EXPECT_FALSE(resp.header("Retry-After").empty());
+  // Partial progress is reported, not lost.
+  EXPECT_FALSE(json_scalar_field(resp.body, "accepted").empty());
+  EXPECT_FALSE(json_scalar_field(resp.body, "rejected_line").empty());
+  EXPECT_GE(server.stats().backpressure_429, 1u);
+
+  server.drain();
+  built->shutdown();
+}
+
+TEST(ServerAdmission, ConnectionTableOverflowGets503) {
+  synth::CorpusSpec spec;
+  spec.topics = 2;
+  spec.concepts_per_topic = 4;
+  spec.docs_per_topic = 10;
+  spec.seed = 7;
+  auto corpus = synth::generate_corpus(spec);
+  core::ShardingOptions sopts;
+  sopts.num_shards = 2;
+  sopts.index.k = 6;
+  auto built = core::ShardedIndex::try_build(corpus.docs, sopts);
+  ASSERT_TRUE(built.ok());
+
+  serve::ServerOptions opts;
+  opts.max_connections = 1;
+  serve::HttpServer server(*built, opts);
+  ASSERT_TRUE(server.start().ok());
+
+  TestClient first(server.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_EQ(first.request("GET", "/healthz").status, 200);  // conn registered
+
+  TestClient second(server.port());
+  ASSERT_TRUE(second.connected());
+  const ClientResponse resp = second.read_response();  // refused at the door
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_FALSE(resp.header("Retry-After").empty());
+
+  server.drain();
+  built->shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Drain
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, ShutdownEndpointDrainsAndReleasesPins) {
+  TestClient client(server_->port());
+  const ClientResponse created = client.request("POST", "/session");
+  ASSERT_EQ(created.status, 201);
+  EXPECT_GE(index_->pinned(), 1u);
+
+  const ClientResponse resp = client.request("POST", "/shutdown");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_TRUE(resp.closed);
+  client.wait_peer_close();
+
+  server_->join();
+  EXPECT_TRUE(server_->stopped());
+  // Every session died with the drain; its pins went with it.
+  EXPECT_EQ(index_->pinned(), 0u);
+
+  // New connections are refused once stopped.
+  TestClient late(server_->port());
+  ClientResponse nothing = late.read_response();
+  EXPECT_TRUE(nothing.closed);
+}
+
+TEST_F(ServerTest, RequestDrainFromOwnerThreadCompletes) {
+  TestClient client(server_->port());
+  ASSERT_EQ(client.request("GET", "/healthz").status, 200);
+  server_->drain();
+  EXPECT_TRUE(server_->stopped());
+  const serve::HttpServer::Stats stats = server_->stats();
+  EXPECT_EQ(stats.connections_open, 0u);
+  EXPECT_EQ(stats.sessions_open, 0u);
+}
+
+}  // namespace

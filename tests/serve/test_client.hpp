@@ -1,0 +1,188 @@
+#pragma once
+// A deliberately primitive blocking HTTP/1.1 client for exercising the
+// daemon over real loopback sockets in tests: one fd, raw send, and a
+// response reader that understands exactly what the server emits
+// (Content-Length or chunked). Not a general client — a test harness.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lsi::serve::testing {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  bool closed = false;  ///< the server half-closed after this response
+
+  std::string header(const std::string& name) const {
+    for (const auto& [n, v] : headers) {
+      if (n.size() == name.size()) {
+        bool eq = true;
+        for (std::size_t i = 0; i < n.size(); ++i) {
+          if (std::tolower(static_cast<unsigned char>(n[i])) !=
+              std::tolower(static_cast<unsigned char>(name[i]))) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) return v;
+      }
+    }
+    return {};
+  }
+};
+
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  /// Sends raw bytes verbatim (for torture cases and pipelining).
+  bool send_raw(const std::string& wire) {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One request/response exchange on the persistent connection.
+  ClientResponse request(const std::string& method, const std::string& target,
+                         const std::string& body = {},
+                         const std::string& extra_headers = {}) {
+    std::string wire = method + " " + target + " HTTP/1.1\r\n";
+    wire += "Host: 127.0.0.1\r\n";
+    wire += extra_headers;
+    if (!body.empty()) {
+      wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    wire += "\r\n";
+    wire += body;
+    if (!send_raw(wire)) {
+      ClientResponse resp;
+      resp.closed = true;
+      return resp;
+    }
+    return read_response();
+  }
+
+  /// Reads one full response (status line + headers + decoded body).
+  ClientResponse read_response() {
+    ClientResponse resp;
+    std::size_t head_end;
+    while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+      if (!fill()) {
+        resp.closed = true;
+        return resp;
+      }
+    }
+    const std::string head = buffer_.substr(0, head_end);
+    buffer_.erase(0, head_end + 4);
+
+    // Status line: "HTTP/1.1 NNN Reason".
+    const std::size_t sp = head.find(' ');
+    if (sp != std::string::npos) resp.status = std::atoi(head.c_str() + sp + 1);
+    std::size_t pos = head.find("\r\n");
+    while (pos != std::string::npos) {
+      const std::size_t eol = head.find("\r\n", pos + 2);
+      const std::string line =
+          head.substr(pos + 2, (eol == std::string::npos ? head.size() : eol) -
+                                   pos - 2);
+      pos = eol;
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      std::string value = line.substr(colon + 1);
+      while (!value.empty() && value.front() == ' ') value.erase(0, 1);
+      resp.headers.emplace_back(line.substr(0, colon), std::move(value));
+    }
+
+    if (resp.header("Transfer-Encoding") == "chunked") {
+      for (;;) {
+        std::size_t eol;
+        while ((eol = buffer_.find("\r\n")) == std::string::npos) {
+          if (!fill()) {
+            resp.closed = true;
+            return resp;
+          }
+        }
+        const std::size_t n =
+            std::strtoul(buffer_.substr(0, eol).c_str(), nullptr, 16);
+        buffer_.erase(0, eol + 2);
+        while (buffer_.size() < n + 2) {
+          if (!fill()) {
+            resp.closed = true;
+            return resp;
+          }
+        }
+        if (n == 0) break;
+        resp.body += buffer_.substr(0, n);
+        buffer_.erase(0, n + 2);
+      }
+    } else {
+      const std::size_t want =
+          std::strtoul(resp.header("Content-Length").c_str(), nullptr, 10);
+      while (buffer_.size() < want) {
+        if (!fill()) {
+          resp.closed = true;
+          return resp;
+        }
+      }
+      resp.body = buffer_.substr(0, want);
+      buffer_.erase(0, want);
+    }
+    resp.closed = resp.header("Connection") == "close";
+    return resp;
+  }
+
+  /// True when the peer has closed (a read returns EOF with nothing left).
+  bool wait_peer_close() {
+    while (fill()) {
+    }
+    return true;
+  }
+
+ private:
+  bool fill() {
+    char buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n <= 0) return false;
+    buffer_.append(buf, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+}  // namespace lsi::serve::testing
