@@ -83,13 +83,13 @@ int main() {
   stats.param("queries", static_cast<double>(total_queries));
   stats.param("quick", quick ? 1.0 : 0.0);
 
-  core::QueryOptions opts;
-  opts.top_z = 10;
+  core::SearchOptions opts;
+  opts.z = 10;
 
   // Reference rankings (also warms the doc-norm cache for both paths).
   std::vector<std::vector<core::ScoredDoc>> reference(total_queries);
   for (std::size_t q = 0; q < total_queries; ++q) {
-    reference[q] = core::retrieve(space, queries[q], opts);
+    reference[q] = core::retrieve(space, queries[q], opts.query_options());
   }
 
   const core::BatchedRetriever retriever(space);
@@ -110,7 +110,7 @@ int main() {
     for (int rep = 0; rep < kReps; ++rep) {
       timer.reset();
       for (std::size_t q = 0; q < total_queries; ++q) {
-        const auto ranked = core::retrieve(space, queries[q], opts);
+        const auto ranked = core::retrieve(space, queries[q], opts.query_options());
         if (!same_ranking(ranked, reference[q])) {
           std::cerr << "single-query run diverged from itself?!\n";
           return 1;

@@ -113,8 +113,8 @@ int main() {
   stats.param("stream_queries", static_cast<double>(total_queries));
   stats.param("quick", quick ? 1.0 : 0.0);
 
-  core::QueryOptions qopts;
-  qopts.top_z = top_z;
+  core::SearchOptions qopts;
+  qopts.z = top_z;
 
   // Pre-assembled query batches: every shard count pays identical stream
   // preparation cost, so the timed loops measure only scatter-gather.
@@ -146,7 +146,9 @@ int main() {
   std::vector<std::set<core::index_t>> mono_sets;
   for (const auto& t : texts) {
     std::set<core::index_t> s;
-    for (const auto& hit : mono.query(t, qopts, nullptr)) s.insert(hit.doc);
+    for (const auto& hit : mono.query(t, qopts.query_options(), nullptr)) {
+      s.insert(hit.doc);
+    }
     mono_sets.push_back(std::move(s));
   }
 

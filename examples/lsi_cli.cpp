@@ -71,8 +71,13 @@ int usage() {
          "[--scheme raw|log-entropy] [--min-df N] [--stem] [--bigrams]\n"
          "                [--dense-cutoff N] [--probe \"free text\"]\n"
          "  lsi_cli query <db.lsi> \"free text\" [--top N] [--threshold C]\n"
+         "                [--nprobe P | --recall R | --exact]\n"
          "  lsi_cli query <db.lsi> --batch-queries <queries.txt> [--top N] "
          "[--threshold C]\n"
+         "                (--nprobe/--recall build a cluster-pruned "
+         "candidate index and\n"
+         "                scan only the nearest centroids' lists — see "
+         "docs/ANN.md)\n"
          "  lsi_cli terms <db.lsi> <term> [--top N]\n"
          "  lsi_cli add   <db.lsi> <more.tsv>\n"
          "  lsi_cli info  <db.lsi>\n"
@@ -89,6 +94,7 @@ int usage() {
          "  lsi_cli serve <docs.tsv> [--port N] [--shards N] [--k N] "
          "[--queue N]\n"
          "                [--max-conn N] [--session-ttl SECONDS]\n"
+         "                [--ann-cutoff N] [--ann-centroids C]\n"
          "                (build a sharded index and run the HTTP/1.1 query "
          "daemon on\n"
          "                loopback until SIGINT/SIGTERM or POST /shutdown; "
@@ -211,11 +217,11 @@ int cmd_build(const std::vector<std::string>& args) {
   }
 
   if (const auto probe = flag_value(args, "--probe"); !probe.empty()) {
-    QueryOptions qopts;
-    qopts.top_z = 10;
+    SearchOptions sopts;
+    sopts.z = 10;
     QueryStats stats;
     std::cout << "# probe: " << probe << '\n';
-    for (const auto& hit : index.query(probe, qopts, &stats)) {
+    for (const auto& hit : index.query(probe, sopts.query_options(), &stats)) {
       std::cout << hit.label << '\t' << hit.cosine << '\n';
     }
     record_retrieval_flops(index.space(), 1, stats);
@@ -236,17 +242,46 @@ la::Vector query_vector(const LsiDatabase& db, const std::string& text) {
 int cmd_query(const std::vector<std::string>& args) {
   if (args.size() < 2) return usage();
   const auto db = try_load_database_file(args[0]).value();
-  QueryOptions qopts;
-  qopts.top_z = 10;
+  SearchOptions sopts;
+  sopts.z = 10;
   if (const auto top = flag_value(args, "--top"); !top.empty()) {
-    qopts.top_z = std::stoul(top);
+    sopts.z = std::stoul(top);
   }
   if (const auto th = flag_value(args, "--threshold"); !th.empty()) {
-    qopts.min_cosine = std::stod(th);
+    sopts.min_cosine = std::stod(th);
+  }
+  if (has_flag(args, "--exact")) sopts.search = core::SearchMode::kExact;
+  if (const auto v = flag_value(args, "--nprobe"); !v.empty()) {
+    sopts.nprobe = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--recall"); !v.empty()) {
+    sopts.recall_target = std::stod(v);
+  }
+  if (Status s = sopts.Validate(); !s.ok()) {
+    std::cerr << "invalid search options: " << s.to_string() << "\n";
+    return 2;
   }
   stat_param("terms", static_cast<double>(db.space.num_terms()));
   stat_param("docs", static_cast<double>(db.space.num_docs()));
   stat_param("k", static_cast<double>(db.space.k()));
+
+  // The CLI asked for pruning explicitly (--nprobe/--recall without
+  // --exact): build the cluster structure on the spot with no size cutoff,
+  // so the flags work even on demo-sized databases.
+  auto space = std::make_shared<SemanticSpace>(db.space);
+  std::shared_ptr<const AnnIndex> ann;
+  if (sopts.search != core::SearchMode::kExact &&
+      (sopts.nprobe > 0 || !flag_value(args, "--recall").empty())) {
+    AnnOptions aopts;
+    aopts.exact_cutoff = 0;
+    ann = AnnIndex::build(*space, aopts, /*generation=*/0);
+    if (ann) {
+      std::cout << "# ann: " << ann->num_centroids() << " centroids, nprobe "
+                << ann->resolve_nprobe(sopts) << '\n';
+      stat_param("ann_centroids", static_cast<double>(ann->num_centroids()));
+    }
+  }
+  const BatchedRetriever retriever(space, ann);
 
   if (const auto file = flag_value(args, "--batch-queries"); !file.empty()) {
     std::ifstream is(file);
@@ -261,8 +296,8 @@ int cmd_query(const std::vector<std::string>& args) {
     for (const auto& t : texts) vectors.push_back(query_vector(db, t));
     QueryStats stats;
     const auto batch =
-        QueryBatch::from_term_vectors(db.space, vectors, &stats);
-    const auto ranked = BatchedRetriever(db.space).rank(batch, qopts, &stats);
+        QueryBatch::from_term_vectors(*space, vectors, &stats);
+    const auto ranked = retriever.rank(batch, sopts, &stats);
     for (std::size_t b = 0; b < ranked.size(); ++b) {
       std::cout << "# query " << (b + 1) << ": " << texts[b] << '\n';
       for (const auto& sd : ranked[b]) {
@@ -270,17 +305,18 @@ int cmd_query(const std::vector<std::string>& args) {
       }
     }
     stat_param("batch_size", static_cast<double>(texts.size()));
-    record_retrieval_flops(db.space, texts.size(), stats);
+    record_retrieval_flops(*space, texts.size(), stats);
     return 0;
   }
 
   QueryStats stats;
-  const auto ranked =
-      retrieve(db.space, query_vector(db, args[1]), qopts, &stats);
-  for (const auto& sd : ranked) {
+  const auto batch = QueryBatch::from_term_vectors(
+      *space, {query_vector(db, args[1])}, &stats);
+  const auto ranked = retriever.rank(batch, sopts, &stats);
+  for (const auto& sd : ranked.front()) {
     std::cout << db.doc_labels[sd.doc] << '\t' << sd.cosine << '\n';
   }
-  record_retrieval_flops(db.space, 1, stats);
+  record_retrieval_flops(*space, 1, stats);
   return 0;
 }
 
@@ -334,7 +370,8 @@ int cmd_add(const std::vector<std::string>& args) {
 void print_shard_table(const std::vector<ShardedIndex::ShardInfo>& infos,
                        const std::string& title) {
   util::TextTable table({"shard", "docs", "terms", "k", "gen", "unconsol",
-                         "queued", "ingested", "publishes", "consol"});
+                         "queued", "ingested", "publishes", "consol",
+                         "ann_c", "ann_gen", "scan"});
   for (const auto& info : infos) {
     table.add_row({util::fmt_int(static_cast<long long>(info.shard)),
                    util::fmt_int(static_cast<long long>(info.docs)),
@@ -345,7 +382,10 @@ void print_shard_table(const std::vector<ShardedIndex::ShardInfo>& infos,
                    util::fmt_int(static_cast<long long>(info.queued)),
                    util::fmt_int(static_cast<long long>(info.ingested)),
                    util::fmt_int(static_cast<long long>(info.publishes)),
-                   util::fmt_int(static_cast<long long>(info.consolidations))});
+                   util::fmt_int(static_cast<long long>(info.consolidations)),
+                   util::fmt_int(static_cast<long long>(info.ann_centroids)),
+                   util::fmt_int(static_cast<long long>(info.ann_generation)),
+                   info.ann_exact_fallback ? "exact" : "pruned"});
   }
   table.print(std::cout, title);
 }
@@ -387,10 +427,10 @@ int cmd_shard_stats(const std::vector<std::string>& args) {
   stat_param("k_total", static_cast<double>(sopts.index.k));
 
   if (const auto probe = flag_value(args, "--probe"); !probe.empty()) {
-    QueryOptions qopts;
-    qopts.top_z = 10;
+    SearchOptions qopts;
+    qopts.z = 10;
     if (const auto top = flag_value(args, "--top"); !top.empty()) {
-      qopts.top_z = std::stoul(top);
+      qopts.z = std::stoul(top);
     }
     QueryStats stats;
     std::cout << "# probe: " << probe << '\n';
@@ -671,6 +711,13 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   if (const auto v = flag_value(args, "--queue"); !v.empty()) {
     sopts.concurrent.queue_capacity = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--ann-cutoff"); !v.empty()) {
+    sopts.concurrent.ann.exact_cutoff = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--ann-centroids"); !v.empty()) {
+    sopts.concurrent.ann.num_centroids =
+        static_cast<core::index_t>(std::stoul(v));
   }
 
   serve::ServerOptions opts;

@@ -1,0 +1,339 @@
+#include "lsi/ann.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lsi::core {
+
+namespace {
+
+/// Chunk size for the assignment passes: the per-chunk gathered row buffer
+/// (chunk * k doubles) stays L2-resident for the k values in use here.
+constexpr std::size_t kAssignChunk = 256;
+
+/// Gathers documents [lo, hi)'s sigma-scaled coordinates into a row-major
+/// buffer, reading V column-by-column (V is column-major; a row-by-row
+/// gather would stride by n on every element).
+void gather_scaled_rows(const SemanticSpace& space, std::size_t lo,
+                        std::size_t hi, std::vector<double>& buf) {
+  const index_t k = space.k();
+  buf.resize((hi - lo) * k);
+  for (index_t i = 0; i < k; ++i) {
+    const double* vi = space.v.col(i).data();
+    const double s = space.sigma[i];
+    for (std::size_t j = lo; j < hi; ++j) buf[(j - lo) * k + i] = vi[j] * s;
+  }
+}
+
+/// Best centroid for one k-vector: highest dot product, ties toward the
+/// lower centroid id. Positive rescaling of `row` never changes the argmax
+/// over unit centroids, so callers pass unnormalized coordinates.
+index_t nearest_centroid(const double* row, const la::DenseMatrix& centroids) {
+  const index_t k = centroids.rows();
+  const index_t c_count = centroids.cols();
+  index_t best = 0;
+  double best_dot = -std::numeric_limits<double>::infinity();
+  for (index_t c = 0; c < c_count; ++c) {
+    const double* cc = centroids.col(c).data();
+    double dot = 0.0;
+    for (index_t i = 0; i < k; ++i) dot += cc[i] * row[i];
+    if (dot > best_dot) {
+      best_dot = dot;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Assigns documents [0, n) (or a tail [from, n)) to their nearest centroid,
+/// in parallel over disjoint chunks — deterministic: centroids are read-only
+/// and every chunk writes only its own assign slots.
+void assign_documents(const SemanticSpace& space,
+                      const la::DenseMatrix& centroids, std::size_t from,
+                      std::vector<index_t>& assign) {
+  const std::size_t n = space.num_docs();
+  const index_t k = space.k();
+  util::parallel_for_chunks(
+      from, n,
+      [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> buf;
+        gather_scaled_rows(space, lo, hi, buf);
+        for (std::size_t j = lo; j < hi; ++j) {
+          assign[j] = nearest_centroid(buf.data() + (j - lo) * k, centroids);
+        }
+      },
+      /*grain=*/kAssignChunk);
+}
+
+}  // namespace
+
+Status AnnOptions::Validate() const {
+  if (training_sample == 0) {
+    return Status::InvalidArgument(
+        "ann.training_sample must be at least 1 (k-means needs data)");
+  }
+  return Status::Ok();
+}
+
+index_t AnnIndex::resolve_nprobe(const SearchOptions& opts) const noexcept {
+  const index_t c_count = num_centroids();
+  if (c_count == 0) return 0;
+  if (opts.nprobe > 0) {
+    return std::min<index_t>(opts.nprobe, c_count);
+  }
+  // recall_target -> nprobe (docs/ANN.md): sqrt(C) probes — the classic
+  // cluster-pruning operating point — aim at the default 0.95 target;
+  // below it the count shrinks proportionally, above it the remaining 5% of
+  // target sweeps linearly up to every centroid, so a target of 1.0 probes
+  // all C and is bit-identical to the exact scan. Monotone non-decreasing
+  // in the target by construction.
+  const double base = std::ceil(std::sqrt(static_cast<double>(c_count)));
+  const double t = opts.recall_target;
+  double np;
+  if (t <= 0.95) {
+    np = std::ceil(base * t / 0.95);
+  } else {
+    np = base + std::ceil((static_cast<double>(c_count) - base) *
+                          ((t - 0.95) / 0.05));
+  }
+  return std::clamp<index_t>(static_cast<index_t>(np), 1, c_count);
+}
+
+void AnnIndex::select_clusters(std::span<const double> query_coords,
+                               index_t nprobe,
+                               std::vector<index_t>& out) const {
+  assert(query_coords.size() == static_cast<std::size_t>(k_));
+  const index_t c_count = num_centroids();
+  nprobe = std::min(nprobe, c_count);
+  std::vector<double> score(c_count);
+  for (index_t c = 0; c < c_count; ++c) {
+    const double* cc = centroids_.col(c).data();
+    double dot = 0.0;
+    for (index_t i = 0; i < k_; ++i) dot += cc[i] * query_coords[i];
+    score[c] = dot;
+  }
+  out.resize(c_count);
+  std::iota(out.begin(), out.end(), index_t{0});
+  // One fixed total order (score descending, id ascending) for every nprobe:
+  // the top-p prefix is nested in the top-(p+1) prefix, which is what makes
+  // recall monotone in nprobe (tests/lsi/ann_pruning_test.cpp).
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(nprobe),
+                    out.end(), [&](index_t a, index_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return a < b;
+                    });
+  out.resize(nprobe);
+}
+
+void AnnIndex::regroup(const SemanticSpace& space,
+                       const std::vector<index_t>& assign) {
+  const std::size_t n = assign.size();
+  const index_t c_count = centroids_.cols();
+  offsets_.assign(c_count + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) ++offsets_[assign[j] + 1];
+  for (index_t c = 0; c < c_count; ++c) offsets_[c + 1] += offsets_[c];
+  docs_.resize(n);
+  std::vector<index_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  // j ascending => posting lists ascending by local doc id.
+  for (std::size_t j = 0; j < n; ++j) docs_[cursor[assign[j]]++] = j;
+  // Pack each posting's raw V_k row (bit-exact copies: the pruned re-rank
+  // must reproduce the exact sweep's arithmetic). Column-by-column so the
+  // reads of V are sequential per column.
+  rows_.resize(n * static_cast<std::size_t>(k_));
+  for (index_t i = 0; i < k_; ++i) {
+    const double* vi = space.v.col(i).data();
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      rows_[pos * k_ + i] = vi[docs_[pos]];
+    }
+  }
+  num_docs_ = n;
+}
+
+std::shared_ptr<const AnnIndex> AnnIndex::build(const SemanticSpace& space,
+                                                const AnnOptions& opts,
+                                                std::uint64_t generation) {
+  const std::size_t n = space.num_docs();
+  const index_t k = space.k();
+  if (!opts.enabled || k == 0 || n == 0 ||
+      n < static_cast<std::size_t>(opts.exact_cutoff)) {
+    return nullptr;
+  }
+  LSI_OBS_SPAN(span, "ann.build");
+
+  // Deterministic stride subsample for training (the final assignment pass
+  // covers every document regardless).
+  const std::size_t sample =
+      std::min<std::size_t>(n, std::max<index_t>(opts.training_sample, 1));
+  std::vector<double> x;  // sample x k row-major, unit rows
+  x.resize(sample * k);
+  {
+    std::vector<double> buf;
+    for (std::size_t t = 0; t < sample; ++t) {
+      const std::size_t j = t * n / sample;
+      gather_scaled_rows(space, j, j + 1, buf);
+      double nrm = 0.0;
+      for (index_t i = 0; i < k; ++i) nrm += buf[i] * buf[i];
+      nrm = std::sqrt(nrm);
+      for (index_t i = 0; i < k; ++i) {
+        x[t * k + i] = nrm > 0.0 ? buf[i] / nrm : 0.0;
+      }
+    }
+  }
+
+  index_t c_count = opts.num_centroids > 0
+                        ? opts.num_centroids
+                        : static_cast<index_t>(
+                              std::ceil(std::sqrt(static_cast<double>(n))));
+  c_count = std::clamp<index_t>(c_count, 1, static_cast<index_t>(sample));
+
+  auto ann = std::shared_ptr<AnnIndex>(new AnnIndex());
+  ann->opts_ = opts;
+  ann->k_ = k;
+  ann->generation_ = generation;
+  la::DenseMatrix& centroids = ann->centroids_;
+  centroids = la::DenseMatrix(k, c_count);
+
+  // k-means++ seeding over the unit sample, squared chordal distance
+  // 2 - 2*cos as the D^2 weight. All randomness flows from opts.seed.
+  util::Rng rng(opts.seed);
+  std::vector<double> dist(sample, 2.0);
+  {
+    const std::size_t first = rng.uniform_index(sample);
+    auto col = centroids.col(0);
+    for (index_t i = 0; i < k; ++i) col[i] = x[first * k + i];
+  }
+  for (index_t c = 1; c < c_count; ++c) {
+    const double* prev = centroids.col(c - 1).data();
+    util::parallel_for(
+        0, sample,
+        [&](std::size_t t) {
+          double dot = 0.0;
+          for (index_t i = 0; i < k; ++i) dot += prev[i] * x[t * k + i];
+          dist[t] = std::min(dist[t], std::max(0.0, 2.0 - 2.0 * dot));
+        },
+        /*grain=*/1024);
+    const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+    std::size_t pick;
+    if (total > 0.0) {
+      double r = rng.uniform() * total;
+      pick = sample - 1;
+      for (std::size_t t = 0; t < sample; ++t) {
+        r -= dist[t];
+        if (r <= 0.0) {
+          pick = t;
+          break;
+        }
+      }
+    } else {
+      pick = rng.uniform_index(sample);
+    }
+    auto col = centroids.col(c);
+    for (index_t i = 0; i < k; ++i) col[i] = x[pick * k + i];
+  }
+
+  // Bounded Lloyd over the sample (spherical k-means: means renormalized).
+  std::vector<index_t> assign_s(sample);
+  std::vector<double> best_dot(sample);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    util::parallel_for(
+        0, sample,
+        [&](std::size_t t) {
+          const double* row = x.data() + t * k;
+          index_t best = 0;
+          double bd = -std::numeric_limits<double>::infinity();
+          for (index_t c = 0; c < c_count; ++c) {
+            const double* cc = centroids.col(c).data();
+            double dot = 0.0;
+            for (index_t i = 0; i < k; ++i) dot += cc[i] * row[i];
+            if (dot > bd) {
+              bd = dot;
+              best = c;
+            }
+          }
+          assign_s[t] = best;
+          best_dot[t] = bd;
+        },
+        /*grain=*/256);
+    // Sequential accumulation in sample order: deterministic sums.
+    la::DenseMatrix sums(k, c_count);
+    std::vector<std::size_t> counts(c_count, 0);
+    for (std::size_t t = 0; t < sample; ++t) {
+      auto col = sums.col(assign_s[t]);
+      const double* row = x.data() + t * k;
+      for (index_t i = 0; i < k; ++i) col[i] += row[i];
+      ++counts[assign_s[t]];
+    }
+    for (index_t c = 0; c < c_count; ++c) {
+      auto sum = sums.col(c);
+      double nrm = 0.0;
+      for (index_t i = 0; i < k; ++i) nrm += sum[i] * sum[i];
+      nrm = std::sqrt(nrm);
+      if (counts[c] > 0 && nrm > 0.0) {
+        auto col = centroids.col(c);
+        for (index_t i = 0; i < k; ++i) col[i] = sum[i] / nrm;
+      } else {
+        // Empty (or degenerate) cluster: reseed deterministically with the
+        // worst-fit sample point — lowest best-dot, ties toward the lower
+        // sample index; marking it used keeps two empties distinct.
+        std::size_t victim = 0;
+        double worst = std::numeric_limits<double>::infinity();
+        for (std::size_t t = 0; t < sample; ++t) {
+          if (best_dot[t] < worst) {
+            worst = best_dot[t];
+            victim = t;
+          }
+        }
+        best_dot[victim] = std::numeric_limits<double>::infinity();
+        auto col = centroids.col(c);
+        for (index_t i = 0; i < k; ++i) col[i] = x[victim * k + i];
+      }
+    }
+  }
+
+  // Final assignment over ALL documents, then CSR regroup + row packing.
+  std::vector<index_t> assign(n);
+  assign_documents(space, centroids, 0, assign);
+  ann->regroup(space, assign);
+
+  obs::count("ann.builds");
+  obs::gauge("ann.centroids", static_cast<double>(c_count));
+  return ann;
+}
+
+std::shared_ptr<const AnnIndex> AnnIndex::extend(
+    const SemanticSpace& space) const {
+  const std::size_t n = space.num_docs();
+  assert(n >= num_docs_);
+  assert(space.k() == k_);
+  LSI_OBS_SPAN(span, "ann.extend");
+
+  // Recover the existing assignment from the CSR lists, assign only the
+  // appended rows, regroup the union.
+  std::vector<index_t> assign(n);
+  const index_t c_count = num_centroids();
+  for (index_t c = 0; c < c_count; ++c) {
+    for (index_t pos = offsets_[c]; pos < offsets_[c + 1]; ++pos) {
+      assign[docs_[pos]] = c;
+    }
+  }
+  assign_documents(space, centroids_, num_docs_, assign);
+
+  auto ann = std::shared_ptr<AnnIndex>(new AnnIndex());
+  ann->opts_ = opts_;
+  ann->k_ = k_;
+  ann->generation_ = generation_;  // the partition is unchanged
+  ann->centroids_ = centroids_;
+  ann->regroup(space, assign);
+
+  obs::count("ann.extends");
+  return ann;
+}
+
+}  // namespace lsi::core

@@ -218,17 +218,26 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
 }
 
 std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
-    const QueryBatch& batch, const QueryOptions& opts,
+    const QueryBatch& batch, const SearchOptions& opts,
     QueryStats* stats) const {
   obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
-  const la::DenseMatrix c = scores(batch, opts.mode, stats);
+  if (ann_ != nullptr && opts.search != SearchMode::kExact) {
+    return rank_pruned(batch, opts, stats);
+  }
+  if (opts.search == SearchMode::kPruned && batch.size() > 0) {
+    // kPruned without a structure (small corpus, ann disabled): exact scan,
+    // made visible to operators rather than silently absorbed.
+    obs::count("ann.exact_fallback_queries", batch.size());
+  }
+  const QueryOptions qopts = opts.query_options();
+  const la::DenseMatrix c = scores(batch, qopts.mode, stats);
   util::WallTimer select_timer;
   std::vector<std::vector<ScoredDoc>> out(batch.size());
   {
     LSI_OBS_SPAN(span, "retrieval.select");
     util::parallel_for(
         0, batch.size(),
-        [&](std::size_t b) { out[b] = select_ranked(c.col(b), opts); },
+        [&](std::size_t b) { out[b] = select_ranked(c.col(b), qopts); },
         /*grain=*/1);
   }
   obs::count("retrieval.batches");
@@ -241,15 +250,154 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
   return out;
 }
 
-Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
-    const QueryBatch& batch, const QueryOptions& opts,
+std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
+    const QueryBatch& batch, const SearchOptions& opts,
     QueryStats* stats) const {
+  util::WallTimer timer;
+  LSI_OBS_SPAN(span, "ann.rank");
+  const index_t n = space_.num_docs();
+  const index_t k = space_.k();
+  const index_t bsz = batch.size();
+  assert(bsz == 0 || batch.k() == k);
+  std::vector<std::vector<ScoredDoc>> out(bsz);
+  const index_t nprobe = ann_->resolve_nprobe(opts);
+  if (n == 0 || bsz == 0 || nprobe == 0) return out;
+
+  // Weight prep identical to scores(): q' (the query-side coordinates whose
+  // norm divides the cosine) additionally drives centroid selection — the
+  // centroids live in the document-coordinate geometry q' is compared
+  // against. w then folds the document-side sigma in, exactly as the exact
+  // sweep does, so each candidate's accumulation below reproduces the exact
+  // path's arithmetic bit for bit.
+  la::DenseMatrix w = batch.projected();
+  la::DenseMatrix qprime(k, bsz);
+  std::vector<double> query_norm(bsz);
+  for (index_t b = 0; b < bsz; ++b) {
+    auto wb = w.col(b);
+    if (opts.mode == SimilarityMode::kColumnSpace) {
+      for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
+    }
+    query_norm[b] = la::norm2(wb);
+    auto qp = qprime.col(b);
+    for (index_t i = 0; i < k; ++i) qp[i] = wb[i];
+    if (opts.mode != SimilarityMode::kPlainV) {
+      for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
+    }
+  }
+  const std::vector<double>& doc_norm = space_.doc_norms(opts.mode);
+  const std::size_t z = opts.z;
+  const double min_cos = opts.min_cosine;
+
+  std::vector<std::uint64_t> scanned(bsz, 0);
+  util::parallel_for(
+      0, bsz,
+      [&](std::size_t b) {
+        std::vector<index_t> clusters;
+        ann_->select_clusters(qprime.col(b), nprobe, clusters);
+        const double qn = query_norm[b];
+        const auto wb = w.col(b);
+        const bool bounded = z > 0;
+        std::vector<ScoredDoc> keep;
+        keep.reserve(bounded ? z + 1 : 0);
+        std::uint64_t cand_count = 0;
+        for (const index_t c : clusters) {
+          const auto docs = ann_->cluster_docs(c);
+          const auto rows = ann_->cluster_rows(c);
+          cand_count += docs.size();
+          for (std::size_t t = 0; t < docs.size(); ++t) {
+            const double* row = rows.data() + t * k;
+            // Same accumulation as the exact sweep: i ascending, zero
+            // weights skipped (they are skipped there too, so skipping is
+            // not an approximation).
+            double acc = 0.0;
+            for (index_t i = 0; i < k; ++i) {
+              const double wib = wb[i];
+              if (wib == 0.0) continue;
+              acc += wib * row[i];
+            }
+            const index_t j = docs[t];
+            const ScoredDoc cand{
+                j, (qn == 0.0 || doc_norm[j] == 0.0)
+                       ? 0.0
+                       : acc / (qn * doc_norm[j])};
+            if (cand.cosine < min_cos) continue;
+            if (!bounded) {
+              keep.push_back(cand);
+            } else if (keep.size() < z) {
+              keep.push_back(cand);
+              std::push_heap(keep.begin(), keep.end(), by_rank);
+            } else if (by_rank(cand, keep.front())) {
+              std::pop_heap(keep.begin(), keep.end(), by_rank);
+              keep.back() = cand;
+              std::push_heap(keep.begin(), keep.end(), by_rank);
+            }
+          }
+        }
+        // ranks_before is a strict total order over distinct doc ids, so the
+        // sorted top-z is unique no matter the candidate enumeration order —
+        // the property that makes nprobe == num_centroids bit-identical to
+        // the exact scan.
+        std::sort(keep.begin(), keep.end(), by_rank);
+        out[b] = std::move(keep);
+        scanned[b] = cand_count;
+      },
+      /*grain=*/1);
+
+  std::uint64_t total_scanned = 0;
+  for (const std::uint64_t s : scanned) total_scanned += s;
+  obs::count("retrieval.batches");
+  obs::count("retrieval.queries", bsz);
+  obs::count("ann.pruned_queries", bsz);
+  obs::gauge("ann.probed_centroids", static_cast<double>(nprobe));
+  obs::gauge("ann.scanned_docs",
+             static_cast<double>(total_scanned) / static_cast<double>(bsz));
+  if (stats) {
+    stats->batch_size += bsz;
+    stats->ann_pruned_queries += bsz;
+    stats->ann_centroids_probed +=
+        static_cast<std::uint64_t>(nprobe) * bsz;
+    stats->ann_docs_scanned += total_scanned;
+    stats->flops += 3ull * k * bsz                                // weight prep
+                    + 2ull * ann_->num_centroids() * k * bsz      // centroids
+                    + 2ull * total_scanned * k + total_scanned;   // re-rank
+    const double elapsed = timer.seconds();
+    stats->score_seconds += elapsed;
+    stats->total_seconds += elapsed;
+  }
+  return out;
+}
+
+Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
+    const QueryBatch& batch, const SearchOptions& opts,
+    QueryStats* stats) const {
+  if (Status s = opts.Validate(); !s.ok()) return s;
   if (batch.size() > 0 && batch.k() != space_.k()) {
     return Status::InvalidArgument(
         "batch was projected with k = " + std::to_string(batch.k()) +
         ", this retriever's space has k = " + std::to_string(space_.k()));
   }
+  if (opts.deadline_expired()) {
+    return Status::DeadlineExceeded(
+        "search deadline expired before scoring began");
+  }
   return rank(batch, opts, stats);
 }
+
+// Deprecated QueryOptions shims. The pragma silences the self-referential
+// deprecation warnings these definitions would otherwise emit under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
+    const QueryBatch& batch, const QueryOptions& opts,
+    QueryStats* stats) const {
+  return rank(batch, SearchOptions::FromQuery(opts), stats);
+}
+
+Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
+    const QueryBatch& batch, const QueryOptions& opts,
+    QueryStats* stats) const {
+  return try_rank(batch, SearchOptions::FromQuery(opts), stats);
+}
+#pragma GCC diagnostic pop
 
 }  // namespace lsi::core

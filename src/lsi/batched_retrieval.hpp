@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "la/dense.hpp"
+#include "lsi/ann.hpp"
 #include "lsi/retrieval.hpp"
+#include "lsi/search_options.hpp"
 
 namespace lsi::core {
 
@@ -91,6 +93,15 @@ class BatchedRetriever {
   explicit BatchedRetriever(std::shared_ptr<const SemanticSpace> space)
       : space_(*space), pinned_(std::move(space)) {}
 
+  /// Snapshot-pinning view WITH the snapshot's cluster-pruned structure
+  /// (lsi/ann.hpp): SearchOptions in kAuto/kPruned mode generate candidates
+  /// from `ann`'s posting lists instead of sweeping every document. `ann`
+  /// may be null (small corpus, pruning disabled) — every query then takes
+  /// the exact path.
+  BatchedRetriever(std::shared_ptr<const SemanticSpace> space,
+                   std::shared_ptr<const AnnIndex> ann)
+      : space_(*space), pinned_(std::move(space)), ann_(std::move(ann)) {}
+
   /// Full cosine matrix (num_docs x B, one query per column), no
   /// filtering or selection — the building block for layers that combine
   /// scores themselves (multi-point queries, fan-out merging). Runs under
@@ -101,29 +112,61 @@ class BatchedRetriever {
 
   /// result[b] is query b's ranking: cosine descending, ties broken by
   /// ascending document index (the shared lsi/ranking.hpp order);
-  /// `opts.min_cosine` is applied before top-z selection (see QueryOptions).
-  /// Honors `opts.sink` for the duration of the call; selection runs under
-  /// the "retrieval.select" span and `stats` accumulates the per-stage
-  /// breakdown when non-null.
+  /// `opts.min_cosine` is applied before top-z selection. Honors `opts.sink`
+  /// for the duration of the call; selection runs under the
+  /// "retrieval.select" span and `stats` accumulates the per-stage breakdown
+  /// when non-null.
+  ///
+  /// Candidate generation follows `opts.search` (search_options.hpp): with
+  /// an AnnIndex attached and the mode not kExact, each query scores the
+  /// centroids, scans the resolved-nprobe nearest posting lists and re-ranks
+  /// the candidates with the identical Equation-6 arithmetic — nprobe >=
+  /// num_centroids is bit-identical to the exact sweep. Without a structure
+  /// (or with kExact) every query takes the exact path.
   ///
   /// Edge cases return cleanly rather than invoking UB: an empty batch
-  /// yields an empty result vector, and `opts.top_z` larger than the number
-  /// of documents returns every document passing the threshold.
+  /// yields an empty result vector, and `opts.z` larger than the number of
+  /// documents returns every document passing the threshold.
   std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
-                                           const QueryOptions& opts = {},
+                                           const SearchOptions& opts = {},
                                            QueryStats* stats = nullptr) const;
 
   /// Checked variant: kInvalidArgument when a non-empty batch was projected
   /// against a space with a different number of factors than this
-  /// retriever's (the release-mode guard for the assert in scores()).
+  /// retriever's (the release-mode guard for the assert in scores()), the
+  /// first SearchOptions::Validate() violation, or kDeadlineExceeded when
+  /// `opts.deadline` already expired at entry (coarse-grained: an admitted
+  /// batch runs to completion).
   Expected<std::vector<std::vector<ScoredDoc>>> try_rank(
-      const QueryBatch& batch, const QueryOptions& opts = {},
+      const QueryBatch& batch, const SearchOptions& opts = {},
       QueryStats* stats = nullptr) const;
 
+  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions; the
+  /// explicit-opts signatures only — no-opts calls resolve to SearchOptions
+  /// above).
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
+                                           const QueryOptions& opts,
+                                           QueryStats* stats = nullptr) const;
+
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  Expected<std::vector<std::vector<ScoredDoc>>> try_rank(
+      const QueryBatch& batch, const QueryOptions& opts,
+      QueryStats* stats = nullptr) const;
+
+  /// The attached cluster-pruning structure (null = exact scans only).
+  const std::shared_ptr<const AnnIndex>& ann() const noexcept { return ann_; }
+
  private:
+  std::vector<std::vector<ScoredDoc>> rank_pruned(const QueryBatch& batch,
+                                                  const SearchOptions& opts,
+                                                  QueryStats* stats) const;
+
   const SemanticSpace& space_;
   /// Keeps the pinned snapshot's space alive (null for the reference ctor).
   std::shared_ptr<const SemanticSpace> pinned_;
+  /// Cluster-pruned candidate generator of the pinned snapshot (may be null).
+  std::shared_ptr<const AnnIndex> ann_;
 };
 
 }  // namespace lsi::core

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "lsi/batched_retrieval.hpp"
 #include "lsi/retrieval.hpp"
 #include "obs/trace.hpp"
 #include "text/parser.hpp"
@@ -33,22 +34,52 @@ la::Vector SnapshotQueryContext::weighted_term_vector(
 // ---------------------------------------------------------------------------
 
 std::vector<QueryResult> IndexSnapshot::query(std::string_view text,
-                                              const QueryOptions& opts,
+                                              const SearchOptions& opts,
                                               QueryStats* stats) const {
+  // Projects with the single-query kernel (project_query), exactly like
+  // LsiIndex::query, so concurrent-vs-sequential rankings stay bit-identical;
+  // the batched from_term_vectors GEMM accumulates in a different order.
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
   const la::Vector q_hat =
       project_query(*space_, ctx_->weighted_term_vector(text));
+  const QueryBatch one = QueryBatch::from_projected(*space_, {q_hat});
+  auto ranked = BatchedRetriever(space_, ann_).rank(one, opts, stats);
   std::vector<QueryResult> out;
-  for (const ScoredDoc& sd : rank_documents(*space_, q_hat, opts, stats)) {
+  for (const ScoredDoc& sd : ranked.front()) {
     out.push_back({(*labels_)[sd.doc], sd.doc, sd.cosine});
   }
   return out;
 }
 
 std::vector<ScoredDoc> IndexSnapshot::retrieve(const la::Vector& term_vector,
+                                               const SearchOptions& opts,
+                                               QueryStats* stats) const {
+  // Batch-size-1 pass through the batched engine with this snapshot's ANN
+  // structure attached; in exact mode this is the same single code path
+  // core::retrieve wraps, so results are unchanged by the redesign.
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  const QueryBatch one =
+      QueryBatch::from_term_vectors(*space_, {term_vector}, stats);
+  auto ranked = BatchedRetriever(space_, ann_).rank(one, opts, stats);
+  return std::move(ranked.front());
+}
+
+// Deprecated QueryOptions shims. The pragma silences the self-referential
+// deprecation warnings these definitions would otherwise emit under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<QueryResult> IndexSnapshot::query(std::string_view text,
+                                              const QueryOptions& opts,
+                                              QueryStats* stats) const {
+  return query(text, SearchOptions::FromQuery(opts), stats);
+}
+
+std::vector<ScoredDoc> IndexSnapshot::retrieve(const la::Vector& term_vector,
                                                const QueryOptions& opts,
                                                QueryStats* stats) const {
-  return core::retrieve(*space_, term_vector, opts, stats);
+  return retrieve(term_vector, SearchOptions::FromQuery(opts), stats);
 }
+#pragma GCC diagnostic pop
 
 // ---------------------------------------------------------------------------
 // ConcurrentIndexer
@@ -204,6 +235,9 @@ void ConcurrentIndexer::consolidate_now() {
   }
   consolidations_.fetch_add(1, std::memory_order_relaxed);
   consolidating_.store(false, std::memory_order_release);
+  // Consolidation recomputes the SVD, rotating every document's V_k row;
+  // the cluster partition over the old coordinates is meaningless now.
+  ann_rebuild_ = true;
 }
 
 void ConcurrentIndexer::publish() {
@@ -218,9 +252,25 @@ void ConcurrentIndexer::publish() {
       master_.index().doc_labels());
   const std::uint64_t generation =
       publishes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // ANN maintenance mirrors the norm caches: fold-ins only append V rows, so
+  // the existing partition is extended over the new tail; a consolidation
+  // rotated V (ann_rebuild_), so the partition is rebuilt from scratch.
+  // AnnIndex::build returns null below the exact-scan cutoff — queries then
+  // fall back to the exact sweep until the corpus grows past it.
+  if (opts_.ann.enabled) {
+    if (master_ann_ == nullptr || ann_rebuild_) {
+      master_ann_ = AnnIndex::build(*space, opts_.ann, generation);
+    } else if (master_ann_->num_docs() <
+               static_cast<index_t>(space->num_docs())) {
+      master_ann_ = master_ann_->extend(*space);
+    }
+  } else {
+    master_ann_ = nullptr;
+  }
+  ann_rebuild_ = false;
   auto snap = std::make_shared<const IndexSnapshot>(
       std::move(space), std::move(labels), ctx_, generation,
-      master_.pending(), IndexSnapshot::clock::now());
+      master_.pending(), IndexSnapshot::clock::now(), master_ann_);
   std::shared_ptr<const IndexSnapshot> old;
   {
     // The mutex covers only this swap; the retired snapshot (and anything

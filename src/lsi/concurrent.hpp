@@ -49,8 +49,10 @@
 #include <string_view>
 #include <vector>
 
+#include "lsi/ann.hpp"
 #include "lsi/incremental.hpp"
 #include "lsi/lsi_index.hpp"
+#include "lsi/search_options.hpp"
 #include "lsi/status.hpp"
 #include "util/bounded_queue.hpp"
 #include "util/thread_pool.hpp"
@@ -69,6 +71,12 @@ struct ConcurrentOptions {
   std::size_t max_batch = 16;
   /// Use the exact (residual-carrying) SVD-update when consolidating.
   bool exact_update = false;
+  /// Cluster-pruned candidate generation (lsi/ann.hpp): above
+  /// `ann.exact_cutoff` documents every published snapshot carries an
+  /// AnnIndex, rebuilt at consolidation (V rotates) and extended at
+  /// fold-publishes (rows append) — the same maintenance split as the
+  /// prewarmed doc-norm caches.
+  AnnOptions ann;
 };
 
 /// The frozen query-side configuration every snapshot shares: vocabulary,
@@ -113,10 +121,12 @@ class IndexSnapshot {
                 std::shared_ptr<const std::vector<std::string>> labels,
                 std::shared_ptr<const SnapshotQueryContext> ctx,
                 std::uint64_t generation, std::size_t unconsolidated,
-                clock::time_point published_at)
+                clock::time_point published_at,
+                std::shared_ptr<const AnnIndex> ann = nullptr)
       : space_(std::move(space)),
         labels_(std::move(labels)),
         ctx_(std::move(ctx)),
+        ann_(std::move(ann)),
         generation_(generation),
         unconsolidated_(unconsolidated),
         published_at_(published_at) {}
@@ -126,6 +136,10 @@ class IndexSnapshot {
   const std::shared_ptr<const SemanticSpace>& space_ptr() const noexcept {
     return space_;
   }
+  /// The snapshot's cluster-pruned candidate generator (lsi/ann.hpp), built
+  /// at publish like the prewarmed norm caches; null below the exact-scan
+  /// cutoff or when disabled — queries then take the exact path.
+  const std::shared_ptr<const AnnIndex>& ann() const noexcept { return ann_; }
   const std::vector<std::string>& doc_labels() const noexcept {
     return *labels_;
   }
@@ -143,21 +157,35 @@ class IndexSnapshot {
   }
 
   /// Free-text retrieval pinned to this snapshot: parse + weight via the
-  /// shared context, project (Equation 6), rank. Labels resolve against
-  /// this snapshot's label list, which is always length-consistent with V.
+  /// shared context, project (Equation 6), rank — through the pruned path
+  /// when opts.search admits it and the snapshot carries an AnnIndex.
+  /// Labels resolve against this snapshot's label list, which is always
+  /// length-consistent with V.
   std::vector<QueryResult> query(std::string_view text,
-                                 const QueryOptions& opts = {},
+                                 const SearchOptions& opts = {},
                                  QueryStats* stats = nullptr) const;
 
   /// Ranks an already-weighted m-vector against this snapshot.
   std::vector<ScoredDoc> retrieve(const la::Vector& term_vector,
-                                  const QueryOptions& opts = {},
+                                  const SearchOptions& opts = {},
+                                  QueryStats* stats = nullptr) const;
+
+  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions).
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<QueryResult> query(std::string_view text,
+                                 const QueryOptions& opts,
+                                 QueryStats* stats = nullptr) const;
+
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<ScoredDoc> retrieve(const la::Vector& term_vector,
+                                  const QueryOptions& opts,
                                   QueryStats* stats = nullptr) const;
 
  private:
   std::shared_ptr<const SemanticSpace> space_;
   std::shared_ptr<const std::vector<std::string>> labels_;
   std::shared_ptr<const SnapshotQueryContext> ctx_;
+  std::shared_ptr<const AnnIndex> ann_;
   std::uint64_t generation_;
   std::size_t unconsolidated_;
   clock::time_point published_at_;
@@ -262,6 +290,12 @@ class ConcurrentIndexer {
   mutable std::mutex mu_;            ///< guards writer_active_
   std::condition_variable cv_idle_;  ///< signaled when the writer goes idle
   bool writer_active_ = false;       ///< a drain task is queued or running
+
+  /// Writer-thread-only ANN state: the structure the next publish will ship.
+  /// Rebuilt when `ann_rebuild_` is set (consolidation rotated V), extended
+  /// when documents were merely appended (fold-ins), like extend_doc_norms.
+  std::shared_ptr<const AnnIndex> master_ann_;
+  bool ann_rebuild_ = false;
 
   std::atomic<bool> force_consolidate_{false};
   std::atomic<bool> consolidating_{false};

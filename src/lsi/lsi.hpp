@@ -12,8 +12,10 @@
 //   auto index = lsi::LsiIndex::try_build(docs, opts).value();
 //   for (const auto& hit : index.query("graph partitioning")) ...
 
+#include "lsi/ann.hpp"
 #include "lsi/batched_retrieval.hpp"
 #include "lsi/concurrent.hpp"
+#include "lsi/search_options.hpp"
 #include "lsi/flops.hpp"
 #include "lsi/folding.hpp"
 #include "lsi/incremental.hpp"
@@ -64,6 +66,14 @@ using core::QueryOptions;
 using core::QueryResult;
 using core::QueryStats;
 using core::ScoredDoc;
+
+// The unified per-request knob set and the cluster-pruned candidate
+// generator it steers (lsi/search_options.hpp, lsi/ann.hpp, docs/ANN.md).
+using core::AnnIndex;
+using core::AnnOptions;
+using core::search_mode_name;
+using core::SearchMode;
+using core::SearchOptions;
 
 // Free-function retrieval over a bare SemanticSpace.
 using core::project_query;

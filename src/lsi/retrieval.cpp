@@ -44,7 +44,8 @@ std::vector<ScoredDoc> rank_documents(const SemanticSpace& space,
   // Batch-size-1 wrapper over the batched engine — the one scoring path.
   const QueryBatch one = QueryBatch::from_projected(
       space, {la::Vector(query_khat.begin(), query_khat.end())});
-  auto ranked = BatchedRetriever(space).rank(one, opts, stats);
+  auto ranked =
+      BatchedRetriever(space).rank(one, SearchOptions::FromQuery(opts), stats);
   return std::move(ranked.front());
 }
 
@@ -57,7 +58,8 @@ std::vector<ScoredDoc> retrieve(const SemanticSpace& space,
   obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
   const QueryBatch one = QueryBatch::from_term_vectors(
       space, {la::Vector(term_vector.begin(), term_vector.end())}, stats);
-  auto ranked = BatchedRetriever(space).rank(one, opts, stats);
+  auto ranked =
+      BatchedRetriever(space).rank(one, SearchOptions::FromQuery(opts), stats);
   return std::move(ranked.front());
 }
 

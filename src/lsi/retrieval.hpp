@@ -55,7 +55,7 @@ struct QueryOptions {
 /// of whether an observability sink is installed).
 struct QueryStats {
   index_t batch_size = 0;        ///< queries handled
-  index_t docs_scored = 0;       ///< documents swept per query
+  index_t docs_scored = 0;       ///< documents swept per query (exact path)
   double project_seconds = 0.0;  ///< batched Equation 6 projection
   double score_seconds = 0.0;    ///< cosine sweep over V_k panels
   double select_seconds = 0.0;   ///< threshold + top-z selection
@@ -64,6 +64,11 @@ struct QueryStats {
   /// weights are skipped by the sweep, so this can undercut the dense
   /// lsi::flops model predictions).
   std::uint64_t flops = 0;
+  /// Cluster-pruned candidate generation (lsi/ann.hpp); all zero when every
+  /// query in the batch took the exact path.
+  index_t ann_pruned_queries = 0;         ///< queries served by pruning
+  std::uint64_t ann_centroids_probed = 0; ///< posting lists scanned, summed
+  std::uint64_t ann_docs_scanned = 0;     ///< candidates re-ranked, summed
 };
 
 struct ScoredDoc {

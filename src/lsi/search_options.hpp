@@ -1,0 +1,141 @@
+#pragma once
+// lsi::SearchOptions — the single request struct for the serving stack.
+//
+// Before this header, every layer of the read path took its own loose knob
+// set: BatchedRetriever::rank took a QueryOptions, ShardedSnapshot::rank_batch
+// took another, and the HTTP daemon re-derived `top`/mode from query params at
+// the door. The ANN pruning knobs (nprobe, recall target, exact-force) made
+// that untenable — a per-request recall/latency trade-off has to travel from
+// the HTTP query string through HttpServer -> ShardedIndex -> BatchedRetriever
+// unchanged. SearchOptions is that one struct, validated once (Validate(),
+// mirroring IndexOptions) and threaded end-to-end. The QueryOptions-taking
+// signatures remain for one PR as thin [[deprecated]] shims.
+//
+// Candidate-generation policy (docs/ANN.md):
+//
+//   kAuto    use the snapshot's cluster-pruned AnnIndex when one exists
+//            (it is only built above AnnOptions::exact_cutoff documents),
+//            exact scan otherwise — the serving default;
+//   kExact   always exact: every document scored, the pre-ANN behavior;
+//   kPruned  require the pruned path; silently falls back to exact scan
+//            when the structure is absent (small corpus, ann disabled) —
+//            the fallback is counted on the "ann.exact_fallback_queries"
+//            counter so operators can see it.
+//
+// `nprobe` versus `recall_target`: nprobe > 0 pins the number of centroid
+// posting lists scanned per query; nprobe == 0 derives it from recall_target
+// via AnnIndex::resolve_nprobe (monotone in the target; a target of 1.0
+// probes every centroid, which is bit-identical to the exact scan).
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+#include "lsi/retrieval.hpp"
+#include "lsi/status.hpp"
+
+namespace lsi::core {
+
+/// Candidate-generation policy for one request.
+enum class SearchMode {
+  kAuto,    ///< pruned when the snapshot has an AnnIndex, exact otherwise
+  kExact,   ///< force the exact scan (every document scored)
+  kPruned,  ///< request the pruned path (exact fallback when absent)
+};
+
+/// Returns "auto" / "exact" / "pruned".
+constexpr std::string_view search_mode_name(SearchMode mode) noexcept {
+  switch (mode) {
+    case SearchMode::kAuto: return "auto";
+    case SearchMode::kExact: return "exact";
+    case SearchMode::kPruned: return "pruned";
+  }
+  return "unknown";
+}
+
+/// The one request struct of the read path, threaded verbatim from the HTTP
+/// query string down to the per-shard BatchedRetriever. Value-semantic and
+/// cheap to copy; construct, adjust fields, Validate(), go.
+struct SearchOptions {
+  /// Keep only the z best documents (0 = unlimited).
+  std::size_t z = 0;
+  /// Inner-product convention (see retrieval.hpp).
+  SimilarityMode mode = SimilarityMode::kColumnSpace;
+  /// Cosine threshold applied BEFORE top-z selection; -1 keeps everything.
+  double min_cosine = -1.0;
+
+  /// Candidate-generation policy (see the header comment).
+  SearchMode search = SearchMode::kAuto;
+  /// Centroid posting lists scanned per query on the pruned path; 0 derives
+  /// the count from `recall_target`. Clamped to the centroid count — nprobe
+  /// >= num_centroids scans everything and is bit-identical to exact.
+  std::size_t nprobe = 0;
+  /// Recall@10-vs-exact the auto-derived nprobe aims for, in (0, 1]. 1.0
+  /// maps to every centroid (exact-identical); ignored when nprobe > 0.
+  double recall_target = 0.95;
+
+  /// Per-request deadline; the default (epoch) means none. Enforcement is
+  /// coarse-grained at stage boundaries (before a shard's scatter pass,
+  /// before scoring) via the try_* call paths, which report
+  /// kDeadlineExceeded — an in-flight sweep is never interrupted.
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// When non-null, installed as the active observability sink for the
+  /// duration of the call (previous sink restored on return).
+  obs::Sink* sink = nullptr;
+
+  bool has_deadline() const noexcept {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool deadline_expired() const noexcept {
+    return has_deadline() && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// First violation found, or OK. Validated once at the outermost layer
+  /// (the HTTP daemon answers 400 with this message); inner layers assert.
+  Status Validate() const {
+    if (search == SearchMode::kExact && nprobe > 0) {
+      return Status::InvalidArgument(
+          "nprobe is meaningless with search == kExact (exact scan probes "
+          "nothing); drop nprobe or use kPruned");
+    }
+    if (recall_target <= 0.0 || recall_target > 1.0) {
+      return Status::InvalidArgument(
+          "recall_target must be in (0, 1], got " +
+          std::to_string(recall_target));
+    }
+    if (min_cosine > 1.0) {
+      return Status::InvalidArgument(
+          "min_cosine above 1 filters every document, got " +
+          std::to_string(min_cosine));
+    }
+    return Status::Ok();
+  }
+
+  /// The exact-path subset as a legacy QueryOptions (shim plumbing and the
+  /// low-level rank_documents/retrieve free functions, which stay on
+  /// QueryOptions by design — they score a bare SemanticSpace, which never
+  /// carries an ANN structure).
+  QueryOptions query_options() const {
+    QueryOptions q;
+    q.mode = mode;
+    q.min_cosine = min_cosine;
+    q.top_z = z;
+    q.sink = sink;
+    return q;
+  }
+
+  /// Lifts a legacy QueryOptions (the [[deprecated]] shims call this).
+  /// kAuto, not kExact: a QueryOptions caller never expressed a pruning
+  /// preference, and on structures built before this PR kAuto == exact.
+  static SearchOptions FromQuery(const QueryOptions& q) {
+    SearchOptions s;
+    s.z = q.top_z;
+    s.mode = q.mode;
+    s.min_cosine = q.min_cosine;
+    s.sink = q.sink;
+    return s;
+  }
+};
+
+}  // namespace lsi::core

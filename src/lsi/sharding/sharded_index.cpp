@@ -62,6 +62,9 @@ void accumulate_stats(QueryStats& into, const QueryStats& shard) {
   into.select_seconds += shard.select_seconds;
   into.total_seconds += shard.total_seconds;
   into.flops += shard.flops;
+  into.ann_pruned_queries += shard.ann_pruned_queries;
+  into.ann_centroids_probed += shard.ann_centroids_probed;
+  into.ann_docs_scanned += shard.ann_docs_scanned;
 }
 
 }  // namespace
@@ -121,26 +124,33 @@ std::vector<std::uint64_t> ShardedSnapshot::generations() const {
   return gens;
 }
 
-std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
-    const std::vector<std::string>& texts, const QueryOptions& opts,
-    QueryStats* stats) const {
+std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    QueryStats* stats, std::atomic<bool>* expired) const {
   obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
   const std::size_t bsz = texts.size();
   const std::size_t n_shards = shards_.size();
   std::vector<std::vector<ScoredDoc>> merged(bsz);
   if (bsz == 0 || n_shards == 0) return merged;
 
-  // Scatter: every shard handles the whole batch against its own space.
-  // Per-shard results stay in shard-local document indices until the
-  // gather; each worker writes only its own slot, so no synchronization
-  // beyond the fan_out join is needed.
-  QueryOptions shard_opts = opts;
+  // Scatter: every shard handles the whole batch against its own space —
+  // through its own cluster-pruned structure when the snapshot carries one
+  // and opts.search admits it. Per-shard results stay in shard-local
+  // document indices until the gather; each worker writes only its own
+  // slot, so no synchronization beyond the fan_out join is needed.
+  SearchOptions shard_opts = opts;
   shard_opts.sink = nullptr;  // installed once above, for all shards
   std::vector<std::vector<std::vector<ScoredDoc>>> per_shard(n_shards);
   std::vector<QueryStats> shard_stats(n_shards);
   {
     LSI_OBS_SPAN(span, "sharding.scatter");
     fan_out(n_shards, [&](std::size_t s) {
+      // Per-shard deadline check (try_rank_batch only): a scatter task that
+      // has not started by expiry abandons the batch instead of scoring it.
+      if (expired != nullptr && shard_opts.deadline_expired()) {
+        expired->store(true, std::memory_order_relaxed);
+        return;
+      }
       LSI_OBS_SPAN(shard_span, "sharding.shard_rank");
       const IndexSnapshot& snap = *shards_[s].snapshot;
       std::vector<la::Vector> vectors;
@@ -151,9 +161,13 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
       QueryStats* qs = stats ? &shard_stats[s] : nullptr;
       const QueryBatch batch =
           QueryBatch::from_term_vectors(snap.space(), vectors, qs);
-      per_shard[s] =
-          BatchedRetriever(snap.space_ptr()).rank(batch, shard_opts, qs);
+      per_shard[s] = BatchedRetriever(snap.space_ptr(), snap.ann())
+                         .rank(batch, shard_opts, qs);
     });
+  }
+  if (expired != nullptr &&
+      expired->load(std::memory_order_relaxed)) {
+    return merged;  // caller reports kDeadlineExceeded; results are partial
   }
 
   // Gather: map shard-local indices to global ids, then merge every query's
@@ -169,7 +183,7 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
         lists[s] = std::move(per_shard[s][b]);
         for (ScoredDoc& sd : lists[s]) sd.doc = ids[sd.doc];
       }
-      merged[b] = merge_rankings(lists, opts.top_z);
+      merged[b] = merge_rankings(lists, opts.z);
     }
   }
 
@@ -182,15 +196,38 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
   return merged;
 }
 
+std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    QueryStats* stats) const {
+  return rank_batch_impl(texts, opts, stats, /*expired=*/nullptr);
+}
+
+Expected<std::vector<std::vector<ScoredDoc>>> ShardedSnapshot::try_rank_batch(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    QueryStats* stats) const {
+  if (Status s = opts.Validate(); !s.ok()) return s;
+  if (opts.deadline_expired()) {
+    return Status::DeadlineExceeded(
+        "search deadline expired before the scatter began");
+  }
+  std::atomic<bool> expired{false};
+  auto merged = rank_batch_impl(texts, opts, stats, &expired);
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(
+        "search deadline expired during the shard scatter");
+  }
+  return merged;
+}
+
 std::vector<ScoredDoc> ShardedSnapshot::retrieve(std::string_view text,
-                                                 const QueryOptions& opts,
+                                                 const SearchOptions& opts,
                                                  QueryStats* stats) const {
   auto ranked = rank_batch({std::string(text)}, opts, stats);
   return ranked.empty() ? std::vector<ScoredDoc>{} : std::move(ranked[0]);
 }
 
 std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
-                                                const QueryOptions& opts,
+                                                const SearchOptions& opts,
                                                 QueryStats* stats) const {
   const std::vector<ScoredDoc> ranked = retrieve(text, opts, stats);
   // Resolve labels: global ids are sparse in the merged list, so build the
@@ -217,6 +254,29 @@ std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
   }
   return out;
 }
+
+// Deprecated QueryOptions shims. The pragma silences the self-referential
+// deprecation warnings these definitions would otherwise emit under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
+    const std::vector<std::string>& texts, const QueryOptions& opts,
+    QueryStats* stats) const {
+  return rank_batch(texts, SearchOptions::FromQuery(opts), stats);
+}
+
+std::vector<ScoredDoc> ShardedSnapshot::retrieve(std::string_view text,
+                                                 const QueryOptions& opts,
+                                                 QueryStats* stats) const {
+  return retrieve(text, SearchOptions::FromQuery(opts), stats);
+}
+
+std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
+                                                const QueryOptions& opts,
+                                                QueryStats* stats) const {
+  return query(text, SearchOptions::FromQuery(opts), stats);
+}
+#pragma GCC diagnostic pop
 
 // ---------------------------------------------------------------------------
 // ShardedIndex
@@ -477,26 +537,40 @@ std::uint64_t ShardedIndex::ingested() const {
   return total;
 }
 
-std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos() const {
+std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos(
+    const ShardedSnapshot& view) const {
   std::vector<ShardInfo> infos;
-  infos.reserve(shards_.size());
-  for (std::size_t s = 0; s < shards_.size(); ++s) {
+  const std::size_t n = std::min(view.num_shards(), shards_.size());
+  infos.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
     const auto& shard = *shards_[s];
-    const auto snap = shard.indexer.snapshot();
+    // Snapshot-derived fields come from the caller's pinned view — the same
+    // IndexSnapshot pointers a session's queries run against — so a /stats
+    // row and the /session generations can never disagree about one view.
+    const IndexSnapshot& snap = *view.shard(s).snapshot;
     ShardInfo info;
     info.shard = s;
-    info.docs = static_cast<std::size_t>(snap->space().num_docs());
-    info.terms = snap->context().vocabulary().size();
-    info.k = snap->space().k();
-    info.generation = snap->generation();
-    info.unconsolidated = snap->unconsolidated();
+    info.docs = static_cast<std::size_t>(snap.space().num_docs());
+    info.terms = snap.context().vocabulary().size();
+    info.k = snap.space().k();
+    info.generation = snap.generation();
+    info.unconsolidated = snap.unconsolidated();
     info.queued = shard.indexer.queued();
     info.ingested = shard.indexer.ingested();
     info.publishes = shard.indexer.publishes();
     info.consolidations = shard.indexer.consolidations();
+    if (const auto& ann = snap.ann()) {
+      info.ann_centroids = ann->num_centroids();
+      info.ann_generation = ann->build_generation();
+      info.ann_exact_fallback = false;
+    }
     infos.push_back(info);
   }
   return infos;
+}
+
+std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos() const {
+  return shard_infos(snapshot());
 }
 
 }  // namespace lsi::core

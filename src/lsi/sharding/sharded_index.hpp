@@ -36,6 +36,7 @@
 // blending across independently-estimated spaces (docs/SHARDING.md
 // quantifies the overlap against the monolithic index).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -105,26 +106,61 @@ class ShardedSnapshot {
   /// query b's global top-z ranking with GLOBAL document ids, in the shared
   /// lsi/ranking.hpp order. Each shard parses/weights the texts against its
   /// own vocabulary, projects the whole batch once, ranks with its
-  /// BatchedRetriever, and the per-shard top-z lists are merged
+  /// BatchedRetriever — through that shard's cluster-pruned structure when
+  /// `opts.search` admits it (lsi/search_options.hpp); per-shard exact
+  /// fallbacks are independent, so a small shard can sweep exactly while a
+  /// large sibling prunes — and the per-shard top-z lists are merged
   /// deterministically. Runs under the "sharding.scatter" / "sharding.gather"
   /// spans; `stats` (when non-null) accumulates the summed per-shard stage
   /// breakdown (seconds are CPU-seconds across shards, not wall time).
   std::vector<std::vector<ScoredDoc>> rank_batch(
-      const std::vector<std::string>& texts, const QueryOptions& opts = {},
+      const std::vector<std::string>& texts, const SearchOptions& opts = {},
+      QueryStats* stats = nullptr) const;
+
+  /// Checked variant: the first SearchOptions::Validate() violation, or
+  /// kDeadlineExceeded when `opts.deadline` has expired at entry or by the
+  /// time a shard's scatter task starts (coarse-grained: a shard pass that
+  /// began before expiry runs to completion; shards that had not started
+  /// abandon the batch).
+  Expected<std::vector<std::vector<ScoredDoc>>> try_rank_batch(
+      const std::vector<std::string>& texts, const SearchOptions& opts = {},
       QueryStats* stats = nullptr) const;
 
   /// Single-query convenience wrapper over rank_batch.
   std::vector<ScoredDoc> retrieve(std::string_view text,
-                                  const QueryOptions& opts = {},
+                                  const SearchOptions& opts = {},
                                   QueryStats* stats = nullptr) const;
 
   /// Free-text retrieval with labels resolved against the pinned shard
   /// snapshots; `doc` carries the global document id.
   std::vector<QueryResult> query(std::string_view text,
-                                 const QueryOptions& opts = {},
+                                 const SearchOptions& opts = {},
+                                 QueryStats* stats = nullptr) const;
+
+  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions).
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<std::vector<ScoredDoc>> rank_batch(
+      const std::vector<std::string>& texts, const QueryOptions& opts,
+      QueryStats* stats = nullptr) const;
+
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<ScoredDoc> retrieve(std::string_view text,
+                                  const QueryOptions& opts,
+                                  QueryStats* stats = nullptr) const;
+
+  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
+  std::vector<QueryResult> query(std::string_view text,
+                                 const QueryOptions& opts,
                                  QueryStats* stats = nullptr) const;
 
  private:
+  /// Shared scatter-gather body. When `expired` is non-null the per-shard
+  /// deadline protocol is active: a scatter task observing an expired
+  /// `opts.deadline` before it starts sets the flag and abandons its pass.
+  std::vector<std::vector<ScoredDoc>> rank_batch_impl(
+      const std::vector<std::string>& texts, const SearchOptions& opts,
+      QueryStats* stats, std::atomic<bool>* expired) const;
+
   std::vector<ShardView> shards_;
 };
 
@@ -202,7 +238,8 @@ class ShardedIndex {
   /// Documents folded across all shards so far.
   std::uint64_t ingested() const;
 
-  /// Point-in-time per-shard statistics (the CLI's shard-stats table).
+  /// Point-in-time per-shard statistics (the CLI's shard-stats table and the
+  /// serving layer's /stats endpoint).
   struct ShardInfo {
     std::size_t shard = 0;
     std::size_t docs = 0;       ///< documents in the latest snapshot
@@ -214,7 +251,23 @@ class ShardedIndex {
     std::uint64_t ingested = 0;
     std::uint64_t publishes = 0;
     std::uint64_t consolidations = 0;
+    /// Cluster-pruned structure state of the shard's snapshot (lsi/ann.hpp).
+    index_t ann_centroids = 0;          ///< 0 = no structure attached
+    std::uint64_t ann_generation = 0;   ///< publish generation it was built at
+    bool ann_exact_fallback = true;     ///< queries sweep exactly (no AnnIndex)
   };
+
+  /// Statistics computed against one consistent read view: every
+  /// snapshot-derived field (docs, k, generation, ANN state) comes from the
+  /// shard snapshots pinned in `view` — the single source of truth a serving
+  /// layer must use so /stats and a session's pinned /session generations
+  /// can never disagree about the same view. Counter fields (queued,
+  /// ingested, publishes, consolidations) still read the live per-shard
+  /// indexers. `view` must come from this index's snapshot()/pin_snapshot().
+  std::vector<ShardInfo> shard_infos(const ShardedSnapshot& view) const;
+
+  /// Convenience overload over the current snapshot() — equivalent to
+  /// shard_infos(snapshot()).
   std::vector<ShardInfo> shard_infos() const;
 
  private:

@@ -28,6 +28,8 @@ enum class StatusCode {
   kDataLoss,            ///< malformed or truncated serialized data
   kResourceExhausted,   ///< a bounded resource (ingest queue) is full —
                         ///< retry later or apply backpressure upstream
+  kDeadlineExceeded,    ///< a per-request deadline expired before the work
+                        ///< completed (see SearchOptions::deadline)
   kInternal,            ///< invariant violation inside the library
 };
 
@@ -56,6 +58,9 @@ class [[nodiscard]] Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
   }
   static Status Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
@@ -90,6 +95,7 @@ inline std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kNotFound: return "not-found";
     case StatusCode::kDataLoss: return "data-loss";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -33,6 +34,78 @@ void append_double(std::string& out, double v) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.6g", v);
   out += buf;
+}
+
+/// Parses the /search retrieval knobs — nprobe, recall, exact, deadline_ms —
+/// into `opts`. Returns false (with a precise message in `error` for the 400
+/// body) on an invalid value or combination. Absent knobs leave the
+/// SearchOptions defaults: kAuto search, the library's recall target.
+bool parse_search_knobs(const HttpRequest& request, core::SearchOptions& opts,
+                        std::string& error) {
+  const std::string_view nprobe = request.param("nprobe");
+  const std::string_view recall = request.param("recall");
+  const std::string_view exact = request.param("exact");
+  const std::string_view deadline_ms = request.param("deadline_ms");
+
+  if (!exact.empty() && exact != "0" && exact != "1") {
+    error = "exact must be 0 or 1";
+    return false;
+  }
+  const bool want_exact = exact == "1";
+  if (want_exact && !nprobe.empty()) {
+    error = "nprobe cannot be combined with exact=1";
+    return false;
+  }
+  if (want_exact && !recall.empty()) {
+    error = "recall cannot be combined with exact=1";
+    return false;
+  }
+  if (!nprobe.empty() && !recall.empty()) {
+    error = "nprobe and recall are mutually exclusive; pass one";
+    return false;
+  }
+  if (want_exact) opts.search = core::SearchMode::kExact;
+  if (!nprobe.empty()) {
+    const std::size_t v = parse_size(nprobe, 0);
+    if (v == 0) {
+      error = "nprobe must be a positive integer";
+      return false;
+    }
+    opts.nprobe = v;
+  }
+  if (!recall.empty()) {
+    const std::string text(recall);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(v > 0.0) || v > 1.0) {
+      error = "recall must be a number in (0, 1]";
+      return false;
+    }
+    opts.recall_target = v;
+  }
+  if (!deadline_ms.empty()) {
+    const std::size_t ms = parse_size(deadline_ms, 0);
+    if (ms == 0) {
+      error = "deadline_ms must be a positive integer";
+      return false;
+    }
+    opts.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  }
+  return true;
+}
+
+/// Canonical encoding of the ranking-affecting knobs for the session cache:
+/// a session re-ranks when the query text OR this key changes. deadline_ms
+/// is deliberately excluded (a latency budget never alters the ranking).
+std::string search_knobs_key(const HttpRequest& request) {
+  std::string key;
+  key += request.param("nprobe");
+  key += '|';
+  key += request.param("recall");
+  key += '|';
+  key += request.param("exact");
+  return key;
 }
 
 std::string generations_json(const std::vector<std::uint64_t>& gens) {
@@ -460,15 +533,32 @@ HttpResponse HttpServer::handle_search(const HttpRequest& request) {
   const std::string_view token = request.param("session");
   const std::string_view q = request.param("q");
 
+  core::SearchOptions sopts;
+  std::string knob_error;
+  if (!parse_search_knobs(request, sopts, knob_error)) {
+    return error_response(400, knob_error);
+  }
+  // Library status → HTTP status for the checked retrieval path.
+  auto status_response = [&](const Status& st) {
+    const int http = st.code() == StatusCode::kDeadlineExceeded ? 504
+                     : st.code() == StatusCode::kInvalidArgument ? 400
+                                                                 : 500;
+    return error_response(http, st.message());
+  };
+
   if (token.empty()) {
     // Sessionless: one-shot against the current view, no paging state.
     if (q.empty()) return error_response(400, "missing q parameter");
-    core::QueryOptions qopts;
-    qopts.top_z = page;
+    sopts.z = page;
     const core::ShardedSnapshot snap = index_.snapshot();
     HttpResponse resp;
     if (request.param("labels") == "1") {
-      const auto hits = snap.query(q, qopts);
+      // Label resolution has no checked variant; enforce the deadline at
+      // entry (same coarse granularity as try_rank_batch's entry check).
+      if (sopts.deadline_expired()) {
+        return error_response(504, "search deadline expired");
+      }
+      const auto hits = snap.query(q, sopts);
       resp.body = "{\"results\":[";
       for (std::size_t i = 0; i < hits.size(); ++i) {
         if (i) resp.body += ',';
@@ -482,9 +572,11 @@ HttpResponse HttpServer::handle_search(const HttpRequest& request) {
       }
       resp.body += ']';
     } else {
-      const auto ranked = snap.retrieve(q, qopts);
+      auto ranked = snap.try_rank_batch({std::string(q)}, sopts);
+      if (!ranked.ok()) return status_response(ranked.status());
+      const auto& list = ranked.value()[0];
       resp.body = "{\"results\":";
-      resp.body += ranking_page_json(ranked, 0, ranked.size());
+      resp.body += ranking_page_json(list, 0, list.size());
     }
     resp.body += ",\"generations\":";
     resp.body += generations_json(snap.generations());
@@ -496,13 +588,18 @@ HttpResponse HttpServer::handle_search(const HttpRequest& request) {
       sessions_.find(token, std::chrono::steady_clock::now());
   if (session == nullptr) return error_response(404, "unknown session");
 
-  if (!q.empty() && std::string(q) != session->last_query) {
-    // New query for this session: rank once against the PINNED view (depth
-    // capped at max_ranking) and page from the cache.
-    core::QueryOptions qopts;
-    qopts.top_z = opts_.max_ranking;
-    session->ranking = session->pin->retrieve(q, qopts);
+  const std::string knobs_key = search_knobs_key(request);
+  if (!q.empty() && (std::string(q) != session->last_query ||
+                     knobs_key != session->last_options_key)) {
+    // New query (or changed knobs) for this session: rank once against the
+    // PINNED view (depth capped at max_ranking) and page from the cache.
+    core::SearchOptions qopts = sopts;
+    qopts.z = opts_.max_ranking;
+    auto ranked = session->pin->try_rank_batch({std::string(q)}, qopts);
+    if (!ranked.ok()) return status_response(ranked.status());
+    session->ranking = std::move(ranked.value()[0]);
     session->last_query = std::string(q);
+    session->last_options_key = knobs_key;
     session->cursor = 0;
   } else if (session->last_query.empty()) {
     return error_response(400, "missing q parameter and no cached query");
@@ -695,8 +792,15 @@ HttpResponse HttpServer::handle_stats(const HttpRequest&) {
   body += std::to_string(index_.pinned());
   body += ",\"docs_ingested\":";
   body += std::to_string(s.docs_ingested);
+  // One snapshot feeds BOTH the generation vector and the per-shard rows, so
+  // the "generations" array and every row's "generation" (and ANN state) are
+  // views of the same pinned IndexSnapshots — exactly what /session reports
+  // for a pinned view (ShardedSnapshot is the single source of truth).
+  const core::ShardedSnapshot snap = index_.snapshot();
+  body += ",\"generations\":";
+  body += generations_json(snap.generations());
   body += ",\"shards\":[";
-  const auto infos = index_.shard_infos();
+  const auto infos = index_.shard_infos(snap);
   for (std::size_t i = 0; i < infos.size(); ++i) {
     if (i) body += ',';
     body += "{\"shard\":";
@@ -717,7 +821,13 @@ HttpResponse HttpServer::handle_stats(const HttpRequest&) {
     body += std::to_string(infos[i].publishes);
     body += ",\"consolidations\":";
     body += std::to_string(infos[i].consolidations);
-    body += '}';
+    body += ",\"ann\":{\"centroids\":";
+    body += std::to_string(infos[i].ann_centroids);
+    body += ",\"generation\":";
+    body += std::to_string(infos[i].ann_generation);
+    body += ",\"exact_fallback\":";
+    body += infos[i].ann_exact_fallback ? "true" : "false";
+    body += "}}";
   }
   body += "]}";
 

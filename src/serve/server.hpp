@@ -10,6 +10,10 @@
 // Command surface (JSON responses):
 //
 //   GET    /search?q=..&top=N[&session=T][&cursor=C][&labels=1]
+//              [&nprobe=P | &recall=R | &exact=1][&deadline_ms=D]
+//          nprobe/recall/exact steer the cluster-pruned candidate path
+//          (lsi/search_options.hpp); invalid combinations answer 400 with a
+//          precise message and an expired deadline_ms answers 504
 //   POST   /ingest[?session=T][&wait=1]      body: "label\ttext" per line
 //   POST   /consolidate
 //   GET    /stats                            (chunked transfer coding)

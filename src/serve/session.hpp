@@ -37,8 +37,13 @@ struct Session {
   std::chrono::steady_clock::time_point last_used;
 
   /// Paging state of the session's most recent query: the full ranking is
-  /// computed once against the pin and paged out by cursor.
+  /// computed once against the pin and paged out by cursor. A change in
+  /// either the query text or the retrieval knobs (nprobe/recall/exact —
+  /// anything that can alter the ranking) invalidates the cache and
+  /// re-ranks; `last_options_key` is the server's canonical encoding of
+  /// those knobs.
   std::string last_query;
+  std::string last_options_key;
   std::vector<core::ScoredDoc> ranking;
   std::size_t cursor = 0;
 

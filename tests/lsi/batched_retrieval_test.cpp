@@ -47,13 +47,14 @@ TEST(BatchedRetrieval, BitIdenticalToSingleForEveryMode) {
   for (SimilarityMode mode : {SimilarityMode::kColumnSpace,
                               SimilarityMode::kProjected,
                               SimilarityMode::kPlainV}) {
-    QueryOptions opts;
+    SearchOptions opts;
     opts.mode = mode;
     const auto batch = QueryBatch::from_term_vectors(space, queries);
     const auto ranked = retriever.rank(batch, opts);
     ASSERT_EQ(ranked.size(), queries.size());
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      expect_identical(ranked[q], retrieve(space, queries[q], opts));
+      expect_identical(ranked[q],
+                       retrieve(space, queries[q], opts.query_options()));
     }
   }
 }
@@ -63,8 +64,8 @@ TEST(BatchedRetrieval, BatchSizeDoesNotChangeResults) {
   auto space = try_build_semantic_space(a, 5).value();
   const auto queries = sparse_queries(35, 12, 17);
   const BatchedRetriever retriever(space);
-  QueryOptions opts;
-  opts.top_z = 5;
+  SearchOptions opts;
+  opts.z = 5;
 
   const auto all = retriever.rank(QueryBatch::from_term_vectors(space, queries),
                                   opts);
@@ -89,12 +90,13 @@ TEST(BatchedRetrieval, FromProjectedMatchesRankDocuments) {
   std::vector<la::Vector> qhats;
   for (const auto& q : queries) qhats.push_back(project_query(space, q));
 
-  QueryOptions opts;
-  opts.top_z = 7;
+  SearchOptions opts;
+  opts.z = 7;
   const auto ranked = BatchedRetriever(space).rank(
       QueryBatch::from_projected(space, qhats), opts);
   for (std::size_t q = 0; q < qhats.size(); ++q) {
-    expect_identical(ranked[q], rank_documents(space, qhats[q], opts));
+    expect_identical(ranked[q],
+                     rank_documents(space, qhats[q], opts.query_options()));
   }
 }
 
@@ -170,7 +172,7 @@ TEST(BatchedRetrieval, EmptyBatch) {
   const auto batch = QueryBatch::from_term_vectors(space, {});
   EXPECT_EQ(batch.size(), 0u);
   EXPECT_EQ(retriever.scores(batch, SimilarityMode::kColumnSpace).cols(), 0u);
-  EXPECT_TRUE(retriever.rank(batch, {}).empty());
+  EXPECT_TRUE(retriever.rank(batch).empty());
 }
 
 TEST(BatchedRetrieval, ZeroNormQueryScoresZeroEverywhere) {
@@ -189,13 +191,14 @@ TEST(BatchedRetrieval, BatchLargerThanCollection) {
   auto a = synth::random_sparse_matrix(30, 9, 0.4, 2);
   auto space = try_build_semantic_space(a, 4).value();
   const auto queries = sparse_queries(30, 40, 37);  // B = 40 > n = 9
-  QueryOptions opts;
-  opts.top_z = 3;
+  SearchOptions opts;
+  opts.z = 3;
   const auto ranked = BatchedRetriever(space).rank(
       QueryBatch::from_term_vectors(space, queries), opts);
   ASSERT_EQ(ranked.size(), 40u);
   for (std::size_t q = 0; q < queries.size(); ++q) {
-    expect_identical(ranked[q], retrieve(space, queries[q], opts));
+    expect_identical(ranked[q],
+                     retrieve(space, queries[q], opts.query_options()));
   }
 }
 
@@ -205,8 +208,8 @@ TEST(BatchedRetrieval, TopZExceedsNumDocs) {
   auto a = synth::random_sparse_matrix(30, 9, 0.4, 2);
   auto space = try_build_semantic_space(a, 4).value();
   const auto queries = sparse_queries(30, 4, 53);
-  QueryOptions opts;
-  opts.top_z = 50;  // n = 9
+  SearchOptions opts;
+  opts.z = 50;  // n = 9
   const auto ranked = BatchedRetriever(space).rank(
       QueryBatch::from_term_vectors(space, queries), opts);
   ASSERT_EQ(ranked.size(), queries.size());

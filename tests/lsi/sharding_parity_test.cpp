@@ -72,8 +72,8 @@ TEST(ShardedParity, SingleShardIsBitIdenticalToBatchedRetriever) {
   for (const auto& q : corpus.queries) texts.push_back(q.text);
 
   for (std::size_t top_z : {std::size_t{0}, std::size_t{10}}) {
-    core::QueryOptions qopts;
-    qopts.top_z = top_z;
+    core::SearchOptions qopts;
+    qopts.z = top_z;
 
     // Monolithic reference: the batched engine over the full index.
     std::vector<la::Vector> vectors;
@@ -104,8 +104,8 @@ TEST(ShardedParity, ShardCountsAgreeOnTheTopZDocumentSet) {
 
   auto mono = core::LsiIndex::try_build(corpus.docs, iopts).value();
 
-  core::QueryOptions qopts;
-  qopts.top_z = top_z;
+  core::SearchOptions qopts;
+  qopts.z = top_z;
 
   std::vector<std::string> texts;
   for (const auto& q : corpus.queries) texts.push_back(q.text);
@@ -114,7 +114,7 @@ TEST(ShardedParity, ShardCountsAgreeOnTheTopZDocumentSet) {
   std::vector<std::set<index_t>> want_sets;
   for (const auto& t : texts) {
     const auto ranked =
-        mono.query(t, qopts, nullptr);
+        mono.query(t, qopts.query_options(), nullptr);
     std::set<index_t> s;
     for (const auto& hit : ranked) s.insert(hit.doc);
     want_sets.push_back(std::move(s));
@@ -181,7 +181,7 @@ TEST(ShardedParity, TiedScoresOrderIdenticallyAcrossShardCounts) {
 
   core::IndexOptions iopts;
   iopts.k = 2;
-  core::QueryOptions qopts;
+  core::SearchOptions qopts;
 
   std::vector<std::vector<index_t>> orders;
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {

@@ -65,8 +65,8 @@ TEST(ShardedPin, PagingSurvivesConsolidationUnderneath) {
   // The "session": pin a view and rank once, to be paged out in slices.
   auto pin = index.pin_snapshot();
   const auto pinned_gens = pin->generations();
-  core::QueryOptions qopts;
-  qopts.top_z = 20;
+  core::SearchOptions qopts;
+  qopts.z = 20;
   const std::string query = corpus.queries.front().text;
   const auto full = pin->retrieve(query, qopts);
   ASSERT_GE(full.size(), 8u);
@@ -101,7 +101,7 @@ TEST(ShardedPin, PagingSurvivesConsolidationUnderneath) {
   }
 
   // The current view does include the late documents (ids past the build).
-  qopts.top_z = 0;
+  qopts.z = 0;
   const auto now = index.snapshot().retrieve(query, qopts);
   EXPECT_GT(now.size(), full.size());
 }
@@ -111,8 +111,8 @@ TEST(ShardedPin, HandleOutlivesTheIndexItself) {
   std::shared_ptr<const core::ShardedSnapshot> pin;
   std::vector<core::ScoredDoc> before;
   const std::string query = corpus.queries.front().text;
-  core::QueryOptions qopts;
-  qopts.top_z = 5;
+  core::SearchOptions qopts;
+  qopts.z = 5;
   {
     std::optional<core::ShardedIndex> index(build_index(corpus.docs));
     pin = index->pin_snapshot();
@@ -138,8 +138,8 @@ TEST(ShardedPin, PinnedViewEqualsPlainSnapshot) {
   const core::ShardedSnapshot plain = index.snapshot();
   EXPECT_EQ(pin->generations(), plain.generations());
   EXPECT_EQ(pin->num_docs(), plain.num_docs());
-  core::QueryOptions qopts;
-  qopts.top_z = 10;
+  core::SearchOptions qopts;
+  qopts.z = 10;
   const std::string query = corpus.queries.front().text;
   const auto a = pin->retrieve(query, qopts);
   const auto b = plain.retrieve(query, qopts);

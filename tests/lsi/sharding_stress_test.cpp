@@ -104,12 +104,12 @@ TEST(ShardedStress, ScatterGatherRacesWithIngest) {
         }
         ASSERT_GE(static_cast<std::size_t>(snap_docs), train);
 
-        core::QueryOptions qopts;
-        qopts.top_z = 10;
+        core::SearchOptions qopts;
+        qopts.z = 10;
         const auto ranked = snap.rank_batch(texts, qopts);
         ASSERT_EQ(ranked.size(), texts.size());
         for (const auto& lane : ranked) {
-          ASSERT_LE(lane.size(), qopts.top_z);
+          ASSERT_LE(lane.size(), qopts.z);
           std::set<index_t> ids;
           for (const auto& sd : lane) {
             // Global ids are unique within a ranking and within the id

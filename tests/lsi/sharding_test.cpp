@@ -285,8 +285,8 @@ TEST(ShardedIndex, QueryResolvesGlobalIdsAndLabels) {
   auto index = core::ShardedIndex::try_build(docs, tiny_options(2)).value();
   const auto snap = index.snapshot();
 
-  core::QueryOptions opts;
-  opts.top_z = 3;
+  core::SearchOptions opts;
+  opts.z = 3;
   const auto hits = snap.query("latent semantic indexing retrieval", opts);
   ASSERT_FALSE(hits.empty());
   ASSERT_LE(hits.size(), 3u);
@@ -308,8 +308,8 @@ TEST(ShardedIndex, RankBatchMatchesSingleQueries) {
   const std::vector<std::string> texts = {
       "sparse matrix kernels", "document retrieval ranking",
       "singular value decomposition"};
-  core::QueryOptions opts;
-  opts.top_z = 5;
+  core::SearchOptions opts;
+  opts.z = 5;
   core::QueryStats stats;
   const auto batched = snap.rank_batch(texts, opts, &stats);
   ASSERT_EQ(batched.size(), texts.size());
