@@ -19,6 +19,12 @@
 //                  points this mode at it); without, an in-process one.
 //   --expect-429   (with --smoke) additionally bulk-POSTs /ingest until the
 //                  shard queues overflow and REQUIRES the scripted 429.
+//   --kill-replica (with --smoke) scripted failover against a replicated
+//                  daemon (lsi_cli serve --replicas >= 2, or the in-process
+//                  daemon which then runs R = 3): eject one replica, require
+//                  /healthz "degraded", require searches and acked ingest to
+//                  keep answering, readmit, require /healthz "ok" again
+//                  (docs/REPLICATION.md).
 //   --shutdown     (with --smoke) finish by POSTing /shutdown and verifying
 //                  the daemon drains.
 //
@@ -261,7 +267,7 @@ int fail(const char* step, const Response& resp) {
 }
 
 int run_smoke(std::uint16_t port, const std::string& query, bool expect_429,
-              bool do_shutdown) {
+              bool kill_replica, bool do_shutdown) {
   Client client(port);
   if (!client.ok()) {
     std::cerr << "SMOKE FAIL: cannot connect to 127.0.0.1:" << port << "\n";
@@ -313,6 +319,33 @@ int run_smoke(std::uint16_t port, const std::string& query, bool expect_429,
     std::cout << "smoke: scripted 429 delivered (" << resp.body << ")\n";
   }
 
+  if (kill_replica) {
+    // Scripted failover: eject one replica of shard 0 and require the
+    // daemon to keep serving — degraded but answering. Quorum must hold
+    // (R = 3 keeps 2 of 3, the default majority), so acked ingest works
+    // through the ejection; readmit replays the missed tail and /healthz
+    // returns to "ok".
+    resp = client.request("POST", "/replica/eject?shard=0&replica=1");
+    if (resp.status != 200) return fail("replica eject", resp);
+    resp = client.request("GET", "/healthz");
+    if (resp.status != 200 || find_string(resp.body, "status") != "degraded") {
+      return fail("degraded healthz", resp);
+    }
+    resp = client.request("GET", "/search?q=" + encode(query) + "&top=3");
+    if (resp.status != 200) return fail("degraded search", resp);
+    resp = client.request("POST", "/ingest?wait=1",
+                          "failover\t" + query + " during ejection\n");
+    if (resp.status != 202) return fail("degraded ingest", resp);
+    resp = client.request("POST", "/replica/readmit?shard=0&replica=1");
+    if (resp.status != 200) return fail("replica readmit", resp);
+    resp = client.request("GET", "/healthz");
+    if (resp.status != 200 || find_string(resp.body, "status") != "ok") {
+      return fail("recovered healthz", resp);
+    }
+    std::cout << "smoke: replica kill survived — degraded /healthz, live "
+                 "search + acked ingest, clean readmit\n";
+  }
+
   resp = client.request("DELETE", "/session?session=" + token);
   if (resp.status != 200) return fail("session delete", resp);
 
@@ -336,7 +369,8 @@ struct Daemon {
   std::unique_ptr<serve::HttpServer> server;
 };
 
-Daemon start_daemon(bool quick, std::size_t queue_capacity = 256) {
+Daemon start_daemon(bool quick, std::size_t queue_capacity = 256,
+                    std::size_t replicas = 1) {
   Daemon d;
   synth::CorpusSpec spec;
   spec.topics = quick ? 3 : 6;
@@ -349,6 +383,7 @@ Daemon start_daemon(bool quick, std::size_t queue_capacity = 256) {
   core::ShardingOptions sopts;
   sopts.num_shards = 2;
   sopts.index.k = 16;
+  sopts.replicas = replicas;
   sopts.concurrent.queue_capacity = queue_capacity;
   auto built = core::ShardedIndex::try_build(d.corpus.docs, sopts);
   if (!built.ok()) {
@@ -369,7 +404,8 @@ Daemon start_daemon(bool quick, std::size_t queue_capacity = 256) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false, expect_429 = false, do_shutdown = false;
+  bool smoke = false, expect_429 = false, kill_replica = false,
+       do_shutdown = false;
   std::uint16_t port = 0;
   std::size_t connections = 8;
   double seconds = 2.0;
@@ -378,6 +414,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") smoke = true;
     else if (arg == "--expect-429") expect_429 = true;
+    else if (arg == "--kill-replica") kill_replica = true;
     else if (arg == "--shutdown") do_shutdown = true;
     else if (arg == "--port" && i + 1 < argc)
       port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
@@ -403,13 +440,15 @@ int main(int argc, char** argv) {
     // External daemon (--port) or a private in-process one.
     if (port != 0) {
       return run_smoke(port, "information retrieval access", expect_429,
-                       do_shutdown);
+                       kill_replica, do_shutdown);
     }
     // A scripted 429 needs shard queues tiny enough for one bulk POST to
-    // overflow them deterministically.
-    Daemon d = start_daemon(/*quick=*/true, expect_429 ? 2 : 256);
+    // overflow them deterministically; a scripted replica kill needs
+    // replicas to kill.
+    Daemon d = start_daemon(/*quick=*/true, expect_429 ? 2 : 256,
+                            kill_replica ? 3 : 1);
     const int rc = run_smoke(d.server->port(), d.corpus.queries.front().text,
-                             expect_429, do_shutdown);
+                             expect_429, kill_replica, do_shutdown);
     d.server->drain();  // no-op when the scripted /shutdown already drained
     d.index->shutdown();
     return rc;

@@ -95,6 +95,9 @@ int usage() {
          "[--queue N]\n"
          "                [--max-conn N] [--session-ttl SECONDS]\n"
          "                [--ann-cutoff N] [--ann-centroids C]\n"
+         "                [--replicas R] [--read-policy round-robin|"
+         "least-loaded]\n"
+         "                [--query-threads N]\n"
          "                (build a sharded index and run the HTTP/1.1 query "
          "daemon on\n"
          "                loopback until SIGINT/SIGTERM or POST /shutdown; "
@@ -719,6 +722,22 @@ int cmd_serve(const std::vector<std::string>& args) {
     sopts.concurrent.ann.num_centroids =
         static_cast<core::index_t>(std::stoul(v));
   }
+  if (const auto v = flag_value(args, "--replicas"); !v.empty()) {
+    sopts.replicas = std::stoul(v);
+  }
+  if (const auto v = flag_value(args, "--read-policy"); !v.empty()) {
+    if (v == "round-robin") {
+      sopts.read_policy = core::ReadPolicy::kRoundRobin;
+    } else if (v == "least-loaded") {
+      sopts.read_policy = core::ReadPolicy::kLeastLoaded;
+    } else {
+      std::cerr << "--read-policy must be round-robin or least-loaded\n";
+      return 1;
+    }
+  }
+  if (const auto v = flag_value(args, "--query-threads"); !v.empty()) {
+    sopts.query_threads = std::stoul(v);
+  }
 
   serve::ServerOptions opts;
   if (const auto v = flag_value(args, "--port"); !v.empty()) {
@@ -739,7 +758,9 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   core::ShardedIndex& index = *built;
   std::cout << "built " << docs.size() << " docs across " << index.num_shards()
-            << " shards in " << timer.millis() << " ms\n";
+            << " shards (x" << index.replicas_per_shard() << " replicas, "
+            << core::read_policy_name(sopts.read_policy) << " reads) in "
+            << timer.millis() << " ms\n";
 
   serve::HttpServer server(index, opts);
   if (Status s = server.start(); !s.ok()) {

@@ -383,21 +383,4 @@ Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
   return rank(batch, opts, stats);
 }
 
-// Deprecated QueryOptions shims. The pragma silences the self-referential
-// deprecation warnings these definitions would otherwise emit under -Werror.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
-    const QueryBatch& batch, const QueryOptions& opts,
-    QueryStats* stats) const {
-  return rank(batch, SearchOptions::FromQuery(opts), stats);
-}
-
-Expected<std::vector<std::vector<ScoredDoc>>> BatchedRetriever::try_rank(
-    const QueryBatch& batch, const QueryOptions& opts,
-    QueryStats* stats) const {
-  return try_rank(batch, SearchOptions::FromQuery(opts), stats);
-}
-#pragma GCC diagnostic pop
-
 }  // namespace lsi::core

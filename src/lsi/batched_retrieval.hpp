@@ -141,19 +141,6 @@ class BatchedRetriever {
       const QueryBatch& batch, const SearchOptions& opts = {},
       QueryStats* stats = nullptr) const;
 
-  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions; the
-  /// explicit-opts signatures only — no-opts calls resolve to SearchOptions
-  /// above).
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
-                                           const QueryOptions& opts,
-                                           QueryStats* stats = nullptr) const;
-
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  Expected<std::vector<std::vector<ScoredDoc>>> try_rank(
-      const QueryBatch& batch, const QueryOptions& opts,
-      QueryStats* stats = nullptr) const;
-
   /// The attached cluster-pruning structure (null = exact scans only).
   const std::shared_ptr<const AnnIndex>& ann() const noexcept { return ann_; }
 

@@ -6,6 +6,7 @@
 #include "lsi/retrieval.hpp"
 #include "obs/trace.hpp"
 #include "text/parser.hpp"
+#include "util/failpoint.hpp"
 
 namespace lsi::core {
 
@@ -63,23 +64,6 @@ std::vector<ScoredDoc> IndexSnapshot::retrieve(const la::Vector& term_vector,
   auto ranked = BatchedRetriever(space_, ann_).rank(one, opts, stats);
   return std::move(ranked.front());
 }
-
-// Deprecated QueryOptions shims. The pragma silences the self-referential
-// deprecation warnings these definitions would otherwise emit under -Werror.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<QueryResult> IndexSnapshot::query(std::string_view text,
-                                              const QueryOptions& opts,
-                                              QueryStats* stats) const {
-  return query(text, SearchOptions::FromQuery(opts), stats);
-}
-
-std::vector<ScoredDoc> IndexSnapshot::retrieve(const la::Vector& term_vector,
-                                               const QueryOptions& opts,
-                                               QueryStats* stats) const {
-  return retrieve(term_vector, SearchOptions::FromQuery(opts), stats);
-}
-#pragma GCC diagnostic pop
 
 // ---------------------------------------------------------------------------
 // ConcurrentIndexer
@@ -213,21 +197,31 @@ void ConcurrentIndexer::writer_drain() {
 }
 
 void ConcurrentIndexer::ingest_batch(std::vector<text::Document>& batch) {
+  std::size_t unpublished = 0;
   {
     LSI_OBS_SPAN(span, "concurrent.ingest");
     for (text::Document& doc : batch) {
+      (void)LSI_FAILPOINT("concurrent.fold", opts_.failpoint_tag);
       master_.add(doc);  // immediate fold-in (Equation 7)
       ingested_.fetch_add(1, std::memory_order_relaxed);
+      ++unpublished;
       if (opts_.consolidate_every > 0 &&
           master_.pending() >= opts_.consolidate_every) {
         consolidate_now();
+        // Publish right here, not at the batch boundary: the ANN rebuild
+        // (and the consolidated basis) then lands at a doc-count-determined
+        // point, so replicas fed the same document sequence build identical
+        // structures no matter how their batches happened to be chopped.
+        publish();
+        unpublished = 0;
       }
     }
   }
-  publish();
+  if (unpublished > 0) publish();
 }
 
 void ConcurrentIndexer::consolidate_now() {
+  (void)LSI_FAILPOINT("concurrent.consolidate", opts_.failpoint_tag);
   consolidating_.store(true, std::memory_order_release);
   {
     LSI_OBS_SPAN(span, "concurrent.consolidate");
@@ -241,6 +235,7 @@ void ConcurrentIndexer::consolidate_now() {
 }
 
 void ConcurrentIndexer::publish() {
+  (void)LSI_FAILPOINT("concurrent.publish", opts_.failpoint_tag);
   LSI_OBS_SPAN(span, "concurrent.publish");
   // Copy-on-publish: the writer's master space stays private and mutable,
   // readers get an immutable copy whose norm caches are warm by

@@ -77,6 +77,10 @@ struct ConcurrentOptions {
   /// fold-publishes (rows append) — the same maintenance split as the
   /// prewarmed doc-norm caches.
   AnnOptions ann;
+  /// Instance tag this indexer passes to its failpoint sites
+  /// (util/failpoint.hpp) — "s<shard>.r<replica>" under a ReplicaSet, so a
+  /// chaos test wedges exactly one replica. Empty = matches "" filters only.
+  std::string failpoint_tag;
 };
 
 /// The frozen query-side configuration every snapshot shares: vocabulary,
@@ -168,17 +172,6 @@ class IndexSnapshot {
   /// Ranks an already-weighted m-vector against this snapshot.
   std::vector<ScoredDoc> retrieve(const la::Vector& term_vector,
                                   const SearchOptions& opts = {},
-                                  QueryStats* stats = nullptr) const;
-
-  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions).
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<QueryResult> query(std::string_view text,
-                                 const QueryOptions& opts,
-                                 QueryStats* stats = nullptr) const;
-
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<ScoredDoc> retrieve(const la::Vector& term_vector,
-                                  const QueryOptions& opts,
                                   QueryStats* stats = nullptr) const;
 
  private:

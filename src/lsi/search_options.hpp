@@ -9,7 +9,9 @@
 // the HTTP query string through HttpServer -> ShardedIndex -> BatchedRetriever
 // unchanged. SearchOptions is that one struct, validated once (Validate(),
 // mirroring IndexOptions) and threaded end-to-end. The QueryOptions-taking
-// signatures remain for one PR as thin [[deprecated]] shims.
+// member signatures are gone; QueryOptions itself survives only as the
+// exact-path knob subset the SemanticSpace scorers speak (query_options()
+// below bridges down to them internally).
 //
 // Candidate-generation policy (docs/ANN.md):
 //
@@ -112,10 +114,10 @@ struct SearchOptions {
     return Status::Ok();
   }
 
-  /// The exact-path subset as a legacy QueryOptions (shim plumbing and the
-  /// low-level rank_documents/retrieve free functions, which stay on
-  /// QueryOptions by design — they score a bare SemanticSpace, which never
-  /// carries an ANN structure).
+  /// The exact-path subset as a legacy QueryOptions (for the low-level
+  /// rank_documents/retrieve free functions, which stay on QueryOptions by
+  /// design — they score a bare SemanticSpace, which never carries an ANN
+  /// structure).
   QueryOptions query_options() const {
     QueryOptions q;
     q.mode = mode;
@@ -125,9 +127,9 @@ struct SearchOptions {
     return q;
   }
 
-  /// Lifts a legacy QueryOptions (the [[deprecated]] shims call this).
-  /// kAuto, not kExact: a QueryOptions caller never expressed a pruning
-  /// preference, and on structures built before this PR kAuto == exact.
+  /// Lifts a legacy QueryOptions. kAuto, not kExact: a QueryOptions caller
+  /// never expressed a pruning preference, and on snapshots without an ANN
+  /// structure kAuto == exact.
   static SearchOptions FromQuery(const QueryOptions& q) {
     SearchOptions s;
     s.z = q.top_z;

@@ -53,6 +53,51 @@ void fan_out(std::size_t n, const std::function<void(std::size_t)>& task) {
   cv.wait(lock, [&] { return remaining == 0; });
 }
 
+/// Replica-aware scatter fan-out: a shard view whose ReadGate carries a
+/// private executor runs there (that replica's serving capacity, so read
+/// throughput scales with healthy replicas); gateless views share the
+/// scatter pool. Each view's in-flight gauge — the least-loaded read
+/// policy's signal — is held from dispatch until its shard task finishes.
+void fan_out_shards(const std::vector<ShardedSnapshot::ShardView>& shards,
+                    const std::function<void(std::size_t)>& task) {
+  const std::size_t n = shards.size();
+  if (n == 0) return;
+  bool private_pools = false;
+  for (const ShardedSnapshot::ShardView& sv : shards) {
+    if (sv.gate != nullptr && sv.gate->pool != nullptr) {
+      private_pools = true;
+      break;
+    }
+  }
+  if (!private_pools && (n == 1 || scatter_pool().thread_count() <= 1)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ReadGate* gate = shards[i].gate.get();
+      if (gate) gate->in_flight.fetch_add(1, std::memory_order_relaxed);
+      task(i);
+      if (gate) gate->in_flight.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    ReadGate* gate = shards[i].gate.get();
+    util::ThreadPool& pool = (gate != nullptr && gate->pool != nullptr)
+                                 ? *gate->pool
+                                 : scatter_pool();
+    if (gate) gate->in_flight.fetch_add(1, std::memory_order_relaxed);
+    pool.submit([&, i, gate] {
+      task(i);
+      if (gate) gate->in_flight.fetch_sub(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+}
+
 /// Accumulates one shard's per-stage stats into the batch aggregate. Times
 /// sum to CPU-seconds across shards (shards overlap in wall time).
 void accumulate_stats(QueryStats& into, const QueryStats& shard) {
@@ -86,7 +131,20 @@ Status ShardingOptions::Validate() const {
         "k budget " + std::to_string(index.k) + " cannot be split across " +
         std::to_string(num_shards) + " shards (fewer than one factor each)");
   }
+  if (Status s = replica_options().Validate(); !s.ok()) return s;
   return index.Validate();
+}
+
+ReplicaOptions ShardingOptions::replica_options() const {
+  ReplicaOptions ropts;
+  ropts.replicas = replicas;
+  ropts.read_policy = read_policy;
+  ropts.query_threads = query_threads;
+  ropts.write_quorum = write_quorum;
+  ropts.eject_after_refusals = eject_after_refusals;
+  ropts.strike_interval = strike_interval;
+  ropts.concurrent = concurrent;
+  return ropts;
 }
 
 index_t ShardingOptions::shard_k(std::size_t shard) const {
@@ -144,7 +202,7 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
   std::vector<QueryStats> shard_stats(n_shards);
   {
     LSI_OBS_SPAN(span, "sharding.scatter");
-    fan_out(n_shards, [&](std::size_t s) {
+    fan_out_shards(shards_, [&](std::size_t s) {
       // Per-shard deadline check (try_rank_batch only): a scatter task that
       // has not started by expiry abandons the batch instead of scoring it.
       if (expired != nullptr && shard_opts.deadline_expired()) {
@@ -255,43 +313,22 @@ std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
   return out;
 }
 
-// Deprecated QueryOptions shims. The pragma silences the self-referential
-// deprecation warnings these definitions would otherwise emit under -Werror.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
-    const std::vector<std::string>& texts, const QueryOptions& opts,
-    QueryStats* stats) const {
-  return rank_batch(texts, SearchOptions::FromQuery(opts), stats);
-}
-
-std::vector<ScoredDoc> ShardedSnapshot::retrieve(std::string_view text,
-                                                 const QueryOptions& opts,
-                                                 QueryStats* stats) const {
-  return retrieve(text, SearchOptions::FromQuery(opts), stats);
-}
-
-std::vector<QueryResult> ShardedSnapshot::query(std::string_view text,
-                                                const QueryOptions& opts,
-                                                QueryStats* stats) const {
-  return query(text, SearchOptions::FromQuery(opts), stats);
-}
-#pragma GCC diagnostic pop
-
 // ---------------------------------------------------------------------------
 // ShardedIndex
 // ---------------------------------------------------------------------------
 
-/// One shard: a ConcurrentIndexer plus the copy-on-write shard-local →
-/// global id map. `add_mu` orders (id append, queue push) pairs so the map
-/// always lists ids in the shard's fold order; `ids_mu` guards only the map
-/// pointer (snapshot readers copy it without touching add_mu).
+/// One shard: a ReplicaSet (R ConcurrentIndexer replicas behind one ingest
+/// log — a plain single writer at R=1) plus the copy-on-write shard-local →
+/// global id map. `add_mu` orders (id append, feed) pairs so the map always
+/// lists ids in the shard's fold order — the ReplicaSet's log gives every
+/// replica that same order; `ids_mu` guards only the map pointer (snapshot
+/// readers copy it without touching add_mu).
 struct ShardedIndex::Shard {
-  Shard(LsiIndex index, const ConcurrentOptions& copts,
+  Shard(LsiIndex index, const ReplicaOptions& ropts,
         std::vector<index_t> initial_ids)
       : ids(std::make_shared<const std::vector<index_t>>(
             std::move(initial_ids))),
-        indexer(std::move(index), copts) {}
+        replicas(std::move(index), ropts) {}
 
   std::shared_ptr<const std::vector<index_t>> ids_snapshot() const {
     std::lock_guard<std::mutex> lock(ids_mu);
@@ -325,7 +362,7 @@ struct ShardedIndex::Shard {
   mutable std::mutex ids_mu;
   std::shared_ptr<const std::vector<index_t>> ids;
   std::mutex add_mu;
-  ConcurrentIndexer indexer;  ///< declared last: joins before ids dies
+  ReplicaSet replicas;  ///< declared last: joins before ids dies
 };
 
 /// Routing decisions and global id assignment, serialized under one mutex so
@@ -413,9 +450,12 @@ Expected<ShardedIndex> ShardedIndex::try_build(const text::Collection& docs,
   std::vector<std::unique_ptr<Shard>> shards;
   shards.reserve(opts.num_shards);
   for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    ReplicaOptions ropts = opts.replica_options();
+    // Failpoint instance tags are "s<shard>.r<replica>" — chaos tests wedge
+    // one replica of one shard without touching its siblings.
+    ropts.concurrent.failpoint_tag = "s" + std::to_string(s);
     shards.push_back(std::make_unique<Shard>(std::move(built[s]->value()),
-                                             opts.concurrent,
-                                             std::move(shard_ids[s])));
+                                             ropts, std::move(shard_ids[s])));
   }
   ShardedIndex index(opts, std::move(router), std::move(shards));
   obs::gauge("sharding.shards", static_cast<double>(opts.num_shards));
@@ -474,8 +514,8 @@ Status ShardedIndex::add_impl(text::Document doc, bool blocking) {
   // to other shards are unaffected (independent per-shard backpressure).
   std::lock_guard<std::mutex> lock(shard.add_mu);
   auto prev = shard.append_id(gid);
-  Status status = blocking ? shard.indexer.add(std::move(doc))
-                           : shard.indexer.try_add(std::move(doc));
+  Status status = blocking ? shard.replicas.add(std::move(doc))
+                           : shard.replicas.try_add(std::move(doc));
   if (!status.ok()) {
     shard.restore_ids(std::move(prev));
     router_->release_id(gid);
@@ -485,18 +525,18 @@ Status ShardedIndex::add_impl(text::Document doc, bool blocking) {
 }
 
 void ShardedIndex::flush() {
-  for (auto& shard : shards_) shard->indexer.flush();
+  for (auto& shard : shards_) shard->replicas.flush();
 }
 
 Status ShardedIndex::consolidate() {
   for (auto& shard : shards_) {
-    if (Status s = shard->indexer.consolidate(); !s.ok()) return s;
+    if (Status s = shard->replicas.consolidate(); !s.ok()) return s;
   }
   return Status::Ok();
 }
 
 void ShardedIndex::shutdown() {
-  for (auto& shard : shards_) shard->indexer.shutdown();
+  for (auto& shard : shards_) shard->replicas.shutdown();
 }
 
 ShardedSnapshot ShardedIndex::snapshot() const {
@@ -505,9 +545,14 @@ ShardedSnapshot ShardedIndex::snapshot() const {
   for (const auto& shard : shards_) {
     ShardedSnapshot::ShardView view;
     // Order matters: pin the index snapshot FIRST. Ids are appended before
-    // their document is enqueued, so any id map read afterwards covers
-    // every document the pinned snapshot can contain.
-    view.snapshot = shard->indexer.snapshot();
+    // their document is fed, so any id map read afterwards covers every
+    // document the pinned snapshot can contain. pick_reader chooses one
+    // healthy replica per the configured read policy; the whole query (or
+    // session) then sticks to that replica's snapshot.
+    ReplicaSet::ReadRef ref = shard->replicas.pick_reader();
+    view.snapshot = std::move(ref.snapshot);
+    view.replica = ref.replica;
+    view.gate = std::move(ref.gate);
     view.global_ids = shard->ids_snapshot();
     views.push_back(std::move(view));
   }
@@ -533,8 +578,41 @@ std::size_t ShardedIndex::pinned() const noexcept {
 
 std::uint64_t ShardedIndex::ingested() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->indexer.ingested();
+  for (const auto& shard : shards_) total += shard->replicas.ingested();
   return total;
+}
+
+std::size_t ShardedIndex::healthy_replicas(std::size_t shard) const {
+  return shards_[shard]->replicas.healthy_count();
+}
+
+Status ShardedIndex::eject_replica(std::size_t shard, std::size_t replica) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index " + std::to_string(shard) +
+                                   " out of range (shards=" +
+                                   std::to_string(shards_.size()) + ")");
+  }
+  return shards_[shard]->replicas.eject(replica);
+}
+
+Status ShardedIndex::readmit_replica(std::size_t shard, std::size_t replica) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard index " + std::to_string(shard) +
+                                   " out of range (shards=" +
+                                   std::to_string(shards_.size()) + ")");
+  }
+  return shards_[shard]->replicas.readmit(replica);
+}
+
+std::size_t ShardedIndex::check_health() {
+  std::size_t ejected = 0;
+  for (auto& shard : shards_) ejected += shard->replicas.check_health();
+  return ejected;
+}
+
+std::vector<ReplicaSet::ReplicaInfo> ShardedIndex::replica_infos(
+    std::size_t shard) const {
+  return shards_[shard]->replicas.replica_infos();
 }
 
 std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos(
@@ -555,10 +633,19 @@ std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos(
     info.k = snap.space().k();
     info.generation = snap.generation();
     info.unconsolidated = snap.unconsolidated();
-    info.queued = shard.indexer.queued();
-    info.ingested = shard.indexer.ingested();
-    info.publishes = shard.indexer.publishes();
-    info.consolidations = shard.indexer.consolidations();
+    // Counter fields read the replica the view pinned (clamped for
+    // hand-built views), so a /stats row describes the replica actually
+    // serving that view's queries.
+    const std::size_t r =
+        std::min(view.shard(s).replica, shard.replicas.num_replicas() - 1);
+    const ConcurrentIndexer& indexer = shard.replicas.replica(r);
+    info.queued = indexer.queued();
+    info.ingested = indexer.ingested();
+    info.publishes = indexer.publishes();
+    info.consolidations = indexer.consolidations();
+    info.replica = r;
+    info.replicas = shard.replicas.num_replicas();
+    info.healthy = shard.replicas.healthy_count();
     if (const auto& ann = snap.ann()) {
       info.ann_centroids = ann->num_centroids();
       info.ann_generation = ann->build_generation();

@@ -37,6 +37,7 @@
 // quantifies the overlap against the monolithic index).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -46,6 +47,7 @@
 
 #include "lsi/batched_retrieval.hpp"
 #include "lsi/concurrent.hpp"
+#include "lsi/sharding/replica_set.hpp"
 #include "lsi/sharding/router.hpp"
 #include "lsi/status.hpp"
 
@@ -66,13 +68,33 @@ struct ShardingOptions {
   /// with one factor is a degenerate ranking).
   index_t min_shard_k = 2;
   /// Each shard's ConcurrentIndexer configuration: queue capacity bounds
-  /// that shard's ingest backpressure independently of its siblings.
+  /// that shard's ingest backpressure independently of its siblings. With
+  /// replication, every replica of a shard gets this configuration.
   ConcurrentOptions concurrent;
+
+  /// Replicas per shard (R). 1 keeps the PR-5 behavior: one writer per
+  /// shard, no ingest log overhead beyond an empty deque. See
+  /// docs/REPLICATION.md and lsi/sharding/replica_set.hpp.
+  std::size_t replicas = 1;
+  /// How each scatter picks among a shard's healthy replicas.
+  ReadPolicy read_policy = ReadPolicy::kRoundRobin;
+  /// Per-replica read executor threads (0 = all scatter work on the shared
+  /// pool; > 0 models independent per-replica serving capacity).
+  std::size_t query_threads = 0;
+  /// Healthy replicas required per shard to accept a write (0 = majority).
+  std::size_t write_quorum = 0;
+  /// No-progress feed refusals before a wedged replica is ejected.
+  std::size_t eject_after_refusals = 3;
+  /// Minimum spacing between those refusals — the failure detector's
+  /// timeout window (ReplicaOptions::strike_interval).
+  std::chrono::milliseconds strike_interval{50};
 
   /// First violation found, or OK (checked by ShardedIndex::try_build).
   Status Validate() const;
   /// The factor count the budget split assigns to shard `shard`.
   index_t shard_k(std::size_t shard) const;
+  /// The per-shard ReplicaOptions these fields assemble into.
+  ReplicaOptions replica_options() const;
 };
 
 /// A consistent multi-shard read view: one pinned IndexSnapshot (plus the
@@ -88,6 +110,12 @@ class ShardedSnapshot {
     /// May be longer than the snapshot's document count (ids are recorded
     /// at enqueue time, before the writer folds); never shorter.
     std::shared_ptr<const std::vector<index_t>> global_ids;
+    /// Which replica of the shard this view pinned (0 without replication).
+    std::size_t replica = 0;
+    /// The pinned replica's ReadGate: in-flight accounting plus its private
+    /// read executor. Null (hand-built test views, R=1 fast path untouched
+    /// by query_threads) means the shared scatter pool serves this shard.
+    std::shared_ptr<ReadGate> gate;
   };
 
   /// Assembled by ShardedIndex::snapshot (directly constructible for tests
@@ -135,22 +163,6 @@ class ShardedSnapshot {
   /// snapshots; `doc` carries the global document id.
   std::vector<QueryResult> query(std::string_view text,
                                  const SearchOptions& opts = {},
-                                 QueryStats* stats = nullptr) const;
-
-  /// Deprecated QueryOptions shims (one-PR migration to SearchOptions).
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<std::vector<ScoredDoc>> rank_batch(
-      const std::vector<std::string>& texts, const QueryOptions& opts,
-      QueryStats* stats = nullptr) const;
-
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<ScoredDoc> retrieve(std::string_view text,
-                                  const QueryOptions& opts,
-                                  QueryStats* stats = nullptr) const;
-
-  [[deprecated("pass a SearchOptions (lsi/search_options.hpp)")]]
-  std::vector<QueryResult> query(std::string_view text,
-                                 const QueryOptions& opts,
                                  QueryStats* stats = nullptr) const;
 
  private:
@@ -235,8 +247,25 @@ class ShardedIndex {
 
   std::size_t num_shards() const noexcept { return shards_.size(); }
   const ShardingOptions& options() const noexcept { return opts_; }
-  /// Documents folded across all shards so far.
+  /// Documents folded across all shards so far (per shard, the most
+  /// caught-up replica's count).
   std::uint64_t ingested() const;
+
+  // -- Replica administration (no-ops degenerate gracefully at R=1; see
+  //    docs/REPLICATION.md for the eject/replay protocol) -----------------
+
+  /// Replicas configured per shard.
+  std::size_t replicas_per_shard() const noexcept { return opts_.replicas; }
+  /// Healthy replicas of `shard` right now.
+  std::size_t healthy_replicas(std::size_t shard) const;
+  /// Removes one replica of `shard` from its feed (explicit kill/wedge).
+  Status eject_replica(std::size_t shard, std::size_t replica);
+  /// Replays the shard's ingest log into an ejected replica and rejoins it.
+  Status readmit_replica(std::size_t shard, std::size_t replica);
+  /// Runs every shard's replica health check; returns total ejections.
+  std::size_t check_health();
+  /// Per-replica rows for one shard (the /stats "replicas" arrays).
+  std::vector<ReplicaSet::ReplicaInfo> replica_infos(std::size_t shard) const;
 
   /// Point-in-time per-shard statistics (the CLI's shard-stats table and the
   /// serving layer's /stats endpoint).
@@ -255,6 +284,11 @@ class ShardedIndex {
     index_t ann_centroids = 0;          ///< 0 = no structure attached
     std::uint64_t ann_generation = 0;   ///< publish generation it was built at
     bool ann_exact_fallback = true;     ///< queries sweep exactly (no AnnIndex)
+    /// Replication state: which replica the view pinned, and how the
+    /// shard's replica set looks right now.
+    std::size_t replica = 0;            ///< replica serving the pinned view
+    std::size_t replicas = 1;           ///< configured replicas (R)
+    std::size_t healthy = 1;            ///< currently healthy replicas
   };
 
   /// Statistics computed against one consistent read view: every

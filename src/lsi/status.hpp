@@ -30,6 +30,8 @@ enum class StatusCode {
                         ///< retry later or apply backpressure upstream
   kDeadlineExceeded,    ///< a per-request deadline expired before the work
                         ///< completed (see SearchOptions::deadline)
+  kUnavailable,         ///< the service cannot take the operation right now
+                        ///< (replica quorum lost); retry after recovery
   kInternal,            ///< invariant violation inside the library
 };
 
@@ -61,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status Unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
   }
   static Status Internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};
@@ -96,6 +101,7 @@ inline std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kDataLoss: return "data-loss";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
     case StatusCode::kDeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -508,9 +508,15 @@ HttpResponse HttpServer::dispatch(const HttpRequest& request) {
   }
   if (path == "/healthz") {
     if (method != "GET") return method_not_allowed("GET");
-    HttpResponse resp;
-    resp.body = "{\"status\":\"ok\"}";
-    return resp;
+    return handle_healthz();
+  }
+  if (path == "/replica/eject") {
+    if (method != "POST") return method_not_allowed("POST");
+    return handle_replica_admin(request, /*eject=*/true);
+  }
+  if (path == "/replica/readmit") {
+    if (method != "POST") return method_not_allowed("POST");
+    return handle_replica_admin(request, /*eject=*/false);
   }
   if (path == "/shutdown") {
     if (method != "POST") return method_not_allowed("POST");
@@ -679,6 +685,20 @@ HttpResponse HttpServer::handle_ingest(const HttpRequest& request) {
       if (session) session->writes += accepted;
       return resp;
     }
+    if (status.code() == StatusCode::kUnavailable) {
+      // The routed shard cannot reach its replica write quorum: the ack is
+      // keyed on quorum, so the document is NOT accepted — 503 and the
+      // client retries once replicas are readmitted.
+      counters_.quorum_503.fetch_add(1, std::memory_order_relaxed);
+      obs::count("serve.quorum_503");
+      HttpResponse resp = error_response(503, status.message());
+      resp.body = "{\"error\":\"" + json_escape(status.message()) +
+                  "\",\"accepted\":" + std::to_string(accepted) +
+                  ",\"rejected_line\":" + std::to_string(line_no) + "}";
+      counters_.docs_ingested.fetch_add(accepted, std::memory_order_relaxed);
+      if (session) session->writes += accepted;
+      return resp;
+    }
     // kFailedPrecondition: the index is shut down underneath the daemon.
     return error_response(503, status.message());
   }
@@ -753,6 +773,75 @@ HttpResponse HttpServer::handle_session_delete(const HttpRequest& request) {
   return resp;
 }
 
+HttpResponse HttpServer::handle_healthz() {
+  // Replication-aware health: the daemon serves as long as every shard has
+  // at least one healthy replica. Losing some (but not all) replicas of a
+  // shard is "degraded" — still 200, because reads and quorum writes still
+  // work where quorum holds; an operator alerts on the field, a load
+  // balancer does not pull the node. A shard at zero healthy replicas is
+  // 503: reads fall back to stale snapshots and writes cannot ack.
+  const std::size_t shards = index_.num_shards();
+  const std::size_t replicas = index_.replicas_per_shard();
+  std::size_t degraded_shards = 0;
+  std::size_t dead_shards = 0;
+  std::string per_shard = "[";
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t healthy = index_.healthy_replicas(s);
+    if (healthy == 0) {
+      ++dead_shards;
+    } else if (healthy < replicas) {
+      ++degraded_shards;
+    }
+    if (s) per_shard += ',';
+    per_shard += std::to_string(healthy);
+  }
+  per_shard += ']';
+
+  const char* status = dead_shards > 0      ? "unavailable"
+                       : degraded_shards > 0 ? "degraded"
+                                             : "ok";
+  HttpResponse resp;
+  if (dead_shards > 0) {
+    resp.status = 503;
+    resp.set_header("Retry-After", std::to_string(opts_.retry_after_seconds));
+  }
+  resp.body = "{\"status\":\"";
+  resp.body += status;
+  resp.body += "\",\"replicas_per_shard\":";
+  resp.body += std::to_string(replicas);
+  resp.body += ",\"healthy_replicas\":";
+  resp.body += per_shard;
+  resp.body += '}';
+  return resp;
+}
+
+HttpResponse HttpServer::handle_replica_admin(const HttpRequest& request,
+                                              bool eject) {
+  LSI_OBS_SPAN(span, eject ? "serve.replica_eject" : "serve.replica_readmit");
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t shard = parse_size(request.param("shard"), npos);
+  const std::size_t replica = parse_size(request.param("replica"), npos);
+  if (shard == npos || replica == npos) {
+    return error_response(400, "shard and replica parameters are required");
+  }
+  // readmit replays the shard's ingest log on this (loop) thread before
+  // answering: the 200 means the replica is caught up and back in the feed,
+  // which is exactly what the scripted failover steps want to assert.
+  const Status status = eject ? index_.eject_replica(shard, replica)
+                              : index_.readmit_replica(shard, replica);
+  if (!status.ok()) {
+    const int http =
+        status.code() == StatusCode::kInvalidArgument ? 400 : 409;
+    return error_response(http, status.message());
+  }
+  HttpResponse resp;
+  resp.body = "{\"shard\":" + std::to_string(shard) +
+              ",\"replica\":" + std::to_string(replica) + ",\"state\":\"" +
+              (eject ? "ejected" : "healthy") + "\",\"healthy\":" +
+              std::to_string(index_.healthy_replicas(shard)) + "}";
+  return resp;
+}
+
 HttpResponse HttpServer::handle_stats(const HttpRequest&) {
   LSI_OBS_SPAN(span, "serve.stats");
   const Stats s = stats();
@@ -780,6 +869,8 @@ HttpResponse HttpServer::handle_stats(const HttpRequest&) {
   body += std::to_string(s.responses_5xx);
   body += "},\"backpressure_429\":";
   body += std::to_string(s.backpressure_429);
+  body += ",\"quorum_503\":";
+  body += std::to_string(s.quorum_503);
   body += ",\"parse_errors\":";
   body += std::to_string(s.parse_errors);
   body += ",\"sessions\":{\"open\":";
@@ -827,7 +918,38 @@ HttpResponse HttpServer::handle_stats(const HttpRequest&) {
     body += std::to_string(infos[i].ann_generation);
     body += ",\"exact_fallback\":";
     body += infos[i].ann_exact_fallback ? "true" : "false";
-    body += "}}";
+    // Per-replica rows: `pinned_replica` is the replica serving THIS pinned
+    // view (its generation equals the row's "generation" above); sibling
+    // generations may legitimately skew while consolidations land.
+    body += "},\"pinned_replica\":";
+    body += std::to_string(infos[i].replica);
+    body += ",\"healthy_replicas\":";
+    body += std::to_string(infos[i].healthy);
+    body += ",\"replicas\":[";
+    const auto rows = index_.replica_infos(i);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r) body += ',';
+      body += "{\"replica\":";
+      body += std::to_string(rows[r].replica);
+      body += ",\"state\":\"";
+      body += core::replica_state_name(rows[r].state);
+      body += "\",\"fed\":";
+      body += std::to_string(rows[r].fed);
+      body += ",\"queued\":";
+      body += std::to_string(rows[r].queued);
+      body += ",\"in_flight\":";
+      body += std::to_string(rows[r].in_flight);
+      body += ",\"generation\":";
+      body += std::to_string(rows[r].generation);
+      body += ",\"ingested\":";
+      body += std::to_string(rows[r].ingested);
+      body += ",\"publishes\":";
+      body += std::to_string(rows[r].publishes);
+      body += ",\"consolidations\":";
+      body += std::to_string(rows[r].consolidations);
+      body += '}';
+    }
+    body += "]}";
   }
   body += "]}";
 
@@ -850,6 +972,7 @@ HttpServer::Stats HttpServer::stats() const {
   s.backpressure_429 =
       counters_.backpressure_429.load(std::memory_order_relaxed);
   s.draining_503 = counters_.draining_503.load(std::memory_order_relaxed);
+  s.quorum_503 = counters_.quorum_503.load(std::memory_order_relaxed);
   s.parse_errors = counters_.parse_errors.load(std::memory_order_relaxed);
   s.sessions_created =
       counters_.sessions_created.load(std::memory_order_relaxed);

@@ -16,16 +16,29 @@
 //          precise message and an expired deadline_ms answers 504
 //   POST   /ingest[?session=T][&wait=1]      body: "label\ttext" per line
 //   POST   /consolidate
-//   GET    /stats                            (chunked transfer coding)
+//   GET    /stats                            (chunked transfer coding;
+//                                            per-replica rows per shard)
 //   POST   /session          DELETE /session?session=T
 //   GET    /healthz          POST   /shutdown
+//   POST   /replica/eject?shard=S&replica=R
+//   POST   /replica/readmit?shard=S&replica=R
+//
+// /healthz reports replication state (docs/REPLICATION.md): "ok" with every
+// replica healthy, "degraded" (still 200 — the cluster serves, reads just
+// lost headroom) when replicas are ejected but every shard keeps at least
+// one, and 503 "unavailable" when some shard has zero healthy replicas
+// (reads fall back to stale snapshots, writes cannot reach quorum).
+// /replica/eject and /replica/readmit drive the failover protocol
+// explicitly — the serve-smoke kill-one-replica step and the chaos tests
+// use them; readmit replays the shard's ingest log before answering.
 //
 // Admission control maps the library's backpressure onto HTTP:
 //
 //   429 + Retry-After   a shard's bounded ingest queue refused a document
 //                       (kResourceExhausted from try_add)
 //   503 + Retry-After   connection/session tables full, server draining,
-//                       or the index is shut down (kFailedPrecondition)
+//                       the index is shut down (kFailedPrecondition), or a
+//                       shard lost its replica write quorum (kUnavailable)
 //
 // Graceful drain (request_drain / POST /shutdown): stop accepting, answer
 // everything already buffered, flush outputs, then close; sessions are
@@ -107,6 +120,7 @@ class HttpServer {
     std::uint64_t responses_5xx = 0;
     std::uint64_t backpressure_429 = 0;
     std::uint64_t draining_503 = 0;
+    std::uint64_t quorum_503 = 0;
     std::uint64_t parse_errors = 0;
     std::uint64_t sessions_created = 0;
     std::uint64_t sessions_expired = 0;
@@ -135,6 +149,8 @@ class HttpServer {
   HttpResponse handle_stats(const HttpRequest& request);
   HttpResponse handle_session_create(const HttpRequest& request);
   HttpResponse handle_session_delete(const HttpRequest& request);
+  HttpResponse handle_healthz();
+  HttpResponse handle_replica_admin(const HttpRequest& request, bool eject);
   HttpResponse error_response(int status, std::string_view message);
   void count_response(int status);
 
@@ -161,6 +177,7 @@ class HttpServer {
     std::atomic<std::uint64_t> responses_5xx{0};
     std::atomic<std::uint64_t> backpressure_429{0};
     std::atomic<std::uint64_t> draining_503{0};
+    std::atomic<std::uint64_t> quorum_503{0};
     std::atomic<std::uint64_t> parse_errors{0};
     std::atomic<std::uint64_t> sessions_created{0};
     std::atomic<std::uint64_t> sessions_expired{0};

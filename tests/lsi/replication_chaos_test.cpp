@@ -1,0 +1,420 @@
+// Failpoint-driven failover chaos tests (label "stress-replication", run
+// under ThreadSanitizer in CI). Every fault is injected deterministically
+// through util/failpoint.hpp — a wedged replica is a writer parked at the
+// "concurrent.fold" site, observed via wait_for_blocked, never a sleep race
+// — and every recovery is proven by byte-comparing the recovered replica's
+// rankings against an unfaulted reference fed the identical sequence.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsi/sharding/replica_set.hpp"
+#include "synth/corpus.hpp"
+#include "util/failpoint.hpp"
+
+namespace {
+
+using namespace lsi;
+using util::Failpoints;
+using Action = util::Failpoints::Action;
+using namespace std::chrono_literals;
+
+synth::SyntheticCorpus small_corpus(std::uint64_t seed) {
+  synth::CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 15;
+  spec.queries_per_topic = 2;
+  spec.seed = seed;
+  return synth::generate_corpus(spec);
+}
+
+core::LsiIndex base_index(const synth::SyntheticCorpus& corpus,
+                          std::size_t train) {
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+  core::IndexOptions opts;
+  opts.k = 12;
+  return core::LsiIndex::try_build(head, opts).value();
+}
+
+/// Small queue so a wedged replica hits capacity after a handful of docs;
+/// everything ranking-relevant (consolidation cadence, ANN cutoff) is a
+/// function of the document sequence only, so a faulted set and an unfaulted
+/// reference built with the same options stay byte-comparable.
+core::ReplicaOptions chaos_opts(std::size_t replicas) {
+  core::ReplicaOptions opts;
+  opts.replicas = replicas;
+  opts.concurrent.queue_capacity = 4;
+  opts.concurrent.consolidate_every = 8;
+  opts.concurrent.max_batch = 4;
+  opts.concurrent.ann.exact_cutoff = 16;
+  // A wedged writer is frozen for ever, so a wide strike window costs the
+  // ejection path half a second and nothing else — while making it
+  // impossible for a healthy writer the sanitizer's serialized scheduler
+  // hasn't run yet to collect strikes and get ejected as a false positive.
+  opts.strike_interval = std::chrono::milliseconds(250);
+  return opts;
+}
+
+/// Bounded wait for a replica's fold counter. Only used on writers that are
+/// NOT wedged, so termination is guaranteed — this observes progress, it
+/// does not substitute a sleep for synchronization.
+[[nodiscard]] bool wait_for_ingested(const core::ReplicaSet& set,
+                                     std::size_t r, std::uint64_t count) {
+  const auto deadline = std::chrono::steady_clock::now() + 30s;
+  while (set.replica(r).ingested() < count) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+/// Declared AFTER the ReplicaSet under test (and any reader threads), so it
+/// runs BEFORE their destructors on every exit path: an early ASSERT return
+/// must release parked writers or the set's destructor blocks joining them.
+/// The fixture's TearDown also disarms, but locals are already gone by then.
+struct DisarmOnExit {
+  ~DisarmOnExit() { Failpoints::instance().disarm_all(); }
+};
+
+void expect_identical(const std::vector<core::QueryResult>& a,
+                      const std::vector<core::QueryResult>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << what << " rank " << i;
+    EXPECT_EQ(a[i].cosine, b[i].cosine) << what << " rank " << i;
+  }
+}
+
+/// Failpoints are process-global: always leave the registry clean, even on
+/// early ASSERT exits, or a wedged writer blocks the ReplicaSet destructor.
+class ReplicationChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::instance().disarm_all(); }
+  void TearDown() override { Failpoints::instance().disarm_all(); }
+};
+
+TEST_F(ReplicationChaosTest, WedgedReplicaIsStruckOutAndReplayConverges) {
+  auto corpus = small_corpus(21);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 30), chaos_opts(3));
+  DisarmOnExit disarm_guard;
+
+  // Wedge replica 1 only: its writer parks at the fold site; r0/r2 match
+  // neither the tag filter nor, therefore, the fault.
+  fp.arm("concurrent.fold", Action::kBlock, "r1");
+  ASSERT_TRUE(set.add(corpus.docs[30]).ok());
+  ASSERT_TRUE(fp.wait_for_blocked("concurrent.fold", 1, 10s));
+  EXPECT_EQ(set.replica(1).ingested(), 0u);  // parked before the fold
+
+  // Fill the wedged replica's queue to capacity (4). These are accepted by
+  // every replica — the fan-out probe still finds room everywhere.
+  for (std::size_t d = 31; d < 35; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  ASSERT_EQ(set.healthy_count(), 3u);
+
+  // The next add finds r1 full with a frozen fold counter while its
+  // siblings have room: three strikes inside the blocking add() (spaced by
+  // the strike window), ejection, then the add itself succeeds against the
+  // survivors. The outcome needs no sleeps to be deterministic — the strike
+  // evidence (full + frozen) is pinned by the parked writer, so any window
+  // width observes it.
+  ASSERT_TRUE(set.add(corpus.docs[35]).ok());
+  EXPECT_EQ(set.state(1), core::ReplicaState::kEjected);
+  EXPECT_EQ(set.healthy_count(), 2u);
+  EXPECT_EQ(fp.hits("concurrent.fold"), 1u);  // only the parked hit matched
+
+  // Life goes on for the surviving pair: more docs, a consolidation marker
+  // the ejected replica must replay at the same log position, more docs.
+  for (std::size_t d = 36; d < 42; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  ASSERT_TRUE(set.consolidate().ok());
+  for (std::size_t d = 42; d < 50; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+
+  // Un-wedge and recover. The released writer first drains the 5 entries
+  // accepted before ejection (fed cursor = 5), then replay supplies the
+  // rest; FIFO queue order keeps the fold sequence exact.
+  fp.disarm("concurrent.fold");
+  ASSERT_TRUE(set.readmit(1).ok());
+  EXPECT_EQ(set.state(1), core::ReplicaState::kHealthy);
+  set.flush();
+
+  // The recovered replica is byte-identical to an unfaulted reference fed
+  // the identical document sequence with the identical options.
+  core::ReplicaSet reference(base_index(corpus, 30), chaos_opts(1));
+  for (std::size_t d = 30; d < 36; ++d) {
+    ASSERT_TRUE(reference.add(corpus.docs[d]).ok());
+  }
+  for (std::size_t d = 36; d < 42; ++d) {
+    ASSERT_TRUE(reference.add(corpus.docs[d]).ok());
+  }
+  ASSERT_TRUE(reference.consolidate().ok());
+  for (std::size_t d = 42; d < 50; ++d) {
+    ASSERT_TRUE(reference.add(corpus.docs[d]).ok());
+  }
+  reference.flush();
+
+  core::SearchOptions exact;
+  exact.search = core::SearchMode::kExact;
+  core::SearchOptions pruned;
+  pruned.search = core::SearchMode::kPruned;
+  pruned.nprobe = 3;
+  auto ref_snap = reference.pick_reader().snapshot;
+  ASSERT_EQ(ref_snap->space().num_docs(), 50u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    auto snap = set.replica(r).snapshot();
+    ASSERT_EQ(snap->space().num_docs(), 50u) << "replica " << r;
+    for (const auto& q : corpus.queries) {
+      expect_identical(ref_snap->query(q.text, exact),
+                       snap->query(q.text, exact),
+                       "exact vs unfaulted, replica " + std::to_string(r));
+      expect_identical(ref_snap->query(q.text, pruned),
+                       snap->query(q.text, pruned),
+                       "pruned vs unfaulted, replica " + std::to_string(r));
+    }
+  }
+  set.shutdown();
+  reference.shutdown();
+}
+
+TEST_F(ReplicationChaosTest, HealthCheckEjectsFrozenFullReplica) {
+  auto corpus = small_corpus(22);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 30), chaos_opts(3));
+  DisarmOnExit disarm_guard;
+
+  fp.arm("concurrent.fold", Action::kBlock, "r1");
+  ASSERT_TRUE(set.add(corpus.docs[30]).ok());
+  ASSERT_TRUE(fp.wait_for_blocked("concurrent.fold", 1, 10s));
+  for (std::size_t d = 31; d < 35; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  // Quiesce the healthy siblings first: the probes below must be about r1's
+  // frozen queue, not about r0/r2 still being mid-drain on a slow host —
+  // a replica with a non-full queue is never a health suspect.
+  ASSERT_TRUE(wait_for_ingested(set, 0, 5));
+  ASSERT_TRUE(wait_for_ingested(set, 2, 5));
+
+  // r1's queue sits at capacity with a frozen fold counter. One observation
+  // is "maybe just busy"; the second consecutive one is a wedge.
+  EXPECT_EQ(set.check_health(), 0u);
+  EXPECT_EQ(set.check_health(), 1u);
+  EXPECT_EQ(set.state(1), core::ReplicaState::kEjected);
+  EXPECT_EQ(set.healthy_count(), 2u);
+
+  fp.disarm("concurrent.fold");
+  ASSERT_TRUE(set.readmit(1).ok());
+  set.flush();
+  EXPECT_EQ(set.replica(1).ingested(), 5u);
+  set.shutdown();
+}
+
+TEST_F(ReplicationChaosTest, HealthProbeFailpointModelsProbeTimeout) {
+  auto corpus = small_corpus(23);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 40), chaos_opts(3));
+
+  fp.arm("replica.health_probe", Action::kFail, "r2", 1);
+  EXPECT_EQ(set.check_health(), 1u);
+  EXPECT_EQ(set.state(2), core::ReplicaState::kEjected);
+  // The budget auto-disarmed the probe fault: the next sweep is clean and a
+  // readmitted replica stays healthy.
+  ASSERT_TRUE(set.readmit(2).ok());
+  EXPECT_EQ(set.check_health(), 0u);
+  EXPECT_EQ(set.healthy_count(), 3u);
+  set.shutdown();
+}
+
+TEST_F(ReplicationChaosTest, UniformBackpressureEjectsNobody) {
+  auto corpus = small_corpus(24);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 30), chaos_opts(2));
+  DisarmOnExit disarm_guard;
+
+  // Wedge EVERY replica ("" filter) and fill every queue.
+  fp.arm("concurrent.fold", Action::kBlock);
+  ASSERT_TRUE(set.add(corpus.docs[30]).ok());
+  ASSERT_TRUE(fp.wait_for_blocked("concurrent.fold", 2, 10s));
+  for (std::size_t d = 31; d < 35; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+
+  // Saturation is load, not a fault: the write is refused, nobody ejected.
+  EXPECT_EQ(set.try_add(corpus.docs[35]).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(set.try_add(corpus.docs[35]).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(set.healthy_count(), 2u);
+
+  // Reads stay available throughout (stale, from the base generation).
+  auto ref = set.pick_reader();
+  ASSERT_NE(ref.snapshot, nullptr);
+  EXPECT_EQ(ref.snapshot->space().num_docs(), 30u);
+
+  fp.disarm("concurrent.fold");
+  set.flush();
+  EXPECT_EQ(set.replica(0).ingested(), 5u);
+  EXPECT_EQ(set.replica(1).ingested(), 5u);
+  ASSERT_TRUE(set.try_add(corpus.docs[35]).ok());
+  set.flush();
+  set.shutdown();
+}
+
+TEST_F(ReplicationChaosTest, PublishWedgeDelaysVisibilityOnly) {
+  auto corpus = small_corpus(25);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 40), chaos_opts(2));
+  DisarmOnExit disarm_guard;
+
+  fp.arm("concurrent.publish", Action::kBlock, "r0");
+  ASSERT_TRUE(set.add(corpus.docs[40]).ok());
+  ASSERT_TRUE(fp.wait_for_blocked("concurrent.publish", 1, 10s));
+  // r0 folded the doc but its publish is parked: readers still see the base
+  // generation there, while r1 has moved on.
+  EXPECT_EQ(set.replica(0).ingested(), 1u);
+  EXPECT_EQ(set.replica(0).snapshot()->generation(), 1u);
+  set.replica(1).snapshot();  // r1 unaffected
+  fp.disarm("concurrent.publish");
+  set.flush();
+  EXPECT_GE(set.replica(0).snapshot()->generation(), 2u);
+  EXPECT_EQ(set.replica(0).snapshot()->space().num_docs(), 41u);
+  set.shutdown();
+}
+
+TEST_F(ReplicationChaosTest, MidReplayReadsSkipTheReplayingReplica) {
+  auto corpus = small_corpus(26);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 30), chaos_opts(3));
+  for (std::size_t d = 30; d < 35; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+  ASSERT_TRUE(set.eject(1).ok());
+  for (std::size_t d = 35; d < 40; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+
+  // Freeze the replay mid-flight and observe the intermediate state.
+  fp.arm("replica.replay", Action::kBlock, "r1");
+  std::thread readmitter([&] { EXPECT_TRUE(set.readmit(1).ok()); });
+  // On every exit path: release the parked replay, then the readmitter can
+  // finish and be joined (before the set's destructor, which it touches).
+  struct JoinOnExit {
+    std::thread& t;
+    ~JoinOnExit() {
+      Failpoints::instance().disarm_all();
+      if (t.joinable()) t.join();
+    }
+  } join_guard{readmitter};
+  ASSERT_TRUE(fp.wait_for_blocked("replica.replay", 1, 10s));
+  EXPECT_EQ(set.state(1), core::ReplicaState::kReplaying);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(set.pick_reader().replica, 1u);  // healthy siblings preferred
+  }
+  // Writes continue during the replay (still at quorum with 2 healthy).
+  ASSERT_TRUE(set.add(corpus.docs[40]).ok());
+
+  fp.disarm("replica.replay");
+  readmitter.join();
+  EXPECT_EQ(set.state(1), core::ReplicaState::kHealthy);
+  set.flush();
+  // The replay chased the log past the concurrent write too.
+  EXPECT_EQ(set.replica(1).ingested(), 11u);
+  set.shutdown();
+}
+
+// The TSan target: queries hammer pick_reader() while a replica is wedged,
+// struck out, released and replayed. Byte-parity at the end proves the
+// recovery; the sanitizer proves the path is race-free.
+TEST_F(ReplicationChaosTest, QueriesRunCleanAcrossWedgeEjectReplay) {
+  auto corpus = small_corpus(27);
+  auto& fp = Failpoints::instance();
+  core::ReplicaSet set(base_index(corpus, 30), chaos_opts(3));
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  // On every exit path — including an early ASSERT return — release any
+  // parked writer, stop the readers, and join them before `readers` and
+  // `set` are destroyed (an unjoined std::thread terminates the process).
+  struct StopAndJoin {
+    std::atomic<bool>& stop;
+    std::vector<std::thread>& readers;
+    ~StopAndJoin() {
+      Failpoints::instance().disarm_all();
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& t : readers) {
+        if (t.joinable()) t.join();
+      }
+    }
+  } join_guard{stop, readers};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      core::SearchOptions opts;
+      opts.z = 10;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto ref = set.pick_reader();
+        ASSERT_NE(ref.snapshot, nullptr);
+        ref.gate->in_flight.fetch_add(1, std::memory_order_relaxed);
+        auto results = ref.snapshot->query(
+            corpus.queries[static_cast<std::size_t>(t) %
+                           corpus.queries.size()]
+                .text,
+            opts);
+        EXPECT_FALSE(results.empty());
+        ref.gate->in_flight.fetch_sub(1, std::memory_order_relaxed);
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  fp.arm("concurrent.fold", Action::kBlock, "r2");
+  ASSERT_TRUE(set.add(corpus.docs[30]).ok());
+  ASSERT_TRUE(fp.wait_for_blocked("concurrent.fold", 1, 10s));
+  for (std::size_t d = 31; d < 35; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  // Strike-out happens inside this blocking add (full + frozen + siblings
+  // progressing), after which the write lands on the survivors.
+  ASSERT_TRUE(set.add(corpus.docs[35]).ok());
+  ASSERT_EQ(set.state(2), core::ReplicaState::kEjected);
+  for (std::size_t d = 36; d < 45; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+
+  fp.disarm("concurrent.fold");
+  ASSERT_TRUE(set.readmit(2).ok());
+  set.flush();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  EXPECT_GT(queries.load(), 0u);
+
+  // Convergence: the recovered replica agrees with its never-faulted peer.
+  core::SearchOptions exact;
+  exact.search = core::SearchMode::kExact;
+  auto snap0 = set.replica(0).snapshot();
+  auto snap2 = set.replica(2).snapshot();
+  EXPECT_EQ(snap2->space().num_docs(), 45u);
+  for (const auto& q : corpus.queries) {
+    expect_identical(snap0->query(q.text, exact), snap2->query(q.text, exact),
+                     "post-chaos parity");
+  }
+  set.shutdown();
+}
+
+}  // namespace

@@ -1,0 +1,366 @@
+// ReplicaSet functional tests (label "unit-replication"): read parity across
+// replicas after quiesce (exact AND pruned paths, R in {1,2,3}), reader
+// policies, the eject -> replay -> rejoin protocol, write quorum, the
+// consolidation marker, log trimming, and options validation. Fault-driven
+// scenarios (wedged writers, strike ejection) live in
+// replication_chaos_test.cpp under the "stress-replication" label.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lsi/sharding/replica_set.hpp"
+#include "synth/corpus.hpp"
+
+namespace {
+
+using namespace lsi;
+
+synth::SyntheticCorpus small_corpus(std::uint64_t seed) {
+  synth::CorpusSpec spec;
+  spec.topics = 4;
+  spec.concepts_per_topic = 8;
+  spec.docs_per_topic = 15;
+  spec.queries_per_topic = 2;
+  spec.seed = seed;
+  return synth::generate_corpus(spec);
+}
+
+core::LsiIndex base_index(const synth::SyntheticCorpus& corpus,
+                          std::size_t train) {
+  text::Collection head(corpus.docs.begin(), corpus.docs.begin() + train);
+  core::IndexOptions opts;
+  opts.k = 12;
+  return core::LsiIndex::try_build(head, opts).value();
+}
+
+core::ReplicaOptions replica_opts(std::size_t replicas) {
+  core::ReplicaOptions opts;
+  opts.replicas = replicas;
+  // Small thresholds so short tests cross consolidation and ANN-build
+  // boundaries; what matters for parity is that every replica crosses them
+  // at the same point of the document sequence.
+  opts.concurrent.consolidate_every = 8;
+  opts.concurrent.max_batch = 4;
+  opts.concurrent.ann.exact_cutoff = 16;
+  return opts;
+}
+
+/// Byte-compare two result lists (labels, doc ids, exact cosine bits).
+void expect_identical(const std::vector<core::QueryResult>& a,
+                      const std::vector<core::QueryResult>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].doc, b[i].doc) << what << " rank " << i;
+    EXPECT_EQ(a[i].label, b[i].label) << what << " rank " << i;
+    EXPECT_EQ(a[i].cosine, b[i].cosine) << what << " rank " << i;
+  }
+}
+
+TEST(Replication, SingleReplicaDegeneratesToConcurrentIndexer) {
+  auto corpus = small_corpus(1);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(1));
+  EXPECT_EQ(set.num_replicas(), 1u);
+  EXPECT_EQ(set.healthy_count(), 1u);
+  EXPECT_EQ(set.options().quorum(), 1u);
+
+  for (std::size_t d = 40; d < 50; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+  EXPECT_EQ(set.ingested(), 10u);
+
+  auto ref = set.pick_reader();
+  ASSERT_NE(ref.snapshot, nullptr);
+  EXPECT_EQ(ref.replica, 0u);
+  EXPECT_EQ(ref.snapshot->space().num_docs(), 50u);
+  EXPECT_FALSE(ref.snapshot->query(corpus.queries[0].text).empty());
+  set.shutdown();
+}
+
+TEST(Replication, QuiescedReplicasAnswerByteIdentically) {
+  auto corpus = small_corpus(2);
+  for (std::size_t replicas : {1u, 2u, 3u}) {
+    core::ReplicaSet set(base_index(corpus, 30), replica_opts(replicas));
+    for (std::size_t d = 30; d < 60; ++d) {
+      ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+    }
+    set.flush();  // quiesce: every replica has folded + published everything
+
+    core::SearchOptions exact;
+    exact.search = core::SearchMode::kExact;
+    core::SearchOptions pruned;
+    pruned.search = core::SearchMode::kPruned;
+    pruned.nprobe = 3;
+
+    for (std::size_t r = 0; r < replicas; ++r) {
+      auto snap = set.replica(r).snapshot();
+      ASSERT_NE(snap, nullptr) << "replica " << r;
+      EXPECT_EQ(snap->space().num_docs(), 60u) << "replica " << r;
+      // The ANN structure exists on every replica (60 docs > cutoff 16) and
+      // was built at the same point of the shared document sequence.
+      EXPECT_NE(snap->ann(), nullptr) << "replica " << r;
+      if (r == 0) continue;
+      auto snap0 = set.replica(0).snapshot();
+      for (const auto& q : corpus.queries) {
+        expect_identical(snap0->query(q.text, exact),
+                         snap->query(q.text, exact),
+                         "exact R=" + std::to_string(replicas) + " r=" +
+                             std::to_string(r));
+        expect_identical(snap0->query(q.text, pruned),
+                         snap->query(q.text, pruned),
+                         "pruned R=" + std::to_string(replicas) + " r=" +
+                             std::to_string(r));
+      }
+    }
+    set.shutdown();
+  }
+}
+
+TEST(Replication, RoundRobinRotatesThroughHealthyReplicas) {
+  auto corpus = small_corpus(3);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(3));
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) picks.push_back(set.pick_reader().replica);
+  // Three replicas, six picks: every replica seen exactly twice, in rotation.
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(picks[r], picks[r + 3]);
+  }
+  EXPECT_NE(picks[0], picks[1]);
+  EXPECT_NE(picks[1], picks[2]);
+
+  // An ejected replica drops out of the rotation.
+  ASSERT_TRUE(set.eject(1).ok());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(set.pick_reader().replica, 1u);
+  }
+  set.shutdown();
+}
+
+TEST(Replication, LeastLoadedPrefersIdleReplica) {
+  auto corpus = small_corpus(4);
+  auto opts = replica_opts(3);
+  opts.read_policy = core::ReadPolicy::kLeastLoaded;
+  core::ReplicaSet set(base_index(corpus, 40), opts);
+
+  auto r0 = set.pick_reader();
+  EXPECT_EQ(r0.replica, 0u);  // all idle: ties break to the lowest index
+  // Simulate scatter passes in flight on replicas 0 and 1.
+  r0.gate->in_flight.store(2);
+  auto infos = set.replica_infos();
+  ASSERT_EQ(infos.size(), 3u);
+  EXPECT_EQ(infos[0].in_flight, 2u);
+  auto r1 = set.pick_reader();
+  EXPECT_EQ(r1.replica, 1u);
+  r1.gate->in_flight.store(1);
+  EXPECT_EQ(set.pick_reader().replica, 2u);
+  // Load drains: back to the lowest index.
+  r0.gate->in_flight.store(0);
+  r1.gate->in_flight.store(0);
+  EXPECT_EQ(set.pick_reader().replica, 0u);
+  set.shutdown();
+}
+
+TEST(Replication, EjectReplayReadmitConvergesByteIdentically) {
+  auto corpus = small_corpus(5);
+  core::ReplicaSet set(base_index(corpus, 30), replica_opts(3));
+  for (std::size_t d = 30; d < 40; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+
+  ASSERT_TRUE(set.eject(1).ok());
+  EXPECT_EQ(set.state(1), core::ReplicaState::kEjected);
+  EXPECT_EQ(set.healthy_count(), 2u);
+  // Double-eject is a state error.
+  EXPECT_EQ(set.eject(1).code(), StatusCode::kFailedPrecondition);
+
+  // The ejected replica's pinned snapshot stays valid and stale.
+  auto stale = set.replica(1).snapshot();
+  EXPECT_EQ(stale->space().num_docs(), 40u);
+
+  // Writes continue against the surviving pair (quorum 2 still met) —
+  // including a consolidation marker mid-gap that replica 1 must replay at
+  // the same log position.
+  for (std::size_t d = 40; d < 48; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  ASSERT_TRUE(set.consolidate().ok());
+  for (std::size_t d = 48; d < 55; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+  EXPECT_EQ(set.replica(1).ingested(), 10u);  // frozen at ejection
+
+  ASSERT_TRUE(set.readmit(1).ok());
+  EXPECT_EQ(set.state(1), core::ReplicaState::kHealthy);
+  EXPECT_EQ(set.healthy_count(), 3u);
+  // Readmitting a healthy replica is a state error.
+  EXPECT_EQ(set.readmit(1).code(), StatusCode::kFailedPrecondition);
+  set.flush();
+
+  core::SearchOptions exact;
+  exact.search = core::SearchMode::kExact;
+  core::SearchOptions pruned;
+  pruned.search = core::SearchMode::kPruned;
+  pruned.nprobe = 3;
+  auto snap0 = set.replica(0).snapshot();
+  auto snap1 = set.replica(1).snapshot();
+  EXPECT_EQ(snap1->space().num_docs(), 55u);
+  EXPECT_EQ(set.replica(1).consolidations(),
+            set.replica(0).consolidations());
+  for (const auto& q : corpus.queries) {
+    expect_identical(snap0->query(q.text, exact), snap1->query(q.text, exact),
+                     "post-replay exact");
+    expect_identical(snap0->query(q.text, pruned),
+                     snap1->query(q.text, pruned), "post-replay pruned");
+  }
+  set.shutdown();
+}
+
+TEST(Replication, WritesBelowQuorumAreUnavailable) {
+  auto corpus = small_corpus(6);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(3));
+  EXPECT_EQ(set.options().quorum(), 2u);  // majority of 3
+
+  ASSERT_TRUE(set.eject(0).ok());
+  ASSERT_TRUE(set.add(corpus.docs[40]).ok());  // 2 healthy: still at quorum
+  ASSERT_TRUE(set.eject(2).ok());
+  EXPECT_EQ(set.healthy_count(), 1u);
+  EXPECT_EQ(set.add(corpus.docs[41]).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(set.try_add(corpus.docs[41]).code(), StatusCode::kUnavailable);
+
+  // Reads keep working against the surviving replica.
+  auto ref = set.pick_reader();
+  EXPECT_EQ(ref.replica, 1u);
+  ASSERT_NE(ref.snapshot, nullptr);
+
+  // Recovery: readmit one replica, writes resume, and the quorum-era doc
+  // reaches the replayed replica too.
+  ASSERT_TRUE(set.readmit(0).ok());
+  ASSERT_TRUE(set.add(corpus.docs[41]).ok());
+  set.flush();
+  EXPECT_EQ(set.replica(0).ingested(), 2u);
+  set.shutdown();
+}
+
+TEST(Replication, EveryReplicaEjectedStillServesStaleReads) {
+  auto corpus = small_corpus(7);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(2));
+  ASSERT_TRUE(set.eject(0).ok());
+  ASSERT_TRUE(set.eject(1).ok());
+  EXPECT_EQ(set.healthy_count(), 0u);
+  auto ref = set.pick_reader();
+  ASSERT_NE(ref.snapshot, nullptr);  // degraded-but-serving
+  EXPECT_EQ(ref.snapshot->space().num_docs(), 40u);
+  set.shutdown();
+}
+
+TEST(Replication, LogTrimsBehindSlowestReplica) {
+  auto corpus = small_corpus(8);
+  auto opts = replica_opts(2);
+  opts.write_quorum = 1;  // keep writes flowing with one of two ejected
+  core::ReplicaSet set(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < 40; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  // Every replica was fed every entry, so nothing is retained.
+  EXPECT_EQ(set.next_seq(), 10u);
+  EXPECT_EQ(set.log_entries(), 0u);
+
+  // An ejected replica freezes its cursor: the tail it will replay is
+  // retained, and grows with the gap.
+  ASSERT_TRUE(set.eject(1).ok());
+  for (std::size_t d = 40; d < 45; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  EXPECT_EQ(set.log_entries(), 5u);
+  ASSERT_TRUE(set.readmit(1).ok());
+  EXPECT_EQ(set.log_entries(), 0u);  // caught up: tail released
+  set.shutdown();
+}
+
+TEST(Replication, ConsolidateMarkerHitsEveryHealthyReplica) {
+  auto corpus = small_corpus(9);
+  auto opts = replica_opts(3);
+  opts.concurrent.consolidate_every = 0;  // manual only
+  core::ReplicaSet set(base_index(corpus, 30), opts);
+  for (std::size_t d = 30; d < 40; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  ASSERT_TRUE(set.consolidate().ok());
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(set.replica(r).consolidations(), 1u) << "replica " << r;
+    EXPECT_EQ(set.replica(r).snapshot()->unconsolidated(), 0u)
+        << "replica " << r;
+  }
+  set.shutdown();
+}
+
+TEST(Replication, AddAfterShutdownIsFailedPrecondition) {
+  auto corpus = small_corpus(10);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(2));
+  set.shutdown();
+  EXPECT_EQ(set.add(corpus.docs[40]).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(set.try_add(corpus.docs[40]).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Replication, ReplicaInfosReflectStateAndProgress) {
+  auto corpus = small_corpus(11);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(3));
+  for (std::size_t d = 40; d < 45; ++d) {
+    ASSERT_TRUE(set.add(corpus.docs[d]).ok());
+  }
+  set.flush();
+  ASSERT_TRUE(set.eject(2).ok());
+  auto infos = set.replica_infos();
+  ASSERT_EQ(infos.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(infos[r].replica, r);
+    EXPECT_EQ(infos[r].fed, 5u);
+    EXPECT_EQ(infos[r].ingested, 5u);
+    EXPECT_GE(infos[r].generation, 2u);
+  }
+  EXPECT_EQ(infos[0].state, core::ReplicaState::kHealthy);
+  EXPECT_EQ(infos[2].state, core::ReplicaState::kEjected);
+  set.shutdown();
+}
+
+TEST(Replication, OptionsValidateRejectsNonsense) {
+  core::ReplicaOptions opts;
+  opts.replicas = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.replicas = 2;
+  opts.write_quorum = 3;  // cannot exceed R
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.write_quorum = 2;
+  opts.eject_after_refusals = 0;
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.eject_after_refusals = 1;
+  opts.strike_interval = std::chrono::milliseconds(-1);
+  EXPECT_EQ(opts.Validate().code(), StatusCode::kInvalidArgument);
+  opts.strike_interval = std::chrono::milliseconds(0);  // 0 = strike per poll
+  EXPECT_TRUE(opts.Validate().ok());
+  // Quorum resolution: explicit wins, 0 means majority.
+  EXPECT_EQ(opts.quorum(), 2u);
+  opts.write_quorum = 0;
+  EXPECT_EQ(opts.quorum(), 2u);  // majority of 2
+  opts.replicas = 5;
+  EXPECT_EQ(opts.quorum(), 3u);
+}
+
+TEST(Replication, EjectOutOfRangeIsInvalidArgument) {
+  auto corpus = small_corpus(12);
+  core::ReplicaSet set(base_index(corpus, 40), replica_opts(2));
+  EXPECT_EQ(set.eject(2).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(set.readmit(7).code(), StatusCode::kInvalidArgument);
+  set.shutdown();
+}
+
+}  // namespace

@@ -1,6 +1,6 @@
 // SearchOptions unit tests: the Validate() contract the HTTP daemon's 400
-// answers lean on, the QueryOptions bridging used by the one-PR migration
-// shims, and the deadline helpers' edge cases.
+// answers lean on, the internal QueryOptions bridge to the SemanticSpace
+// scorers, and the deadline helpers' edge cases.
 
 #include <gtest/gtest.h>
 
@@ -62,6 +62,9 @@ TEST(SearchOptions, MinCosineAboveOneRejected) {
   EXPECT_TRUE(opts.Validate().ok());
 }
 
+// query_options()/FromQuery stay (they bridge to the SemanticSpace scorers
+// internally) even though the deprecated QueryOptions member overloads are
+// gone; the round trip must keep preserving the exact-path knobs.
 TEST(SearchOptions, QueryOptionsRoundTripPreservesExactPathKnobs) {
   SearchOptions opts;
   opts.z = 17;

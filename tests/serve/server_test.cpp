@@ -91,7 +91,9 @@ TEST_F(ServerTest, HealthzAnswersOk) {
   ASSERT_TRUE(client.connected());
   const ClientResponse resp = client.request("GET", "/healthz");
   EXPECT_EQ(resp.status, 200);
-  EXPECT_EQ(resp.body, "{\"status\":\"ok\"}");
+  EXPECT_NE(resp.body.find("\"status\":\"ok\""), std::string::npos);
+  // R=1: every shard reports its single replica healthy.
+  EXPECT_NE(resp.body.find("\"replicas_per_shard\":1"), std::string::npos);
 }
 
 TEST_F(ServerTest, SessionlessSearchRanksDocs) {
