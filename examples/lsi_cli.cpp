@@ -31,6 +31,7 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "data/med_topics.hpp"
+#include "la/kernels.hpp"
 #include "lsi/lsi.hpp"
 #include "serve/server.hpp"
 #include "util/table.hpp"
@@ -69,7 +71,8 @@ int usage() {
       << "usage:\n"
          "  lsi_cli build <docs.tsv> <db.lsi> [--k N] "
          "[--scheme raw|log-entropy] [--min-df N] [--stem] [--bigrams]\n"
-         "                [--dense-cutoff N] [--probe \"free text\"]\n"
+         "                [--dense-cutoff N] [--probe \"free text\"] "
+         "[--bf16]\n"
          "  lsi_cli query <db.lsi> \"free text\" [--top N] [--threshold C]\n"
          "                [--nprobe P | --recall R | --exact]\n"
          "  lsi_cli query <db.lsi> --batch-queries <queries.txt> [--top N] "
@@ -109,8 +112,12 @@ int usage() {
          "                [--no-split-k] [--probe \"free text\"] [--top N]\n"
          "                (partition, build every shard's SVD and print the "
          "per-shard table)\n"
-         "Every command also accepts --stats[=json|csv]; <docs.tsv> may be "
-         "@med for the\nbuilt-in MEDLINE example collection.\n";
+         "Every command also accepts --stats[=json|csv] and "
+         "--kernel portable|avx2|auto\n"
+         "(force the SIMD microkernel set, same vocabulary as LSI_KERNEL — "
+         "see\ndocs/KERNELS.md); `build --bf16` stores document vectors in "
+         "bf16 and scores\nagainst them. <docs.tsv> may be @med for the\n"
+         "built-in MEDLINE example collection.\n";
   return 2;
 }
 
@@ -189,6 +196,7 @@ int cmd_build(const std::vector<std::string>& args) {
   }
   opts.parser.stem = has_flag(args, "--stem");
   opts.parser.add_bigrams = has_flag(args, "--bigrams");
+  opts.compress_docs = has_flag(args, "--bf16");
 
   auto index = LsiIndex::try_build(docs, opts).value();
   LsiDatabase db{index.space(), index.vocabulary(),
@@ -801,6 +809,8 @@ int cmd_info(const std::vector<std::string>& args) {
             << "\n"
             << "sigma_k:   " << (db.space.sigma.empty() ? 0.0
                                                         : db.space.sigma.back())
+            << "\n"
+            << "doc store: " << (db.space.compress_docs() ? "bf16" : "fp64")
             << "\n";
   return 0;
 }
@@ -819,6 +829,23 @@ int main(int argc, char** argv) {
     } else if (*it == "--stats=csv") {
       stats_format = "csv";
       it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // --kernel portable|avx2|auto applies to every command (same vocabulary
+  // as the LSI_KERNEL environment variable; the flag wins). Unknown names
+  // are an immediate usage error rather than a silent fallback.
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--kernel" && std::next(it) != args.end()) {
+      const std::string name = *std::next(it);
+      if (!la::kern::force(name)) {
+        std::cerr << "unknown --kernel '" << name
+                  << "' (expected portable, avx2, or auto)\n";
+        return 2;
+      }
+      it = args.erase(it, it + 2);
     } else {
       ++it;
     }

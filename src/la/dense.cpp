@@ -6,12 +6,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "la/kernels.hpp"
 #include "util/thread_pool.hpp"
-
-#if defined(__SSE2__) || defined(_M_X64)
-#define LSI_DENSE_SSE2 1
-#include <emmintrin.h>
-#endif
 
 namespace lsi::la {
 
@@ -150,6 +146,13 @@ DenseMatrix multiply_at_b_blocked(const DenseMatrix& a, const DenseMatrix& b,
   // KB) stays in L1 while the inner loop sweeps the panel's B columns, and
   // the panel's B column blocks stay in L2 across all p columns of A.
   constexpr index_t kRowBlock = 512;
+  // Register tile of 4 output columns (kern::Ops::at_b_tile4): every ai load
+  // feeds four accumulation streams. Within one kernel the tile's
+  // accumulation chain is fixed and at_b_tile1 computes exactly one
+  // at_b_tile4 stream, so results are bit-identical for every panel width,
+  // batch size, and thread count — the invariant batched-vs-single parity
+  // relies on (tests/la/kernel_dispatch_test.cpp).
+  const kern::Ops& kern_ops = kern::active();
   util::parallel_for_chunks(
       0, b.cols(),
       [&](std::size_t jlo, std::size_t jhi) {
@@ -157,79 +160,19 @@ DenseMatrix multiply_at_b_blocked(const DenseMatrix& a, const DenseMatrix& b,
           const index_t rhi = std::min(m, rlo + kRowBlock);
           for (index_t i = 0; i < p; ++i) {
             const double* ai = a.col(i).data();
-            // Register tile of 4 output columns: every ai load feeds four
-            // FMA streams, and each stream keeps two partial sums (even/odd
-            // shared-dim positions) to break the FMA latency chain. The
-            // per-element accumulation order — even partials, odd partials,
-            // combined once per block — is the same in the 4-wide body and
-            // the remainder loop, so results are bit-identical for every
-            // panel width, batch size, and thread count.
             index_t j = jlo;
             for (; j + 4 <= jhi; j += 4) {
-              const double* b0 = b.col(j).data();
-              const double* b1 = b.col(j + 1).data();
-              const double* b2 = b.col(j + 2).data();
-              const double* b3 = b.col(j + 3).data();
-              double s00, s01, s10, s11, s20, s21, s30, s31;
-              index_t r = rlo;
-#if defined(LSI_DENSE_SSE2)
-              // Packed lanes hold the even/odd partial sums; elementwise
-              // packed mul/add rounds exactly like the scalar code below, so
-              // both bodies produce the same bits.
-              __m128d acc0 = _mm_setzero_pd();
-              __m128d acc1 = _mm_setzero_pd();
-              __m128d acc2 = _mm_setzero_pd();
-              __m128d acc3 = _mm_setzero_pd();
-              for (; r + 2 <= rhi; r += 2) {
-                const __m128d va = _mm_loadu_pd(ai + r);
-                acc0 = _mm_add_pd(acc0, _mm_mul_pd(va, _mm_loadu_pd(b0 + r)));
-                acc1 = _mm_add_pd(acc1, _mm_mul_pd(va, _mm_loadu_pd(b1 + r)));
-                acc2 = _mm_add_pd(acc2, _mm_mul_pd(va, _mm_loadu_pd(b2 + r)));
-                acc3 = _mm_add_pd(acc3, _mm_mul_pd(va, _mm_loadu_pd(b3 + r)));
-              }
-              s00 = _mm_cvtsd_f64(acc0);
-              s01 = _mm_cvtsd_f64(_mm_unpackhi_pd(acc0, acc0));
-              s10 = _mm_cvtsd_f64(acc1);
-              s11 = _mm_cvtsd_f64(_mm_unpackhi_pd(acc1, acc1));
-              s20 = _mm_cvtsd_f64(acc2);
-              s21 = _mm_cvtsd_f64(_mm_unpackhi_pd(acc2, acc2));
-              s30 = _mm_cvtsd_f64(acc3);
-              s31 = _mm_cvtsd_f64(_mm_unpackhi_pd(acc3, acc3));
-#else
-              s00 = s01 = s10 = s11 = s20 = s21 = s30 = s31 = 0.0;
-              for (; r + 2 <= rhi; r += 2) {
-                const double a0 = ai[r], a1 = ai[r + 1];
-                s00 += a0 * b0[r];
-                s01 += a1 * b0[r + 1];
-                s10 += a0 * b1[r];
-                s11 += a1 * b1[r + 1];
-                s20 += a0 * b2[r];
-                s21 += a1 * b2[r + 1];
-                s30 += a0 * b3[r];
-                s31 += a1 * b3[r + 1];
-              }
-#endif
-              for (; r < rhi; ++r) {
-                s00 += ai[r] * b0[r];
-                s10 += ai[r] * b1[r];
-                s20 += ai[r] * b2[r];
-                s30 += ai[r] * b3[r];
-              }
-              c(i, j) += s00 + s01;
-              c(i, j + 1) += s10 + s11;
-              c(i, j + 2) += s20 + s21;
-              c(i, j + 3) += s30 + s31;
+              double tile[4];
+              kern_ops.at_b_tile4(ai, b.col(j).data(), b.col(j + 1).data(),
+                                  b.col(j + 2).data(), b.col(j + 3).data(),
+                                  rlo, rhi, tile);
+              c(i, j) += tile[0];
+              c(i, j + 1) += tile[1];
+              c(i, j + 2) += tile[2];
+              c(i, j + 3) += tile[3];
             }
             for (; j < jhi; ++j) {
-              const double* bj = b.col(j).data();
-              double s0 = 0.0, s1 = 0.0;
-              index_t r = rlo;
-              for (; r + 2 <= rhi; r += 2) {
-                s0 += ai[r] * bj[r];
-                s1 += ai[r + 1] * bj[r + 1];
-              }
-              for (; r < rhi; ++r) s0 += ai[r] * bj[r];
-              c(i, j) += s0 + s1;
+              c(i, j) += kern_ops.at_b_tile1(ai, b.col(j).data(), rlo, rhi);
             }
           }
         }

@@ -1,0 +1,69 @@
+#include "la/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace lsi::la::kern {
+
+bool cpu_has_avx2() noexcept {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#if !defined(LSI_KERNELS_AVX2)
+// The AVX2 translation unit is only compiled on x86 targets (see
+// src/la/CMakeLists.txt); elsewhere the registry entry is simply absent and
+// select() falls back to portable.
+const Ops* avx2() noexcept { return nullptr; }
+#endif
+
+Selection select(std::string_view name, bool cpu_ok) noexcept {
+  if (name == "portable") return {&portable(), false};
+  if (name == "avx2") {
+    const Ops* ops = cpu_ok ? avx2() : nullptr;
+    if (ops != nullptr) return {ops, false};
+    return {&portable(), true};  // graceful fallback, flagged
+  }
+  if (name == "auto") {
+    const Ops* ops = cpu_ok ? avx2() : nullptr;
+    return {ops != nullptr ? ops : &portable(), false};
+  }
+  return {nullptr, false};
+}
+
+const Ops& resolve_env(const char* env_value, bool cpu_ok) noexcept {
+  std::string_view name =
+      (env_value != nullptr && *env_value != '\0') ? env_value : "auto";
+  Selection sel = select(name, cpu_ok);
+  // An unknown LSI_KERNEL value must not brick the process: run "auto".
+  if (sel.ops == nullptr) sel = select("auto", cpu_ok);
+  return *sel.ops;
+}
+
+namespace {
+
+std::atomic<const Ops*> g_active{nullptr};
+
+}  // namespace
+
+const Ops& active() noexcept {
+  const Ops* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    // Benign race: concurrent first uses resolve to the same table.
+    ops = &resolve_env(std::getenv("LSI_KERNEL"), cpu_has_avx2());
+    g_active.store(ops, std::memory_order_release);
+  }
+  return *ops;
+}
+
+bool force(std::string_view name) noexcept {
+  const Selection sel = select(name, cpu_has_avx2());
+  if (sel.ops == nullptr) return false;
+  g_active.store(sel.ops, std::memory_order_release);
+  return true;
+}
+
+}  // namespace lsi::la::kern

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "la/jacobi_svd.hpp"
+#include "la/kernels.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 
@@ -19,11 +20,17 @@ namespace {
 /// ghost-singular-value problem of plain Lanczos.
 void reorthogonalize(std::span<double> w, const DenseMatrix& basis,
                      index_t count) {
+  // The projection dot and the correction axpy are the solver's O(j * n)
+  // hot loops; they run through the dispatched kernels (la/kernels.hpp).
+  // The dot is a reduction, so different kernels converge along slightly
+  // different (equally valid) paths; within one kernel the solve stays
+  // deterministic.
+  const kern::Ops& kern_ops = kern::active();
   for (int pass = 0; pass < 2; ++pass) {
     for (index_t j = 0; j < count; ++j) {
       auto bj = basis.col(j);
-      const double proj = dot(std::span<const double>(w), bj);
-      if (proj != 0.0) axpy(-proj, bj, w);
+      const double proj = kern_ops.dot(w.data(), bj.data(), w.size());
+      if (proj != 0.0) kern_ops.axpy(-proj, bj.data(), w.data(), w.size());
     }
   }
 }

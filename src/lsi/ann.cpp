@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "la/kernels.hpp"
+#include "lsi/doc_store.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -38,12 +40,11 @@ void gather_scaled_rows(const SemanticSpace& space, std::size_t lo,
 index_t nearest_centroid(const double* row, const la::DenseMatrix& centroids) {
   const index_t k = centroids.rows();
   const index_t c_count = centroids.cols();
+  const la::kern::Ops& kern_ops = la::kern::active();
   index_t best = 0;
   double best_dot = -std::numeric_limits<double>::infinity();
   for (index_t c = 0; c < c_count; ++c) {
-    const double* cc = centroids.col(c).data();
-    double dot = 0.0;
-    for (index_t i = 0; i < k; ++i) dot += cc[i] * row[i];
+    const double dot = kern_ops.dot(centroids.col(c).data(), row, k);
     if (dot > best_dot) {
       best_dot = dot;
       best = c;
@@ -112,12 +113,13 @@ void AnnIndex::select_clusters(std::span<const double> query_coords,
   assert(query_coords.size() == static_cast<std::size_t>(k_));
   const index_t c_count = num_centroids();
   nprobe = std::min(nprobe, c_count);
+  // Centroid scoring is a pure dot reduction, so it runs on the dispatched
+  // kernel; cluster choice may differ across kernels on near-ties, which
+  // only moves recall, never correctness (the re-rank below stays exact).
+  const la::kern::Ops& kern_ops = la::kern::active();
   std::vector<double> score(c_count);
   for (index_t c = 0; c < c_count; ++c) {
-    const double* cc = centroids_.col(c).data();
-    double dot = 0.0;
-    for (index_t i = 0; i < k_; ++i) dot += cc[i] * query_coords[i];
-    score[c] = dot;
+    score[c] = kern_ops.dot(centroids_.col(c).data(), query_coords.data(), k_);
   }
   out.resize(c_count);
   std::iota(out.begin(), out.end(), index_t{0});
@@ -151,6 +153,18 @@ void AnnIndex::regroup(const SemanticSpace& space,
     const double* vi = space.v.col(i).data();
     for (std::size_t pos = 0; pos < n; ++pos) {
       rows_[pos * k_ + i] = vi[docs_[pos]];
+    }
+  }
+  // When the space carries a compressed store, mirror its encoded words into
+  // posting order too (verbatim copies, never re-encoded from V: the pruned
+  // bf16 re-rank must decode exactly what the exact bf16 sweep decodes).
+  if (const Bf16DocStore* store = space.compressed_docs()) {
+    rows16_.resize(n * static_cast<std::size_t>(k_));
+    for (index_t i = 0; i < k_; ++i) {
+      const std::uint16_t* ci = store->col(i);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        rows16_[pos * k_ + i] = ci[docs_[pos]];
+      }
     }
   }
   num_docs_ = n;

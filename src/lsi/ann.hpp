@@ -123,6 +123,18 @@ class AnnIndex {
             (offsets_[c + 1] - offsets_[c]) * k_};
   }
 
+  /// True when the structure also packed bf16 rows (built/extended over a
+  /// space with compression enabled).
+  bool has_bf16() const noexcept { return !rows16_.empty(); }
+  /// Row-major bf16 rows in posting-list order, copied verbatim from the
+  /// space's Bf16DocStore — the same encoded words the exact bf16 sweep
+  /// streams, so the pruned re-rank decodes identical values. Empty when
+  /// has_bf16() is false.
+  std::span<const std::uint16_t> cluster_rows_bf16(index_t c) const {
+    return {rows16_.data() + offsets_[c] * k_,
+            (offsets_[c + 1] - offsets_[c]) * k_};
+  }
+
  private:
   AnnIndex() = default;
 
@@ -138,6 +150,9 @@ class AnnIndex {
   std::vector<index_t> offsets_;  ///< C + 1 CSR offsets into docs_/rows_
   std::vector<index_t> docs_;     ///< local doc ids grouped by centroid
   std::vector<double> rows_;      ///< packed raw V_k rows, posting order
+  /// Packed bf16 rows (posting order), present iff the space carried a
+  /// compressed store at build/extend time.
+  std::vector<std::uint16_t> rows16_;
 };
 
 }  // namespace lsi::core

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "la/kernels.hpp"
+#include "lsi/doc_store.hpp"
 #include "lsi/ranking.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -154,7 +156,13 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
       for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
     }
   }
-  const std::vector<double>& doc_norm = space_.doc_norms(mode);
+  // With compression enabled the sweep streams the bf16 store instead of V
+  // and divides by the store's decoded-value norms — cosines must normalize
+  // by the vector actually scored (doc_store.hpp).
+  const Bf16DocStore* bf16 = space_.compressed_docs();
+  const std::span<const double> doc_norm =
+      bf16 ? bf16->doc_norms(mode)
+           : std::span<const double>(space_.doc_norms(mode));
 
   la::DenseMatrix c(n, bsz);
   if (stats) {
@@ -183,29 +191,77 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
   // One V_k-panel sweep: factor i's document column is loaded once per
   // panel and reused by every query. Each scores(j, b) accumulates over i
   // ascending, independent of panel bounds and batch size, so per-query
-  // results do not depend on who else shares the batch.
+  // results do not depend on who else shares the batch. The accumulation
+  // runs on the dispatched elementwise kernels (la/kernels.hpp): axpy4
+  // drives four query streams off one load of vi, and because elementwise
+  // kernels are bit-identical across kernels and to the scalar loop, every
+  // parity contract (batched-vs-single, pruned full-probe, concurrent,
+  // replicated) holds under any kernel.
+  const la::kern::Ops& kern_ops = la::kern::active();
+  if (bf16) obs::count("retrieval.bf16_queries", bsz);
   util::parallel_for_chunks(
       0, n,
       [&](std::size_t lo, std::size_t hi) {
+        const std::size_t len = hi - lo;
+        if (bf16) {
+          // Reduced-precision sweep: stream the bf16 columns, accumulate in
+          // fp32 (chunk-local buffer), normalize in double. The zero-skip
+          // still tests the DOUBLE weight, so the bf16 path scores exactly
+          // the terms the fp64 path scores.
+          std::vector<float> acc(len * static_cast<std::size_t>(bsz), 0.0f);
+          for (index_t i = 0; i < k; ++i) {
+            const std::uint16_t* vi = bf16->col(i) + lo;
+            float a4[4];
+            float* y4[4];
+            int lanes = 0;
+            for (index_t b = 0; b < bsz; ++b) {
+              const double wib = w(i, b);
+              if (wib == 0.0) continue;
+              a4[lanes] = static_cast<float>(wib);
+              y4[lanes] = acc.data() + static_cast<std::size_t>(b) * len;
+              if (++lanes == 4) {
+                kern_ops.axpy4_bf16(a4, vi, y4[0], y4[1], y4[2], y4[3], len);
+                lanes = 0;
+              }
+            }
+            for (int t = 0; t < lanes; ++t) {
+              kern_ops.axpy_bf16(a4[t], vi, y4[t], len);
+            }
+          }
+          for (index_t b = 0; b < bsz; ++b) {
+            kern_ops.cos_norm_f32(query_norm[b],
+                                  acc.data() + static_cast<std::size_t>(b) * len,
+                                  doc_norm.data() + lo, c.col(b).data() + lo,
+                                  len);
+          }
+          return;
+        }
         for (index_t i = 0; i < k; ++i) {
-          const double* vi = space_.v.col(i).data();
+          const double* vi = space_.v.col(i).data() + lo;
+          // Group the nonzero-weight queries into batches of four streams;
+          // per (j, b) the chain is still "+= w(i,b) * vi[j]" in ascending
+          // i, exactly as before.
+          double a4[4];
+          double* y4[4];
+          int lanes = 0;
           for (index_t b = 0; b < bsz; ++b) {
             const double wib = w(i, b);
             if (wib == 0.0) continue;
-            double* cb = c.col(b).data();
-            for (std::size_t j = lo; j < hi; ++j) cb[j] += wib * vi[j];
+            a4[lanes] = wib;
+            y4[lanes] = c.col(b).data() + lo;
+            if (++lanes == 4) {
+              kern_ops.axpy4(a4, vi, y4[0], y4[1], y4[2], y4[3], len);
+              lanes = 0;
+            }
           }
+          for (int t = 0; t < lanes; ++t) kern_ops.axpy(a4[t], vi, y4[t], len);
         }
         // Normalize the panel in place: cosine = dot / (|q'| * |d'|), with
-        // la::cosine's zero-norm guard.
+        // la::cosine's zero-norm guard. cos_norm is correctly rounded in
+        // every kernel, so the cosines stay bit-identical under dispatch.
         for (index_t b = 0; b < bsz; ++b) {
-          double* cb = c.col(b).data();
-          const double qn = query_norm[b];
-          for (std::size_t j = lo; j < hi; ++j) {
-            cb[j] = (qn == 0.0 || doc_norm[j] == 0.0)
-                        ? 0.0
-                        : cb[j] / (qn * doc_norm[j]);
-          }
+          kern_ops.cos_norm(query_norm[b], doc_norm.data() + lo,
+                            c.col(b).data() + lo, len);
         }
       },
       /*grain=*/512);
@@ -284,7 +340,13 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
       for (index_t i = 0; i < k; ++i) wb[i] *= space_.sigma[i];
     }
   }
-  const std::vector<double>& doc_norm = space_.doc_norms(opts.mode);
+  // Same precision switch as scores(): with compression on, re-rank decodes
+  // the stored bf16 words and divides by the decoded-value norms, so a
+  // full-probe pruned ranking stays bit-identical to the exact bf16 sweep.
+  const Bf16DocStore* bf16 = space_.compressed_docs();
+  const std::span<const double> doc_norm =
+      bf16 ? bf16->doc_norms(opts.mode)
+           : std::span<const double>(space_.doc_norms(opts.mode));
   const std::size_t z = opts.z;
   const double min_cos = opts.min_cosine;
 
@@ -296,6 +358,16 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
         ann_->select_clusters(qprime.col(b), nprobe, clusters);
         const double qn = query_norm[b];
         const auto wb = w.col(b);
+        // fp32 weights for the bf16 chain, cast exactly like the exact
+        // sweep's lane setup; the zero-skip still tests the double weight.
+        std::vector<float> w32;
+        if (bf16) {
+          w32.resize(k);
+          for (index_t i = 0; i < k; ++i) {
+            w32[i] = static_cast<float>(wb[i]);
+          }
+        }
+        const bool ann_bf16 = bf16 != nullptr && ann_->has_bf16();
         const bool bounded = z > 0;
         std::vector<ScoredDoc> keep;
         keep.reserve(bounded ? z + 1 : 0);
@@ -303,23 +375,47 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
         for (const index_t c : clusters) {
           const auto docs = ann_->cluster_docs(c);
           const auto rows = ann_->cluster_rows(c);
+          const auto rows16 = ann_bf16 ? ann_->cluster_rows_bf16(c)
+                                       : std::span<const std::uint16_t>{};
           cand_count += docs.size();
           for (std::size_t t = 0; t < docs.size(); ++t) {
-            const double* row = rows.data() + t * k;
-            // Same accumulation as the exact sweep: i ascending, zero
-            // weights skipped (they are skipped there too, so skipping is
-            // not an approximation).
-            double acc = 0.0;
-            for (index_t i = 0; i < k; ++i) {
-              const double wib = wb[i];
-              if (wib == 0.0) continue;
-              acc += wib * row[i];
-            }
             const index_t j = docs[t];
+            double score;
+            if (bf16) {
+              // Decode the SAME encoded words the exact bf16 sweep streams
+              // (packed posting rows when available, else a strided gather
+              // from the store) and accumulate the same fp32 chain.
+              float acc = 0.0f;
+              if (ann_bf16) {
+                const std::uint16_t* row16 = rows16.data() + t * k;
+                for (index_t i = 0; i < k; ++i) {
+                  if (wb[i] == 0.0) continue;
+                  acc += w32[i] * la::kern::bf16_to_f32(row16[i]);
+                }
+              } else {
+                for (index_t i = 0; i < k; ++i) {
+                  if (wb[i] == 0.0) continue;
+                  acc += w32[i] * la::kern::bf16_to_f32(bf16->col(i)[j]);
+                }
+              }
+              score = static_cast<double>(acc);
+            } else {
+              const double* row = rows.data() + t * k;
+              // Same accumulation as the exact sweep: i ascending, zero
+              // weights skipped (they are skipped there too, so skipping is
+              // not an approximation).
+              double acc = 0.0;
+              for (index_t i = 0; i < k; ++i) {
+                const double wib = wb[i];
+                if (wib == 0.0) continue;
+                acc += wib * row[i];
+              }
+              score = acc;
+            }
             const ScoredDoc cand{
                 j, (qn == 0.0 || doc_norm[j] == 0.0)
                        ? 0.0
-                       : acc / (qn * doc_norm[j])};
+                       : score / (qn * doc_norm[j])};
             if (cand.cosine < min_cos) continue;
             if (!bounded) {
               keep.push_back(cand);

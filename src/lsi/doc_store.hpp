@@ -1,0 +1,80 @@
+#pragma once
+// Compressed (bf16) document-vector store: an optional reduced-precision
+// mirror of V_k for the Eq. 6 scoring sweep (docs/KERNELS.md).
+//
+// Memory is the scoring sweep's roof: at scale the sweep streams n*k doubles
+// of V per batch. Storing the document coordinates as bf16 (the top 16 bits
+// of fp32, round-to-nearest-even) quarters that traffic; accumulation stays
+// fp32 and every norm/normalization stays double, which keeps ranking
+// overlap@10 >= 0.99 against the fp64 path (gated by bench_kernel_roofline).
+//
+// Layout mirrors V: column-major (col(i) is factor i across all documents),
+// which is exactly the access order of the batched sweep. The store also
+// carries its own per-mode document norms, computed from the DECODED bf16
+// values — cosines must divide by the norm of the vector actually scored,
+// not the fp64 norm, or the quantization would bias every score.
+//
+// Lifecycle: owned by SemanticSpace behind the same lazy/extend/invalidate
+// protocol as the doc-norm caches (see semantic_space.hpp). The store is
+// immutable once built; "extension" builds a new store sharing nothing,
+// bit-identical to a fresh build over the larger space.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "lsi/semantic_space.hpp"
+
+namespace lsi::core {
+
+class Bf16DocStore {
+ public:
+  /// Encodes space.v (round-to-nearest-even via kern::bf16_from_f64) and
+  /// computes the per-mode decoded-value norms. Deterministic given the
+  /// space; building twice yields byte-identical stores.
+  static std::shared_ptr<const Bf16DocStore> build(const SemanticSpace& space);
+
+  /// Append-only maintenance: copies `old`'s columns and encodes only rows
+  /// [old.num_docs(), space.num_docs()). Only valid when the mutation
+  /// appended V rows and left existing rows and sigma untouched; the result
+  /// is bit-identical to build(space).
+  static std::shared_ptr<const Bf16DocStore> extend(const Bf16DocStore& old,
+                                                    const SemanticSpace& space);
+
+  /// Reconstructs a store from a serialized payload (lsi/io.cpp): the norms
+  /// are recomputed from the payload and `sigma`, so a loaded store is
+  /// byte-identical to the one that was saved.
+  static std::shared_ptr<const Bf16DocStore> from_payload(
+      la::index_t num_docs, la::index_t k, std::vector<std::uint16_t> data,
+      std::span<const double> sigma);
+
+  la::index_t num_docs() const noexcept { return num_docs_; }
+  la::index_t k() const noexcept { return k_; }
+
+  /// Factor i's bf16 document column (length num_docs()).
+  const std::uint16_t* col(la::index_t i) const noexcept {
+    return data_.data() + static_cast<std::size_t>(i) * num_docs_;
+  }
+  /// The full column-major payload (io serialization).
+  std::span<const std::uint16_t> payload() const noexcept { return data_; }
+
+  /// Per-document norms of the decoded coordinates `mode` compares against
+  /// (decoded bf16 values scaled by sigma for the sigma-scaled modes),
+  /// computed with the same scalar la::norm2 as the fp64 caches.
+  std::span<const double> doc_norms(SimilarityMode mode) const noexcept;
+
+ private:
+  Bf16DocStore() = default;
+
+  void fill_norms(std::span<const double> sigma, la::index_t begin,
+                  la::index_t end);
+
+  la::index_t num_docs_ = 0;
+  la::index_t k_ = 0;
+  std::vector<std::uint16_t> data_;  ///< column-major, num_docs * k
+  std::vector<std::vector<double>> norms_;  ///< one vector per SimilarityMode
+};
+
+}  // namespace lsi::core

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "lsi/doc_store.hpp"
 #include "obs/trace.hpp"
 
 namespace lsi::core {
@@ -17,6 +18,14 @@ namespace {
 // unopenable paths).
 
 constexpr std::uint32_t kMagic = 0x4C534932;  // "LSI2"
+
+/// Marker for the OPTIONAL trailing compressed-document section. Databases
+/// written before this section existed simply end after global_weights, and
+/// readers detect the section by peeking for more bytes — both directions
+/// of the format remain compatible (old readers never see the section
+/// because old writers never had a store; new readers load old files as
+/// uncompressed).
+constexpr std::uint64_t kBf16SectionMarker = 0x4246313656454331ULL;  // "BF16VEC1"
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -86,6 +95,20 @@ void save_database_impl(std::ostream& os, const LsiDatabase& db) {
   os.write(reinterpret_cast<const char*>(db.global_weights.data()),
            static_cast<std::streamsize>(db.global_weights.size() *
                                         sizeof(double)));
+  // Optional trailing section: the bf16 document store, present iff the
+  // space has compression enabled. Only the encoded payload is serialized;
+  // norms are recomputed on load from the payload + sigma, so a loaded
+  // store is byte-identical to the one saved (and a resave round-trips).
+  if (db.space.compress_docs()) {
+    const Bf16DocStore* store = db.space.compressed_docs();
+    write_u64(os, kBf16SectionMarker);
+    write_u64(os, store->num_docs());
+    write_u64(os, store->k());
+    const auto payload = store->payload();
+    os.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size() *
+                                          sizeof(std::uint16_t)));
+  }
   if (!os) throw std::runtime_error("lsi::io: write failed");
 }
 
@@ -124,6 +147,29 @@ LsiDatabase load_database_impl(std::istream& is) {
   is.read(reinterpret_cast<char*>(db.global_weights.data()),
           static_cast<std::streamsize>(ng * sizeof(double)));
   if (!is) throw std::runtime_error("lsi::io: truncated stream");
+  // Optional trailing bf16 section (see kBf16SectionMarker): detected by
+  // peeking past the last mandatory field. EOF here means an uncompressed
+  // database; anything else must be the marker.
+  if (is.peek() != std::istream::traits_type::eof()) {
+    if (read_u64(is) != kBf16SectionMarker) {
+      throw std::runtime_error("lsi::io: bad trailing section marker");
+    }
+    const std::uint64_t ndocs = read_u64(is);
+    const std::uint64_t kk = read_u64(is);
+    if (ndocs != static_cast<std::uint64_t>(db.space.num_docs()) ||
+        kk != static_cast<std::uint64_t>(db.space.k())) {
+      throw std::runtime_error(
+          "lsi::io: bf16 section shape does not match the space");
+    }
+    std::vector<std::uint16_t> payload(ndocs * kk);
+    is.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size() *
+                                         sizeof(std::uint16_t)));
+    if (!is) throw std::runtime_error("lsi::io: truncated stream");
+    db.space.adopt_compressed_docs(Bf16DocStore::from_payload(
+        static_cast<index_t>(ndocs), static_cast<index_t>(kk),
+        std::move(payload), db.space.sigma));
+  }
   return db;
 }
 

@@ -47,6 +47,7 @@ Expected<LsiIndex> LsiIndex::try_build(const text::Collection& docs,
       try_build_semantic_space(index.weighted_, opts.effective_build());
   if (!space.ok()) return space.status();
   index.space_ = std::move(space).value();
+  index.space_.set_compress_docs(opts.compress_docs);
   index.labels_ = index.tdm_.doc_labels;
   return index;
 }

@@ -35,6 +35,13 @@ struct IndexOptions {
   index_t k = 100;             ///< factors retained (wins over build.k)
   BuildOptions build;          ///< k field overridden by `k`, see above
   QueryOptions query;          ///< defaults for query calls without options
+  /// Store document vectors additionally as bf16 and score the Equation-6
+  /// sweep against them (fp32 accumulation, ~half the memory traffic of the
+  /// fp64 sweep; docs/KERNELS.md). Rankings are near-identical, not
+  /// bit-identical, to the fp64 path — overlap@10 >= 0.99 is gated by
+  /// bench_kernel_roofline. The flag is sticky across fold-ins,
+  /// consolidation and save/load.
+  bool compress_docs = false;
   /// When non-null, installed as the active observability sink during
   /// build and every query made through the index.
   obs::Sink* sink = nullptr;

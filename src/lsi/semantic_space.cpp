@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "la/jacobi_svd.hpp"
+#include "lsi/doc_store.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -49,12 +50,14 @@ const std::vector<double>& SemanticSpace::doc_norms(SimilarityMode mode) const {
 
 void SemanticSpace::invalidate_doc_norms() noexcept {
   for (auto& cache : doc_norm_cache_) cache.clear();
+  bf16_store_.reset();  // the flag survives; the store rebuilds lazily
 }
 
 void SemanticSpace::prewarm_doc_norms() const {
   for (std::size_t m = 0; m < kNumSimilarityModes; ++m) {
     (void)doc_norms(static_cast<SimilarityMode>(m));
   }
+  (void)compressed_docs();  // no-op unless compression is enabled
 }
 
 void SemanticSpace::extend_doc_norms(index_t old_num_docs) const {
@@ -72,6 +75,38 @@ void SemanticSpace::extend_doc_norms(index_t old_num_docs) const {
     fill_doc_norm_range(static_cast<SimilarityMode>(m), old_num_docs,
                         num_docs(), cache);
   }
+  if (bf16_store_) {
+    // Same append-only contract as the norm caches: a store built at the
+    // pre-append row count is extended in O(p k); anything else is
+    // length-stale and rebuilds lazily on next use.
+    if (bf16_store_->num_docs() == old_num_docs && old_num_docs <= num_docs()) {
+      bf16_store_ = Bf16DocStore::extend(*bf16_store_, *this);
+    } else if (bf16_store_->num_docs() != num_docs()) {
+      bf16_store_.reset();
+    }
+  }
+}
+
+void SemanticSpace::set_compress_docs(bool on) {
+  compress_docs_ = on;
+  if (!on) bf16_store_.reset();
+}
+
+const Bf16DocStore* SemanticSpace::compressed_docs() const {
+  if (!compress_docs_) return nullptr;
+  // Same row-count staleness guard as doc_norms(): appended documents make
+  // the store stale; same-size mutations must call invalidate_doc_norms().
+  if (!bf16_store_ || bf16_store_->num_docs() != num_docs() ||
+      bf16_store_->k() != k()) {
+    bf16_store_ = Bf16DocStore::build(*this);
+  }
+  return bf16_store_.get();
+}
+
+void SemanticSpace::adopt_compressed_docs(
+    std::shared_ptr<const Bf16DocStore> store) {
+  compress_docs_ = true;
+  bf16_store_ = std::move(store);
 }
 
 la::Vector SemanticSpace::doc_coords(index_t j) const {

@@ -11,6 +11,7 @@
 // downstream (queries, folding-in, SVD-updating) operates on this struct.
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "la/lanczos.hpp"
@@ -21,6 +22,8 @@
 namespace lsi::core {
 
 using la::index_t;
+
+class Bf16DocStore;
 
 /// Inner-product convention used when comparing queries to documents (see
 /// retrieval.hpp for the full derivation of the three conventions). Declared
@@ -75,6 +78,25 @@ struct SemanticSpace {
   /// and sigma untouched; rotations must call invalidate_doc_norms().
   void extend_doc_norms(index_t old_num_docs) const;
 
+  /// Opt-in compressed (bf16) mirror of V for the scoring sweep
+  /// (lsi/doc_store.hpp, docs/KERNELS.md). The flag is sticky across copies
+  /// and survives invalidation; the store itself follows the exact norm-
+  /// cache protocol above: lazily (re)built on first use after a mutation,
+  /// extended in O(p k) by extend_doc_norms() after appends, dropped by
+  /// invalidate_doc_norms(), made valid-by-construction by
+  /// prewarm_doc_norms() before a space is shared across threads.
+  void set_compress_docs(bool on);
+  bool compress_docs() const noexcept { return compress_docs_; }
+
+  /// The compressed store when compression is enabled (lazily building if
+  /// stale — same single-threaded-first-use caveat as doc_norms), else
+  /// null. BatchedRetriever switches to the bf16 sweep iff this is non-null.
+  const Bf16DocStore* compressed_docs() const;
+
+  /// Installs an already-built store (the io load path); implies
+  /// set_compress_docs(true). The store must match this space's shape.
+  void adopt_compressed_docs(std::shared_ptr<const Bf16DocStore> store);
+
   /// Row i of U (term i's k-vector).
   la::Vector term_vector(index_t i) const { return u.row(i); }
   /// Row j of V (document j's k-vector).
@@ -97,6 +119,11 @@ struct SemanticSpace {
 
   /// One lazily-filled norm vector per SimilarityMode; empty = not computed.
   mutable std::array<std::vector<double>, kNumSimilarityModes> doc_norm_cache_;
+
+  /// Compressed-store request flag + lazily-built immutable store (shared
+  /// with copies of this space until a mutation invalidates it).
+  bool compress_docs_ = false;
+  mutable std::shared_ptr<const Bf16DocStore> bf16_store_;
 };
 
 struct BuildOptions {

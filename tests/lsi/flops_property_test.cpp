@@ -1,9 +1,19 @@
 // Properties of the Table 7 flop model: monotonicity in every driving
-// variable and the crossover structure the paper discusses.
+// variable, the crossover structure the paper discusses, and kernel
+// invariance — the model (and the instrumented counters it is compared to)
+// count mathematical operations, so neither may depend on which SIMD
+// microkernel set executes them (docs/KERNELS.md).
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "data/med_topics.hpp"
+#include "la/kernels.hpp"
+#include "lsi/batched_retrieval.hpp"
 #include "lsi/flops.hpp"
+#include "lsi/lsi_index.hpp"
 
 namespace {
 
@@ -109,6 +119,50 @@ TEST(FlopsProperty, ZeroEverythingIsZero) {
   EXPECT_EQ(lsi::core::flops_fold_terms(x), 0u);
   EXPECT_EQ(lsi::core::flops_update_documents(x), 0u);
   EXPECT_EQ(lsi::core::flops_recompute(x), 0u);
+}
+
+TEST(FlopsProperty, MeasuredFlopsAreKernelInvariant) {
+  // The instrumented QueryStats counters tally operations of the algorithm,
+  // not instructions of the active kernel: forcing a different kernel must
+  // leave every measured flop count unchanged — and, because the scoring
+  // sweep is built only from elementwise kernels, the scores themselves are
+  // bit-identical too.
+  using namespace lsi;
+  core::IndexOptions opts;
+  opts.k = 10;
+  const auto index = core::LsiIndex::try_build(data::med_topics(), opts).value();
+  const core::SemanticSpace& space = index.space();
+  const core::BatchedRetriever retriever(space);
+  const auto batch = core::QueryBatch::try_from_projected(
+      space, {space.doc_vector(0), space.doc_vector(3)}).value();
+
+  std::vector<std::string> names{"portable"};
+  if (la::kern::cpu_has_avx2() && la::kern::avx2() != nullptr) {
+    names.push_back("avx2");
+  }
+  std::uint64_t flops0 = 0;
+  la::DenseMatrix scores0;
+  for (std::size_t ki = 0; ki < names.size(); ++ki) {
+    ASSERT_TRUE(la::kern::force(names[ki]));
+    core::QueryStats stats;
+    const la::DenseMatrix scores =
+        retriever.scores(batch, core::SimilarityMode::kColumnSpace, &stats);
+    if (ki == 0) {
+      flops0 = stats.flops;
+      scores0 = scores;
+      EXPECT_GT(flops0, 0u);
+    } else {
+      EXPECT_EQ(stats.flops, flops0) << names[ki];
+      ASSERT_EQ(scores.rows(), scores0.rows());
+      for (core::index_t i = 0; i < scores.rows(); ++i) {
+        for (core::index_t j = 0; j < scores.cols(); ++j) {
+          ASSERT_EQ(scores0(i, j), scores(i, j))
+              << names[ki] << " (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+  la::kern::force("auto");
 }
 
 }  // namespace
