@@ -163,12 +163,14 @@ int main() {
           .rank(core::QueryBatch::from_term_vectors(mono.space(), ref_vectors),
                 qopts);
 
-  std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
-  if (quick) shard_counts = {1, 2, 4};
+  // N = 8 runs in BOTH modes: its overlap row is the pre-fusion baseline the
+  // gather-fusion bench (bench_gather_fusion) measures its win against.
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
 
   util::TextTable table({"shards", "shard k", "build s", "q/s (b=16)",
                          "speedup", "p99 ms", "overlap@10"});
   double qps_at_1 = 0.0, qps_at_4 = 0.0, overlap_at_4 = 0.0;
+  double overlap_at_8 = 0.0;
   core::ShardedSnapshot instrumented_snap({});
   bool have_instrumented = false;
 
@@ -265,6 +267,7 @@ int main() {
       instrumented_snap = snap;
       have_instrumented = true;
     }
+    if (shards == 8) overlap_at_8 = overlap;
     const double speedup = qps_at_1 > 0.0 ? qps / qps_at_1 : 0.0;
 
     table.add_row({util::fmt_int(static_cast<long long>(shards)),
@@ -280,6 +283,11 @@ int main() {
     stats.param("p99_ms" + suffix, p99);
     stats.param("overlap10" + suffix, overlap);
   }
+
+  // The raw-cosine gather's overlap@10 at 8 shards, under its own name: the
+  // PRE-FUSION baseline bench_gather_fusion's exchange + fusion gates are
+  // measured against (docs/GATHER.md).
+  stats.param("pre_fusion_overlap10_n8", overlap_at_8);
 
   std::string caption = "Sharded scatter-gather vs monolithic (";
   caption += std::to_string(corpus.docs.size());

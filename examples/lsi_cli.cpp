@@ -100,7 +100,7 @@ int usage() {
          "                [--ann-cutoff N] [--ann-centroids C]\n"
          "                [--replicas R] [--read-policy round-robin|"
          "least-loaded]\n"
-         "                [--query-threads N]\n"
+         "                [--query-threads N] [--share-stats]\n"
          "                (build a sharded index and run the HTTP/1.1 query "
          "daemon on\n"
          "                loopback until SIGINT/SIGTERM or POST /shutdown; "
@@ -109,9 +109,17 @@ int usage() {
          "docs/SERVING.md)\n"
          "  lsi_cli shard-stats <docs.tsv> [--shards N] [--k N] "
          "[--routing rr|size|hash]\n"
-         "                [--no-split-k] [--probe \"free text\"] [--top N]\n"
+         "                [--no-split-k] [--share-stats] "
+         "[--probe \"free text\"] [--top N]\n"
+         "                [--merge cosine|zscore|rrf] [--collapse C] "
+         "[--facets N]\n"
          "                (partition, build every shard's SVD and print the "
-         "per-shard table)\n"
+         "per-shard table;\n"
+         "                --share-stats exchanges Equation-5 global weights "
+         "across shards,\n"
+         "                --merge/--collapse/--facets drive the gather "
+         "pipeline — see\n"
+         "                docs/GATHER.md)\n"
          "Every command also accepts --stats[=json|csv] and "
          "--kernel portable|avx2|auto\n"
          "(force the SIMD microkernel set, same vocabulary as LSI_KERNEL — "
@@ -419,6 +427,7 @@ int cmd_shard_stats(const std::vector<std::string>& args) {
     sopts.routing = parse_routing_policy(v).value();
   }
   sopts.split_k_budget = !has_flag(args, "--no-split-k");
+  sopts.share_term_stats = has_flag(args, "--share-stats");
 
   util::WallTimer wall;
   auto index = ShardedIndex::try_build(docs, sopts).value();
@@ -432,6 +441,11 @@ int cmd_shard_stats(const std::vector<std::string>& args) {
                                      : " per shard")
             << "), built in " << build_s << "s\n";
   print_shard_table(index.shard_infos(), "");
+  if (sopts.share_term_stats) {
+    const auto ts = index.term_stats_info();
+    std::cout << "term stats: v" << ts.version << ", " << ts.docs
+              << " docs, " << ts.terms << " terms shared across shards\n";
+  }
 
   stat_param("shards", static_cast<double>(index.num_shards()));
   stat_param("docs", static_cast<double>(docs.size()));
@@ -443,10 +457,46 @@ int cmd_shard_stats(const std::vector<std::string>& args) {
     if (const auto top = flag_value(args, "--top"); !top.empty()) {
       qopts.z = std::stoul(top);
     }
+    if (const auto v = flag_value(args, "--merge"); !v.empty()) {
+      if (!gather::parse_merge_policy(v, qopts.merge)) {
+        std::cerr << "--merge must be cosine, zscore, or rrf\n";
+        return 1;
+      }
+    }
+    if (const auto v = flag_value(args, "--collapse"); !v.empty()) {
+      qopts.collapse_cosine = std::stod(v);
+    }
+    if (const auto v = flag_value(args, "--facets"); !v.empty()) {
+      qopts.facets = std::stoul(v);
+    }
     QueryStats stats;
-    std::cout << "# probe: " << probe << '\n';
-    for (const auto& hit : index.snapshot().query(probe, qopts, &stats)) {
-      std::cout << hit.label << '\t' << hit.cosine << '\n';
+    std::cout << "# probe: " << probe << " (merge="
+              << gather::merge_policy_name(qopts.merge) << ")\n";
+    if (qopts.facets > 0 || qopts.collapse_cosine > 0.0) {
+      // Rich gather path: fusion score + raw cosine + collapsed duplicates
+      // per hit, facet suggestions after the ranking.
+      const auto results =
+          index.snapshot().gather_batch({probe}, qopts, &stats);
+      for (const auto& hit : results[0].hits) {
+        std::cout << "doc " << hit.doc << "\tscore " << hit.score
+                  << "\tcosine " << hit.cosine << "\tshard " << hit.shard;
+        if (!hit.duplicates.empty()) {
+          std::cout << "\tdups";
+          for (const auto d : hit.duplicates) std::cout << ' ' << d;
+        }
+        std::cout << '\n';
+      }
+      if (!results[0].facets.empty()) {
+        std::cout << "# facets:";
+        for (const auto& f : results[0].facets) {
+          std::cout << ' ' << f.term;
+        }
+        std::cout << '\n';
+      }
+    } else {
+      for (const auto& hit : index.snapshot().query(probe, qopts, &stats)) {
+        std::cout << hit.label << '\t' << hit.cosine << '\n';
+      }
     }
     stat_param("probe_docs_scored", static_cast<double>(stats.docs_scored));
   }
@@ -746,6 +796,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   if (const auto v = flag_value(args, "--query-threads"); !v.empty()) {
     sopts.query_threads = std::stoul(v);
   }
+  sopts.share_term_stats = has_flag(args, "--share-stats");
 
   serve::ServerOptions opts;
   if (const auto v = flag_value(args, "--port"); !v.empty()) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "la/vector_ops.hpp"
+#include "util/aligned.hpp"
 
 namespace lsi::la {
 
@@ -87,7 +88,10 @@ class DenseMatrix {
  private:
   index_t rows_ = 0;
   index_t cols_ = 0;
-  std::vector<double> data_;
+  /// 64-byte-aligned, 64-byte-padded storage (util/aligned.hpp): the SIMD
+  /// sweeps' loadu instructions hit aligned addresses whenever the row count
+  /// cooperates, at zero cost to any caller — data() still returns double*.
+  util::aligned_vector<double> data_;
 };
 
 /// C = A * B. Parallelized over columns of C.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <string>
 
 #include "la/kernels.hpp"
@@ -54,6 +55,21 @@ std::vector<ScoredDoc> select_ranked(std::span<const double> scores,
     if (z > 0 && keep.size() > z) keep.resize(z);
   }
   return keep;
+}
+
+/// First two moments of one query's scored cosines, accumulated in doc-index
+/// order so the result is deterministic for a given space and candidate set.
+ScoreMoments moments_of(std::span<const double> scores) {
+  ScoreMoments m;
+  m.count = scores.size();
+  if (m.count == 0) return m;
+  double sum = 0.0;
+  for (const double s : scores) sum += s;
+  m.mean = sum / static_cast<double>(m.count);
+  double var = 0.0;
+  for (const double s : scores) var += (s - m.mean) * (s - m.mean);
+  m.stdev = std::sqrt(var / static_cast<double>(m.count));
+  return m;
 }
 
 }  // namespace
@@ -274,11 +290,12 @@ la::DenseMatrix BatchedRetriever::scores(const QueryBatch& batch,
 }
 
 std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
-    const QueryBatch& batch, const SearchOptions& opts,
-    QueryStats* stats) const {
+    const QueryBatch& batch, const SearchOptions& opts, QueryStats* stats,
+    std::vector<ScoreMoments>* moments) const {
   obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  if (moments) moments->assign(batch.size(), ScoreMoments{});
   if (ann_ != nullptr && opts.search != SearchMode::kExact) {
-    return rank_pruned(batch, opts, stats);
+    return rank_pruned(batch, opts, stats, moments);
   }
   if (opts.search == SearchMode::kPruned && batch.size() > 0) {
     // kPruned without a structure (small corpus, ann disabled): exact scan,
@@ -293,7 +310,10 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
     LSI_OBS_SPAN(span, "retrieval.select");
     util::parallel_for(
         0, batch.size(),
-        [&](std::size_t b) { out[b] = select_ranked(c.col(b), qopts); },
+        [&](std::size_t b) {
+          out[b] = select_ranked(c.col(b), qopts);
+          if (moments) (*moments)[b] = moments_of(c.col(b));
+        },
         /*grain=*/1);
   }
   obs::count("retrieval.batches");
@@ -307,8 +327,8 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank(
 }
 
 std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
-    const QueryBatch& batch, const SearchOptions& opts,
-    QueryStats* stats) const {
+    const QueryBatch& batch, const SearchOptions& opts, QueryStats* stats,
+    std::vector<ScoreMoments>* moments) const {
   util::WallTimer timer;
   LSI_OBS_SPAN(span, "ann.rank");
   const index_t n = space_.num_docs();
@@ -371,6 +391,10 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
         const bool bounded = z > 0;
         std::vector<ScoredDoc> keep;
         keep.reserve(bounded ? z + 1 : 0);
+        // Background moments cover every SCANNED candidate (the pruned
+        // analogue of the exact sweep's all-documents statistics), gathered
+        // before the min_cosine filter.
+        std::vector<double> bg;
         std::uint64_t cand_count = 0;
         for (const index_t c : clusters) {
           const auto docs = ann_->cluster_docs(c);
@@ -416,6 +440,7 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
                 j, (qn == 0.0 || doc_norm[j] == 0.0)
                        ? 0.0
                        : score / (qn * doc_norm[j])};
+            if (moments) bg.push_back(cand.cosine);
             if (cand.cosine < min_cos) continue;
             if (!bounded) {
               keep.push_back(cand);
@@ -435,6 +460,7 @@ std::vector<std::vector<ScoredDoc>> BatchedRetriever::rank_pruned(
         // the exact scan.
         std::sort(keep.begin(), keep.end(), by_rank);
         out[b] = std::move(keep);
+        if (moments) (*moments)[b] = moments_of(bg);
         scanned[b] = cand_count;
       },
       /*grain=*/1);

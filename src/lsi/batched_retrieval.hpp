@@ -79,6 +79,19 @@ class QueryBatch {
   la::DenseMatrix qhat_;
 };
 
+/// Per-query background statistics of one rank() call: the first two
+/// moments of every cosine the query SCORED, before the min_cosine filter
+/// and top-z selection dropped any of them. For an exact sweep that is all
+/// num_docs cosines; for a cluster-pruned search it is the scanned
+/// candidates. The sharded gather's z-score merge policy standardizes each
+/// shard's returned list against these (docs/GATHER.md) — the sweep already
+/// computes every cosine, so the moments are a free by-product.
+struct ScoreMoments {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stdev = 0.0;  ///< population standard deviation
+};
+
 /// Scores and ranks a QueryBatch against one semantic space.
 class BatchedRetriever {
  public:
@@ -127,9 +140,14 @@ class BatchedRetriever {
   /// Edge cases return cleanly rather than invoking UB: an empty batch
   /// yields an empty result vector, and `opts.z` larger than the number of
   /// documents returns every document passing the threshold.
-  std::vector<std::vector<ScoredDoc>> rank(const QueryBatch& batch,
-                                           const SearchOptions& opts = {},
-                                           QueryStats* stats = nullptr) const;
+  ///
+  /// `moments`, when non-null, is resized to the batch size and filled with
+  /// each query's ScoreMoments (see above); queries that scored nothing get
+  /// the zero-count default.
+  std::vector<std::vector<ScoredDoc>> rank(
+      const QueryBatch& batch, const SearchOptions& opts = {},
+      QueryStats* stats = nullptr,
+      std::vector<ScoreMoments>* moments = nullptr) const;
 
   /// Checked variant: kInvalidArgument when a non-empty batch was projected
   /// against a space with a different number of factors than this
@@ -145,9 +163,9 @@ class BatchedRetriever {
   const std::shared_ptr<const AnnIndex>& ann() const noexcept { return ann_; }
 
  private:
-  std::vector<std::vector<ScoredDoc>> rank_pruned(const QueryBatch& batch,
-                                                  const SearchOptions& opts,
-                                                  QueryStats* stats) const;
+  std::vector<std::vector<ScoredDoc>> rank_pruned(
+      const QueryBatch& batch, const SearchOptions& opts, QueryStats* stats,
+      std::vector<ScoreMoments>* moments) const;
 
   const SemanticSpace& space_;
   /// Keeps the pinned snapshot's space alive (null for the reference ctor).

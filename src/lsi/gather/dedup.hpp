@@ -1,0 +1,68 @@
+#pragma once
+// Near-duplicate collapse at the gather (docs/GATHER.md).
+//
+// A sharded collection routinely holds near-identical documents on
+// DIFFERENT shards (wire copies, re-ingested revisions), and the gather is
+// the first place the copies meet — so it is the natural (and only) place
+// to collapse them into one representative hit plus a `duplicates` list.
+//
+// Hits from different shards cannot be compared in k-space: each shard's
+// latent coordinates live in its own SVD basis. What the shards DO share is
+// the surface vocabulary, so each candidate hit is reconstructed back into
+// term space — row j of the rank-k approximation A_k = U (sigma .* v_j) —
+// truncated to its strongest terms and compared as a sparse term-string
+// vector. Two hits whose reconstructed term profiles agree above the
+// threshold are the same document for ranking purposes regardless of which
+// shard, vocabulary row order, or latent basis each came from.
+//
+// Collapse is greedy in fused rank order and therefore deterministic: walk
+// the fused list best-first; each hit joins the FIRST already-chosen
+// representative it matches, else becomes a representative itself. The
+// representative of a group is always its best-ranked member, so collapsing
+// never reorders survivors.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "la/dense.hpp"
+#include "lsi/gather/fusion.hpp"
+#include "text/vocabulary.hpp"
+
+namespace lsi::gather {
+
+/// A reconstructed document profile: (term, weight) pairs sorted by term so
+/// two profiles from different shards merge-join in linear time.
+using SparseTermVector = std::vector<std::pair<std::string, double>>;
+
+/// Reconstructs document `doc_row`'s term-space profile from a shard's
+/// truncated SVD: U * (sigma .* v_row), keeping the `top_terms` entries of
+/// largest magnitude (0 = all). Ties in magnitude break alphabetically, so
+/// the truncation is deterministic.
+SparseTermVector reconstruct_term_profile(const lsi::la::DenseMatrix& u,
+                                          const std::vector<double>& sigma,
+                                          const lsi::la::DenseMatrix& v,
+                                          index_t doc_row,
+                                          const text::Vocabulary& vocabulary,
+                                          std::size_t top_terms = 64);
+
+/// Cosine between two sorted sparse term vectors (0 when either is empty).
+double sparse_cosine(const SparseTermVector& a, const SparseTermVector& b);
+
+/// One collapsed result: the representative (best-ranked member) and the
+/// global ids of the hits folded into it, in fused rank order.
+struct CollapsedHit {
+  FusedHit rep;
+  std::vector<index_t> duplicates;
+};
+
+/// Greedy best-first collapse of `fused` (already in fused order) using the
+/// parallel `profiles` array (profiles[i] describes fused[i]). Hits whose
+/// profile cosine against a representative is >= `threshold` fold into it.
+/// A threshold outside (0, 1] collapses nothing (every hit survives).
+std::vector<CollapsedHit> collapse_near_duplicates(
+    const std::vector<FusedHit>& fused,
+    const std::vector<SparseTermVector>& profiles, double threshold);
+
+}  // namespace lsi::gather

@@ -1,0 +1,68 @@
+#include "lsi/gather/facets.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "la/vector_ops.hpp"
+
+namespace lsi::gather {
+
+namespace {
+
+bool facet_before(const Facet& a, const Facet& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return a.term < b.term;
+}
+
+}  // namespace
+
+std::vector<Facet> shard_facets(const lsi::la::DenseMatrix& u,
+                                const std::vector<double>& sigma,
+                                const lsi::la::DenseMatrix& v,
+                                const text::Vocabulary& vocabulary,
+                                const std::vector<lsi::la::index_t>& doc_rows,
+                                std::size_t top_terms) {
+  if (doc_rows.empty() || top_terms == 0 || u.rows() == 0) return {};
+  const std::size_t k = std::min<std::size_t>(u.cols(), sigma.size());
+
+  lsi::la::Vector centroid(k, 0.0);
+  for (lsi::la::index_t row : doc_rows) {
+    const lsi::la::Vector coords = v.row(row);
+    for (std::size_t f = 0; f < k; ++f) centroid[f] += coords[f] * sigma[f];
+  }
+  lsi::la::scale(centroid, 1.0 / static_cast<double>(doc_rows.size()));
+  if (lsi::la::norm2(centroid) == 0.0) return {};
+
+  std::vector<Facet> scored;
+  scored.reserve(u.rows());
+  lsi::la::Vector term_coords(k, 0.0);
+  for (lsi::la::index_t i = 0; i < u.rows(); ++i) {
+    for (std::size_t f = 0; f < k; ++f) term_coords[f] = u(i, f) * sigma[f];
+    const double w = lsi::la::cosine(term_coords, centroid);
+    if (w > 0.0) scored.push_back(Facet{vocabulary.term(i), w});
+  }
+  std::sort(scored.begin(), scored.end(), facet_before);
+  if (scored.size() > top_terms) scored.resize(top_terms);
+  return scored;
+}
+
+std::vector<Facet> merge_facets(const std::vector<std::vector<Facet>>& lists,
+                                std::size_t top) {
+  // std::map keys the merge by term string; with max-weight semantics the
+  // result is independent of shard visit order.
+  std::map<std::string, double> best;
+  for (const std::vector<Facet>& list : lists) {
+    for (const Facet& f : list) {
+      auto [it, inserted] = best.emplace(f.term, f.weight);
+      if (!inserted && f.weight > it->second) it->second = f.weight;
+    }
+  }
+  std::vector<Facet> merged;
+  merged.reserve(best.size());
+  for (const auto& [term, weight] : best) merged.push_back(Facet{term, weight});
+  std::sort(merged.begin(), merged.end(), facet_before);
+  if (top > 0 && merged.size() > top) merged.resize(top);
+  return merged;
+}
+
+}  // namespace lsi::gather

@@ -1,0 +1,127 @@
+#include "lsi/gather/term_stats.hpp"
+
+#include <cmath>
+
+#include "obs/trace.hpp"
+
+namespace lsi::gather {
+
+void TermStatsPartial::add_counts(const lsi::la::CscMatrix& counts,
+                                  const text::Vocabulary& vocabulary) {
+  docs += static_cast<std::uint64_t>(counts.cols());
+  for (lsi::la::index_t j = 0; j < counts.cols(); ++j) {
+    auto rows = counts.col_rows(j);
+    auto vals = counts.col_values(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      const double tf = vals[p];
+      if (tf <= 0.0) continue;
+      TermStats& ts = terms[vocabulary.term(rows[p])];
+      ts.df += 1;
+      ts.gf += tf;
+      ts.tf_log_tf += tf * std::log2(tf);
+      ts.tf_sq += tf * tf;
+    }
+  }
+}
+
+void TermStatsPartial::add_document(
+    const std::map<std::string, double>& term_counts) {
+  docs += 1;
+  for (const auto& [term, tf] : term_counts) {
+    if (tf <= 0.0) continue;
+    TermStats& ts = terms[term];
+    ts.df += 1;
+    ts.gf += tf;
+    ts.tf_log_tf += tf * std::log2(tf);
+    ts.tf_sq += tf * tf;
+  }
+}
+
+void TermStatsPartial::merge(const TermStatsPartial& other) {
+  docs += other.docs;
+  for (const auto& [term, ts] : other.terms) terms[term].merge(ts);
+}
+
+const TermStats* GlobalTermStats::find(const std::string& term) const {
+  const auto it = terms_.find(term);
+  return it == terms_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> GlobalTermStats::weights_for(
+    const text::Vocabulary& vocabulary, weighting::GlobalWeight g) const {
+  const std::size_t m = vocabulary.size();
+  std::vector<double> out(m, 1.0);
+  if (g == weighting::GlobalWeight::kNone || m == 0 || docs_ == 0) return out;
+
+  const double n = static_cast<double>(docs_);
+  // Same n == 1 convention as weighting::global_weights' entropy branch.
+  const double logn = n > 1.0 ? std::log2(n) : 1.0;
+  static const TermStats kEmpty{};
+
+  for (std::size_t i = 0; i < m; ++i) {
+    const TermStats* ts = find(vocabulary.term(i));
+    if (ts == nullptr) ts = &kEmpty;
+    switch (g) {
+      case weighting::GlobalWeight::kIdf:
+        out[i] = ts->df > 0
+                     ? std::log2(n / static_cast<double>(ts->df)) + 1.0
+                     : 0.0;
+        break;
+      case weighting::GlobalWeight::kGfIdf:
+        out[i] = ts->df > 0 ? ts->gf / static_cast<double>(ts->df) : 0.0;
+        break;
+      case weighting::GlobalWeight::kEntropy: {
+        // sum_j p log2 p = (sum tf log2 tf)/gf - log2 gf with p = tf/gf:
+        // the additive form of the monolithic per-element accumulation.
+        const double entropy =
+            ts->gf > 0.0 ? ts->tf_log_tf / ts->gf - std::log2(ts->gf) : 0.0;
+        out[i] = 1.0 + entropy / logn;
+        break;
+      }
+      case weighting::GlobalWeight::kNormal:
+        out[i] = ts->tf_sq > 0.0 ? 1.0 / std::sqrt(ts->tf_sq) : 0.0;
+        break;
+      case weighting::GlobalWeight::kNone:
+        break;
+    }
+  }
+  return out;
+}
+
+TermStatsExchange::TermStatsExchange(std::size_t num_shards)
+    : partials_(num_shards) {}
+
+void TermStatsExchange::accumulate(std::size_t shard,
+                                   const TermStatsPartial& partial) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partials_[shard].merge(partial);
+}
+
+void TermStatsExchange::accumulate_document(
+    std::size_t shard, const std::map<std::string, double>& term_counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partials_[shard].add_document(term_counts);
+}
+
+std::shared_ptr<const GlobalTermStats> TermStatsExchange::publish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TermStatsPartial merged;
+  for (const TermStatsPartial& p : partials_) merged.merge(p);
+  ++version_;
+  published_ = std::make_shared<const GlobalTermStats>(
+      version_, merged.docs, std::move(merged.terms));
+  obs::count("gather.term_stats_publishes");
+  obs::gauge("gather.term_stats_version", static_cast<double>(version_));
+  obs::gauge("gather.term_stats_terms",
+             static_cast<double>(published_->num_terms()));
+  obs::gauge("gather.term_stats_docs",
+             static_cast<double>(published_->docs()));
+  return published_;
+}
+
+std::shared_ptr<const GlobalTermStats> TermStatsExchange::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+}  // namespace lsi::gather

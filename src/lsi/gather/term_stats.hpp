@@ -1,0 +1,153 @@
+#pragma once
+// Cross-shard term-statistics exchange (docs/GATHER.md).
+//
+// The paper's Equation-5 weighting a_ij = L(i,j) x G(i) assumes G(i) is
+// computed over the WHOLE collection, but every shard of a ShardedIndex
+// parses and weights only its own slice — so two shards disagree about how
+// informative a term is, their weighted matrices live on different scales,
+// and their cosines stop being comparable at the gather (docs/SHARDING.md
+// names this per-shard score divergence as the residual error behind the
+// overlap@10 floor). This header is the fix's first half: shards exchange
+// the sufficient statistics of every global weight formula, the merged
+// totals are published as a versioned GlobalTermStats, and every shard
+// derives its G(i) from the SAME merged statistics.
+//
+// The statistics are chosen so each formula in weighting/weighting.cpp is an
+// exact function of the merged totals (df, gf, sum tf*log2 tf, sum tf^2 per
+// term, plus the total document count):
+//
+//   idf      log2(n / df) + 1
+//   gfidf    gf / df
+//   normal   1 / sqrt(sum tf^2)
+//   entropy  1 + [ (sum_j tf log2 tf)/gf - log2 gf ] / log2 n
+//
+// The entropy line uses the identity sum_j p log2 p = (sum tf log2 tf)/gf -
+// log2 gf with p = tf/gf — per-document probabilities never need to cross
+// the wire, only two running sums per term do. Merging partials is plain
+// addition, so the exchange is associative and order-independent: any subset
+// of shards can be combined in any order and the published totals agree.
+//
+// The merged weights equal the monolithic global_weights() values up to
+// floating-point reassociation (the identity regroups the entropy sum), so
+// exchange-derived weights are numerically — not bit — identical to a
+// single-index build over the same documents. The exchange is therefore OFF
+// by default; the bit-parity contracts of the default configuration are
+// untouched.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "la/sparse.hpp"
+#include "text/vocabulary.hpp"
+#include "weighting/weighting.hpp"
+
+namespace lsi::gather {
+
+/// Sufficient statistics of one term for every GlobalWeight formula.
+/// Addition-mergeable: the totals of a collection are the element-wise sums
+/// of the totals of any partition of it.
+struct TermStats {
+  std::uint64_t df = 0;    ///< documents containing the term
+  double gf = 0.0;         ///< total occurrences across the collection
+  double tf_log_tf = 0.0;  ///< sum over docs of tf * log2(tf)
+  double tf_sq = 0.0;      ///< sum over docs of tf^2
+
+  void merge(const TermStats& other) {
+    df += other.df;
+    gf += other.gf;
+    tf_log_tf += other.tf_log_tf;
+    tf_sq += other.tf_sq;
+  }
+};
+
+/// One shard's contribution to the exchange: its document count and the
+/// per-term statistics of its slice, keyed by term STRING — shards have
+/// independent vocabularies, so row indices mean nothing across shards.
+struct TermStatsPartial {
+  std::uint64_t docs = 0;
+  std::unordered_map<std::string, TermStats> terms;
+
+  /// Accumulates a parsed term-document matrix (a shard's raw counts at
+  /// build time). Every stored entry is one (term, document) pair with
+  /// tf > 0, so df advances by one per entry.
+  void add_counts(const lsi::la::CscMatrix& counts,
+                  const text::Vocabulary& vocabulary);
+
+  /// Accumulates one streamed document's term counts (the ingest path).
+  void add_document(const std::map<std::string, double>& term_counts);
+
+  void merge(const TermStatsPartial& other);
+};
+
+/// An immutable, versioned snapshot of the merged cross-shard statistics.
+/// Published by TermStatsExchange; shards derive their Equation-5 global
+/// weights from one of these so every shard weights by the SAME G(i).
+class GlobalTermStats {
+ public:
+  GlobalTermStats(std::uint64_t version, std::uint64_t docs,
+                  std::unordered_map<std::string, TermStats> terms)
+      : version_(version), docs_(docs), terms_(std::move(terms)) {}
+
+  /// Publish sequence number (1 = the build-time exchange).
+  std::uint64_t version() const noexcept { return version_; }
+  /// Documents accumulated across every shard.
+  std::uint64_t docs() const noexcept { return docs_; }
+  /// Distinct terms seen by any shard.
+  std::size_t num_terms() const noexcept { return terms_.size(); }
+
+  /// The merged statistics of `term`, or null when no shard has seen it.
+  const TermStats* find(const std::string& term) const;
+
+  /// Equation-5 global weight vector for a shard's vocabulary, computed
+  /// from the MERGED statistics with exactly the formulas (and zero-df /
+  /// zero-gf conventions) of weighting::global_weights. A term no shard has
+  /// reported gets the same value the monolithic formula assigns a term
+  /// with empty statistics (0 for idf/gfidf/normal, 1 for entropy/none).
+  std::vector<double> weights_for(const text::Vocabulary& vocabulary,
+                                  weighting::GlobalWeight g) const;
+
+ private:
+  std::uint64_t version_;
+  std::uint64_t docs_;
+  std::unordered_map<std::string, TermStats> terms_;
+};
+
+/// The exchange itself: one accumulator slot per shard plus a versioned
+/// publish. Thread-safe — shard builds accumulate in parallel and the
+/// ingest path appends documents concurrently with publishes. Publishing
+/// merges every slot into a fresh immutable GlobalTermStats and bumps the
+/// version; accumulation after a publish is reflected in the NEXT publish
+/// (the paper's "periodic" exchange — republish on whatever cadence the
+/// operator picks, cheap enough to run per consolidation).
+class TermStatsExchange {
+ public:
+  explicit TermStatsExchange(std::size_t num_shards);
+
+  /// Adds a whole partial into shard `shard`'s slot (build-time path).
+  void accumulate(std::size_t shard, const TermStatsPartial& partial);
+
+  /// Adds one streamed document's counts into shard `shard`'s slot.
+  void accumulate_document(std::size_t shard,
+                           const std::map<std::string, double>& term_counts);
+
+  /// Merges every slot and publishes the result under the next version.
+  std::shared_ptr<const GlobalTermStats> publish();
+
+  /// The latest published statistics (null before the first publish).
+  std::shared_ptr<const GlobalTermStats> current() const;
+
+  std::size_t num_shards() const noexcept { return partials_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TermStatsPartial> partials_;
+  std::uint64_t version_ = 0;
+  std::shared_ptr<const GlobalTermStats> published_;
+};
+
+}  // namespace lsi::gather

@@ -39,9 +39,16 @@ Expected<LsiIndex> LsiIndex::try_build(const text::Collection& docs,
   index.tdm_ = text::build_term_document_matrix(docs, opts.parser);
   {
     LSI_OBS_SPAN(span_weight, "build.weight");
-    index.weighted_ = weighting::apply(index.tdm_.counts, opts.scheme);
-    index.global_weights_ =
-        weighting::global_weights(index.tdm_.counts, opts.scheme.global);
+    if (opts.shared_stats) {
+      index.global_weights_ = opts.shared_stats->weights_for(
+          index.tdm_.vocabulary, opts.scheme.global);
+      index.weighted_ = weighting::apply_with_global(
+          index.tdm_.counts, opts.scheme.local, index.global_weights_);
+    } else {
+      index.weighted_ = weighting::apply(index.tdm_.counts, opts.scheme);
+      index.global_weights_ =
+          weighting::global_weights(index.tdm_.counts, opts.scheme.global);
+    }
   }
   Expected<SemanticSpace> space =
       try_build_semantic_space(index.weighted_, opts.effective_build());

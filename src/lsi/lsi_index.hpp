@@ -8,7 +8,10 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "lsi/folding.hpp"
+#include "lsi/gather/term_stats.hpp"
 #include "lsi/retrieval.hpp"
 #include "lsi/semantic_space.hpp"
 #include "lsi/status.hpp"
@@ -45,6 +48,13 @@ struct IndexOptions {
   /// When non-null, installed as the active observability sink during
   /// build and every query made through the index.
   obs::Sink* sink = nullptr;
+  /// When non-null, Equation 5 global weights G(i) come from these
+  /// COLLECTION-wide term statistics (published by the cross-shard
+  /// gather::TermStatsExchange) instead of this index's own counts. Local
+  /// weights L(i,j) are unaffected. This is how every shard of a sharded
+  /// build applies the SAME global weight to a term even though each shard
+  /// sees only its slice of the collection (docs/GATHER.md).
+  std::shared_ptr<const gather::GlobalTermStats> shared_stats;
 
   /// `build` with the k precedence applied: the BuildOptions the index
   /// passes to try_build_semantic_space.

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <string>
 
+#include "lsi/gather/fusion.hpp"
 #include "lsi/retrieval.hpp"
 #include "lsi/status.hpp"
 
@@ -82,6 +83,22 @@ struct SearchOptions {
   /// kDeadlineExceeded — an in-flight sweep is never interrupted.
   std::chrono::steady_clock::time_point deadline{};
 
+  /// Gather-side merge policy for sharded reads (docs/GATHER.md). The
+  /// default concatenates raw cosines and is BIT-IDENTICAL to the pre-gather
+  /// merge; kZScore / kRRF re-score per-shard lists before merging.
+  gather::MergePolicy merge = gather::MergePolicy::kRawCosine;
+  /// RRF damping constant (only read under MergePolicy::kRRF).
+  double rrf_k = 60.0;
+  /// Near-duplicate collapse threshold at the gather: fused hits whose
+  /// reconstructed term profiles agree with a better-ranked hit's at cosine
+  /// >= this fold into it. Outside (0, 1] (the default -1) collapses
+  /// nothing. Only honored by the gather_batch read path.
+  double collapse_cosine = -1.0;
+  /// Number of facet terms (query refinements from the top-z semantic
+  /// neighborhood) to attach to the response; 0 disables. Only honored by
+  /// the gather_batch read path.
+  std::size_t facets = 0;
+
   /// When non-null, installed as the active observability sink for the
   /// duration of the call (previous sink restored on return).
   obs::Sink* sink = nullptr;
@@ -111,7 +128,25 @@ struct SearchOptions {
           "min_cosine above 1 filters every document, got " +
           std::to_string(min_cosine));
     }
+    if (rrf_k <= 0.0) {
+      return Status::InvalidArgument(
+          "rrf_k must be positive (rank-1 score is 1/(rrf_k + 1)), got " +
+          std::to_string(rrf_k));
+    }
+    if (collapse_cosine > 1.0) {
+      return Status::InvalidArgument(
+          "collapse_cosine above 1 collapses nothing by construction; use a "
+          "value in (0, 1] or leave it negative to disable");
+    }
     return Status::Ok();
+  }
+
+  /// The gather-stage subset (merge policy + RRF constant).
+  gather::FusionOptions fusion_options() const {
+    gather::FusionOptions f;
+    f.policy = merge;
+    f.rrf_k = rrf_k;
+    return f;
   }
 
   /// The exact-path subset as a legacy QueryOptions (for the low-level

@@ -5,9 +5,12 @@
 #include <cassert>
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
+#include "lsi/gather/dedup.hpp"
 #include "lsi/ranking.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -182,6 +185,45 @@ std::vector<std::uint64_t> ShardedSnapshot::generations() const {
   return gens;
 }
 
+std::vector<std::vector<std::vector<ScoredDoc>>> ShardedSnapshot::scatter(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    std::vector<QueryStats>* shard_stats, std::atomic<bool>* expired,
+    std::vector<std::vector<ScoreMoments>>* moments) const {
+  // Scatter: every shard handles the whole batch against its own space —
+  // through its own cluster-pruned structure when the snapshot carries one
+  // and opts.search admits it. Per-shard results stay in shard-local
+  // document indices until the gather; each worker writes only its own
+  // slot, so no synchronization beyond the fan_out join is needed.
+  const std::size_t bsz = texts.size();
+  SearchOptions shard_opts = opts;
+  shard_opts.sink = nullptr;  // installed once by the caller, for all shards
+  std::vector<std::vector<std::vector<ScoredDoc>>> per_shard(shards_.size());
+  if (moments) moments->assign(shards_.size(), {});
+  LSI_OBS_SPAN(span, "sharding.scatter");
+  fan_out_shards(shards_, [&](std::size_t s) {
+    // Per-shard deadline check (try_* paths only): a scatter task that has
+    // not started by expiry abandons the batch instead of scoring it.
+    if (expired != nullptr && shard_opts.deadline_expired()) {
+      expired->store(true, std::memory_order_relaxed);
+      return;
+    }
+    LSI_OBS_SPAN(shard_span, "sharding.shard_rank");
+    const IndexSnapshot& snap = *shards_[s].snapshot;
+    std::vector<la::Vector> vectors;
+    vectors.reserve(bsz);
+    for (const std::string& text : texts) {
+      vectors.push_back(snap.context().weighted_term_vector(text));
+    }
+    QueryStats* qs = shard_stats ? &(*shard_stats)[s] : nullptr;
+    const QueryBatch batch =
+        QueryBatch::from_term_vectors(snap.space(), vectors, qs);
+    per_shard[s] = BatchedRetriever(snap.space_ptr(), snap.ann())
+                       .rank(batch, shard_opts, qs,
+                             moments ? &(*moments)[s] : nullptr);
+  });
+  return per_shard;
+}
+
 std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
     const std::vector<std::string>& texts, const SearchOptions& opts,
     QueryStats* stats, std::atomic<bool>* expired) const {
@@ -191,38 +233,12 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
   std::vector<std::vector<ScoredDoc>> merged(bsz);
   if (bsz == 0 || n_shards == 0) return merged;
 
-  // Scatter: every shard handles the whole batch against its own space —
-  // through its own cluster-pruned structure when the snapshot carries one
-  // and opts.search admits it. Per-shard results stay in shard-local
-  // document indices until the gather; each worker writes only its own
-  // slot, so no synchronization beyond the fan_out join is needed.
-  SearchOptions shard_opts = opts;
-  shard_opts.sink = nullptr;  // installed once above, for all shards
-  std::vector<std::vector<std::vector<ScoredDoc>>> per_shard(n_shards);
   std::vector<QueryStats> shard_stats(n_shards);
-  {
-    LSI_OBS_SPAN(span, "sharding.scatter");
-    fan_out_shards(shards_, [&](std::size_t s) {
-      // Per-shard deadline check (try_rank_batch only): a scatter task that
-      // has not started by expiry abandons the batch instead of scoring it.
-      if (expired != nullptr && shard_opts.deadline_expired()) {
-        expired->store(true, std::memory_order_relaxed);
-        return;
-      }
-      LSI_OBS_SPAN(shard_span, "sharding.shard_rank");
-      const IndexSnapshot& snap = *shards_[s].snapshot;
-      std::vector<la::Vector> vectors;
-      vectors.reserve(bsz);
-      for (const std::string& text : texts) {
-        vectors.push_back(snap.context().weighted_term_vector(text));
-      }
-      QueryStats* qs = stats ? &shard_stats[s] : nullptr;
-      const QueryBatch batch =
-          QueryBatch::from_term_vectors(snap.space(), vectors, qs);
-      per_shard[s] = BatchedRetriever(snap.space_ptr(), snap.ann())
-                         .rank(batch, shard_opts, qs);
-    });
-  }
+  const bool raw_policy = opts.merge == gather::MergePolicy::kRawCosine;
+  std::vector<std::vector<ScoreMoments>> shard_moments;
+  auto per_shard =
+      scatter(texts, opts, stats ? &shard_stats : nullptr, expired,
+              raw_policy ? nullptr : &shard_moments);
   if (expired != nullptr &&
       expired->load(std::memory_order_relaxed)) {
     return merged;  // caller reports kDeadlineExceeded; results are partial
@@ -231,17 +247,49 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
   // Gather: map shard-local indices to global ids, then merge every query's
   // N sorted lists under the shared comparator. Equal cosines order by
   // global id — independent of which shard produced them, so the tie order
-  // is identical across shard counts.
+  // is identical across shard counts. The raw-cosine default stays on the
+  // original merge_rankings path (bit-identical to the pre-gather engine);
+  // kZScore/kRRF re-score each shard's list before the same sort.
   {
     LSI_OBS_SPAN(span, "sharding.gather");
     for (std::size_t b = 0; b < bsz; ++b) {
-      std::vector<std::vector<ScoredDoc>> lists(n_shards);
-      for (std::size_t s = 0; s < n_shards; ++s) {
-        const std::vector<index_t>& ids = *shards_[s].global_ids;
-        lists[s] = std::move(per_shard[s][b]);
-        for (ScoredDoc& sd : lists[s]) sd.doc = ids[sd.doc];
+      if (raw_policy) {
+        std::vector<std::vector<ScoredDoc>> lists(n_shards);
+        for (std::size_t s = 0; s < n_shards; ++s) {
+          const std::vector<index_t>& ids = *shards_[s].global_ids;
+          lists[s] = std::move(per_shard[s][b]);
+          for (ScoredDoc& sd : lists[s]) sd.doc = ids[sd.doc];
+        }
+        merged[b] = merge_rankings(lists, opts.z);
+      } else {
+        std::vector<gather::ShardList> lists(n_shards);
+        for (std::size_t s = 0; s < n_shards; ++s) {
+          const std::vector<index_t>& ids = *shards_[s].global_ids;
+          const std::vector<ScoredDoc>& ranked = per_shard[s][b];
+          lists[s].docs.reserve(ranked.size());
+          lists[s].cosines.reserve(ranked.size());
+          for (const ScoredDoc& sd : ranked) {
+            lists[s].docs.push_back(ids[sd.doc]);
+            lists[s].cosines.push_back(sd.cosine);
+          }
+          // Full-sweep background moments: the z-score standardizes each
+          // shard's list against everything the shard scored, not just the
+          // top-z it returned (fusion.hpp).
+          const ScoreMoments& m = shard_moments[s][b];
+          lists[s].bg_count = m.count;
+          lists[s].bg_mean = m.mean;
+          lists[s].bg_stdev = m.stdev;
+        }
+        const std::vector<gather::FusedHit> fused =
+            gather::fuse(lists, opts.fusion_options(), opts.z);
+        merged[b].reserve(fused.size());
+        // The cosine slot carries the FUSION score so downstream ordering
+        // consumers (paging cursors, min_cosine-free sessions) stay policy-
+        // agnostic; gather_batch exposes both values separately.
+        for (const gather::FusedHit& h : fused) {
+          merged[b].push_back(ScoredDoc{h.doc, h.score});
+        }
       }
-      merged[b] = merge_rankings(lists, opts.z);
     }
   }
 
@@ -252,6 +300,147 @@ std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch_impl(
   obs::count("sharding.batches");
   obs::count("sharding.queries", bsz);
   return merged;
+}
+
+std::vector<ShardedSnapshot::GatherResult> ShardedSnapshot::gather_batch_impl(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    QueryStats* stats, std::atomic<bool>* expired) const {
+  obs::ScopedSink scoped(opts.sink ? opts.sink : obs::Sink::active());
+  const std::size_t bsz = texts.size();
+  const std::size_t n_shards = shards_.size();
+  std::vector<GatherResult> results(bsz);
+  if (bsz == 0 || n_shards == 0) return results;
+
+  std::vector<QueryStats> shard_stats(n_shards);
+  const bool raw_policy = opts.merge == gather::MergePolicy::kRawCosine;
+  std::vector<std::vector<ScoreMoments>> shard_moments;
+  auto per_shard =
+      scatter(texts, opts, stats ? &shard_stats : nullptr, expired,
+              raw_policy ? nullptr : &shard_moments);
+  if (expired != nullptr && expired->load(std::memory_order_relaxed)) {
+    return results;  // caller reports kDeadlineExceeded
+  }
+
+  const bool collapse =
+      opts.collapse_cosine > 0.0 && opts.collapse_cosine <= 1.0;
+  LSI_OBS_SPAN(span, "sharding.gather");
+  for (std::size_t b = 0; b < bsz; ++b) {
+    // Global-id shard lists for the fusion, plus a global -> shard-local row
+    // lookup (dedup reconstruction and facets read shard-local V rows).
+    std::vector<gather::ShardList> lists(n_shards);
+    std::vector<std::unordered_map<index_t, index_t>> local_rows(n_shards);
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      const std::vector<index_t>& ids = *shards_[s].global_ids;
+      const std::vector<ScoredDoc>& ranked = per_shard[s][b];
+      lists[s].docs.reserve(ranked.size());
+      lists[s].cosines.reserve(ranked.size());
+      for (const ScoredDoc& sd : ranked) {
+        lists[s].docs.push_back(ids[sd.doc]);
+        lists[s].cosines.push_back(sd.cosine);
+        local_rows[s].emplace(ids[sd.doc], sd.doc);
+      }
+      if (!raw_policy) {
+        const ScoreMoments& m = shard_moments[s][b];
+        lists[s].bg_count = m.count;
+        lists[s].bg_mean = m.mean;
+        lists[s].bg_stdev = m.stdev;
+      }
+    }
+
+    std::vector<gather::FusedHit> fused;
+    {
+      LSI_OBS_SPAN(fuse_span, "gather.fuse");
+      // Collapse needs the full candidate pool: a duplicate ranked below
+      // position z must still be able to fold into a top-z representative.
+      fused = gather::fuse(lists, opts.fusion_options(),
+                           collapse ? 0 : opts.z);
+    }
+
+    std::vector<gather::CollapsedHit> collapsed;
+    if (collapse) {
+      LSI_OBS_SPAN(collapse_span, "gather.collapse");
+      std::vector<gather::SparseTermVector> profiles;
+      profiles.reserve(fused.size());
+      for (const gather::FusedHit& h : fused) {
+        const IndexSnapshot& snap = *shards_[h.shard].snapshot;
+        const SemanticSpace& sp = snap.space();
+        profiles.push_back(gather::reconstruct_term_profile(
+            sp.u, sp.sigma, sp.v, local_rows[h.shard].at(h.doc),
+            snap.context().vocabulary()));
+      }
+      collapsed = gather::collapse_near_duplicates(fused, profiles,
+                                                   opts.collapse_cosine);
+      if (opts.z > 0 && collapsed.size() > opts.z) collapsed.resize(opts.z);
+    } else {
+      collapsed.reserve(fused.size());
+      for (const gather::FusedHit& h : fused) {
+        collapsed.push_back(gather::CollapsedHit{h, {}});
+      }
+    }
+
+    GatherResult& result = results[b];
+    result.hits.reserve(collapsed.size());
+    for (gather::CollapsedHit& ch : collapsed) {
+      GatherHit hit;
+      hit.doc = ch.rep.doc;
+      hit.score = ch.rep.score;
+      hit.cosine = ch.rep.cosine;
+      hit.shard = ch.rep.shard;
+      hit.duplicates = std::move(ch.duplicates);
+      result.hits.push_back(std::move(hit));
+    }
+
+    if (opts.facets > 0 && !result.hits.empty()) {
+      LSI_OBS_SPAN(facet_span, "gather.facets");
+      std::vector<std::vector<index_t>> rows_by_shard(n_shards);
+      for (const GatherHit& hit : result.hits) {
+        rows_by_shard[hit.shard].push_back(
+            local_rows[hit.shard].at(hit.doc));
+      }
+      std::vector<std::vector<gather::Facet>> shard_lists;
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (rows_by_shard[s].empty()) continue;
+        const IndexSnapshot& snap = *shards_[s].snapshot;
+        const SemanticSpace& sp = snap.space();
+        shard_lists.push_back(gather::shard_facets(
+            sp.u, sp.sigma, sp.v, snap.context().vocabulary(),
+            rows_by_shard[s], opts.facets));
+      }
+      result.facets = gather::merge_facets(shard_lists, opts.facets);
+    }
+  }
+
+  if (stats) {
+    stats->batch_size += static_cast<index_t>(bsz);
+    for (const QueryStats& qs : shard_stats) accumulate_stats(*stats, qs);
+  }
+  obs::count("sharding.batches");
+  obs::count("sharding.queries", bsz);
+  return results;
+}
+
+std::vector<ShardedSnapshot::GatherResult> ShardedSnapshot::gather_batch(
+    const std::vector<std::string>& texts, const SearchOptions& opts,
+    QueryStats* stats) const {
+  return gather_batch_impl(texts, opts, stats, /*expired=*/nullptr);
+}
+
+Expected<std::vector<ShardedSnapshot::GatherResult>>
+ShardedSnapshot::try_gather_batch(const std::vector<std::string>& texts,
+                                  const SearchOptions& opts,
+                                  QueryStats* stats) const {
+  if (Status s = opts.Validate(); !s.ok()) return s;
+  if (opts.deadline_expired()) {
+    return Status::DeadlineExceeded(
+        "search deadline expired before the scatter began");
+  }
+  std::atomic<bool> expired{false};
+  auto results = gather_batch_impl(texts, opts, stats, &expired);
+  if (expired.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded(
+        "search deadline expired during the shard scatter");
+  }
+  return results;
 }
 
 std::vector<std::vector<ScoredDoc>> ShardedSnapshot::rank_batch(
@@ -431,12 +620,34 @@ Expected<ShardedIndex> ShardedIndex::try_build(const text::Collection& docs,
     }
   }
 
+  // Term-statistics exchange (share_term_stats): a statistics pass BEFORE
+  // any shard weights its slice. Each shard parses its documents, reduces
+  // them to mergeable sufficient statistics {df, gf, sum tf log2 tf,
+  // sum tf^2}, and the merged, versioned snapshot hands every shard the
+  // same collection-wide Equation-5 global weights. Costs one extra parse
+  // per shard at build time; per-shard statistics (the default) skip it.
+  std::shared_ptr<gather::TermStatsExchange> exchange;
+  std::shared_ptr<const gather::GlobalTermStats> shared_stats;
+  if (opts.share_term_stats) {
+    LSI_OBS_SPAN(stats_span, "gather.term_stats");
+    exchange = std::make_shared<gather::TermStatsExchange>(opts.num_shards);
+    fan_out(opts.num_shards, [&](std::size_t s) {
+      const text::TermDocumentMatrix tdm =
+          text::build_term_document_matrix(shard_docs[s], opts.index.parser);
+      gather::TermStatsPartial partial;
+      partial.add_counts(tdm.counts, tdm.vocabulary);
+      exchange->accumulate(s, partial);
+    });
+    shared_stats = exchange->publish();
+  }
+
   // Build every shard's index in parallel (each build's numerical kernels
   // additionally parallel_for over the global pool).
   std::vector<std::optional<Expected<LsiIndex>>> built(opts.num_shards);
   fan_out(opts.num_shards, [&](std::size_t s) {
     IndexOptions shard_opts = opts.index;
     shard_opts.k = opts.shard_k(s);
+    shard_opts.shared_stats = shared_stats;
     built[s].emplace(LsiIndex::try_build(shard_docs[s], shard_opts));
   });
   for (std::size_t s = 0; s < opts.num_shards; ++s) {
@@ -458,6 +669,7 @@ Expected<ShardedIndex> ShardedIndex::try_build(const text::Collection& docs,
                                              ropts, std::move(shard_ids[s])));
   }
   ShardedIndex index(opts, std::move(router), std::move(shards));
+  index.exchange_ = std::move(exchange);
   obs::gauge("sharding.shards", static_cast<double>(opts.num_shards));
   const auto& assigned = index.router_->router.assigned();
   obs::gauge("sharding.docs_per_shard_min",
@@ -505,6 +717,12 @@ Status ShardedIndex::add_impl(text::Document doc, bool blocking) {
     std::lock_guard<std::mutex> lock(router_->mu);
     target = router_->router.route(doc.label, doc.body.size());
   }
+  // Tokenize for the exchange before the body is moved into the queue (only
+  // when the exchange is live — the default ingest path pays nothing).
+  std::map<std::string, double> term_counts;
+  if (exchange_) {
+    term_counts = text::document_term_counts(doc.body, opts_.index.parser);
+  }
   const index_t gid = router_->allocate_id();
   Shard& shard = *shards_[target];
   // add_mu makes (append id, enqueue) atomic with respect to other
@@ -520,6 +738,11 @@ Status ShardedIndex::add_impl(text::Document doc, bool blocking) {
     shard.restore_ids(std::move(prev));
     router_->release_id(gid);
     obs::count("sharding.ingest_rejected");
+  } else if (exchange_) {
+    // Accumulated but not republished: already-built shards keep their
+    // frozen fold-in weighting (the paper's Section 2.3 semantics); the
+    // merged statistics become visible at the next refresh_term_stats().
+    exchange_->accumulate_document(target, term_counts);
   }
   return status;
 }
@@ -613,6 +836,24 @@ std::size_t ShardedIndex::check_health() {
 std::vector<ReplicaSet::ReplicaInfo> ShardedIndex::replica_infos(
     std::size_t shard) const {
   return shards_[shard]->replicas.replica_infos();
+}
+
+std::shared_ptr<const gather::GlobalTermStats>
+ShardedIndex::refresh_term_stats() {
+  if (!exchange_) return nullptr;
+  return exchange_->publish();
+}
+
+ShardedIndex::TermStatsInfo ShardedIndex::term_stats_info() const {
+  TermStatsInfo info;
+  if (!exchange_) return info;
+  info.enabled = true;
+  if (auto stats = exchange_->current()) {
+    info.version = stats->version();
+    info.docs = stats->docs();
+    info.terms = stats->num_terms();
+  }
+  return info;
 }
 
 std::vector<ShardedIndex::ShardInfo> ShardedIndex::shard_infos(

@@ -47,6 +47,9 @@
 
 #include "lsi/batched_retrieval.hpp"
 #include "lsi/concurrent.hpp"
+#include "lsi/gather/facets.hpp"
+#include "lsi/gather/fusion.hpp"
+#include "lsi/gather/term_stats.hpp"
 #include "lsi/sharding/replica_set.hpp"
 #include "lsi/sharding/router.hpp"
 #include "lsi/status.hpp"
@@ -88,6 +91,18 @@ struct ShardingOptions {
   /// Minimum spacing between those refusals — the failure detector's
   /// timeout window (ReplicaOptions::strike_interval).
   std::chrono::milliseconds strike_interval{50};
+
+  /// Cross-shard term-statistics exchange (docs/GATHER.md). When on, the
+  /// build runs a statistics pass before any shard weights its slice:
+  /// per-shard {df, gf, sum tf log2 tf, sum tf^2} partials are merged into
+  /// one versioned GlobalTermStats snapshot, and every shard derives its
+  /// Equation-5 GLOBAL weights from it — so all shards agree on every
+  /// term's global weight exactly as a monolithic build would (numerically
+  /// identical, not bit-identical: the additive entropy identity reorders
+  /// the floating-point sum). Off (the default) keeps per-shard statistics
+  /// and bit-identical builds. Streamed adds keep accumulating into the
+  /// exchange; refresh_term_stats() republishes the merged snapshot.
+  bool share_term_stats = false;
 
   /// First violation found, or OK (checked by ShardedIndex::try_build).
   Status Validate() const;
@@ -159,6 +174,39 @@ class ShardedSnapshot {
                                   const SearchOptions& opts = {},
                                   QueryStats* stats = nullptr) const;
 
+  /// One result of the rich gather path: the fused hit plus the global ids
+  /// of near-duplicates collapsed into it (empty without collapse).
+  struct GatherHit {
+    index_t doc = 0;      ///< global document id of the representative
+    double score = 0.0;   ///< fusion score the global ranking sorts by
+    double cosine = 0.0;  ///< raw per-shard cosine of the representative
+    std::size_t shard = 0;
+    std::vector<index_t> duplicates;
+  };
+
+  /// One query's gather output: the global top-z plus optional facet terms
+  /// (query refinements from the top hits' semantic neighborhood).
+  struct GatherResult {
+    std::vector<GatherHit> hits;
+    std::vector<gather::Facet> facets;
+  };
+
+  /// The rich gather path (docs/GATHER.md): the same scatter as rank_batch,
+  /// then the full gather pipeline — merge under `opts.merge` (z-score /
+  /// RRF re-score per-shard lists before the deterministic global sort;
+  /// the default raw-cosine policy orders exactly like rank_batch), collapse
+  /// near-duplicates when `opts.collapse_cosine` is in (0, 1], and attach
+  /// `opts.facets` facet terms per query. Runs the extra stages under the
+  /// "gather.fuse" / "gather.collapse" / "gather.facets" spans.
+  std::vector<GatherResult> gather_batch(const std::vector<std::string>& texts,
+                                         const SearchOptions& opts = {},
+                                         QueryStats* stats = nullptr) const;
+
+  /// Checked variant; same contract as try_rank_batch.
+  Expected<std::vector<GatherResult>> try_gather_batch(
+      const std::vector<std::string>& texts, const SearchOptions& opts = {},
+      QueryStats* stats = nullptr) const;
+
   /// Free-text retrieval with labels resolved against the pinned shard
   /// snapshots; `doc` carries the global document id.
   std::vector<QueryResult> query(std::string_view text,
@@ -170,6 +218,23 @@ class ShardedSnapshot {
   /// deadline protocol is active: a scatter task observing an expired
   /// `opts.deadline` before it starts sets the flag and abandons its pass.
   std::vector<std::vector<ScoredDoc>> rank_batch_impl(
+      const std::vector<std::string>& texts, const SearchOptions& opts,
+      QueryStats* stats, std::atomic<bool>* expired) const;
+
+  /// The scatter stage shared by rank_batch_impl and gather_batch_impl:
+  /// result[s][b] is shard s's top-z for query b in SHARD-LOCAL document
+  /// indices. `shard_stats` (when non-null) must be pre-sized to
+  /// num_shards(); deadline protocol as above. `moments` (when non-null) is
+  /// filled so moments[s][b] holds shard s's full-sweep ScoreMoments for
+  /// query b — the background statistics the z-score merge policy
+  /// standardizes against (requested only for non-raw policies; the raw
+  /// path skips the extra passes entirely).
+  std::vector<std::vector<std::vector<ScoredDoc>>> scatter(
+      const std::vector<std::string>& texts, const SearchOptions& opts,
+      std::vector<QueryStats>* shard_stats, std::atomic<bool>* expired,
+      std::vector<std::vector<ScoreMoments>>* moments = nullptr) const;
+
+  std::vector<GatherResult> gather_batch_impl(
       const std::vector<std::string>& texts, const SearchOptions& opts,
       QueryStats* stats, std::atomic<bool>* expired) const;
 
@@ -291,6 +356,23 @@ class ShardedIndex {
     std::size_t healthy = 1;            ///< currently healthy replicas
   };
 
+  /// Republishes the cross-shard term statistics from everything
+  /// accumulated so far (the initial build pass plus every streamed add) and
+  /// returns the new snapshot. Streamed documents keep their shard's frozen
+  /// fold-in weighting — the republished statistics feed /stats visibility
+  /// and FUTURE builds/consolidations, mirroring the paper's frozen-space
+  /// fold-in semantics. Null when share_term_stats is off.
+  std::shared_ptr<const gather::GlobalTermStats> refresh_term_stats();
+
+  /// State of the term-statistics exchange (the /stats "gather" row).
+  struct TermStatsInfo {
+    bool enabled = false;
+    std::uint64_t version = 0;  ///< publishes so far (0 = never)
+    std::uint64_t docs = 0;     ///< documents covered by the snapshot
+    std::size_t terms = 0;      ///< distinct terms in the snapshot
+  };
+  TermStatsInfo term_stats_info() const;
+
   /// Statistics computed against one consistent read view: every
   /// snapshot-derived field (docs, k, generation, ANN state) comes from the
   /// shard snapshots pinned in `view` — the single source of truth a serving
@@ -317,6 +399,9 @@ class ShardedIndex {
   ShardingOptions opts_;
   std::unique_ptr<RouterState> router_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Cross-shard term-statistics exchange; null when share_term_stats is
+  /// off (the exchange then costs nothing on the ingest path).
+  std::shared_ptr<gather::TermStatsExchange> exchange_;
   /// Shared (not owned) so a pin handle released after this index is gone
   /// still has a live count to decrement.
   std::shared_ptr<PinCount> pins_;

@@ -92,6 +92,46 @@ bool parse_search_knobs(const HttpRequest& request, core::SearchOptions& opts,
     opts.deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
   }
+
+  // Gather knobs (docs/GATHER.md): merge policy, RRF constant, near-dup
+  // collapse threshold, facet count.
+  if (const std::string_view merge = request.param("merge"); !merge.empty()) {
+    if (!gather::parse_merge_policy(merge, opts.merge)) {
+      error = "merge must be one of cosine, zscore, rrf";
+      return false;
+    }
+  }
+  if (const std::string_view rrf_k = request.param("rrf_k");
+      !rrf_k.empty()) {
+    const std::string text(rrf_k);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(v > 0.0)) {
+      error = "rrf_k must be a positive number";
+      return false;
+    }
+    opts.rrf_k = v;
+  }
+  if (const std::string_view collapse = request.param("collapse");
+      !collapse.empty()) {
+    const std::string text(collapse);
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(v > 0.0) || v > 1.0) {
+      error = "collapse must be a cosine threshold in (0, 1]";
+      return false;
+    }
+    opts.collapse_cosine = v;
+  }
+  if (const std::string_view facets = request.param("facets");
+      !facets.empty()) {
+    const std::size_t v = parse_size(facets, 0);
+    if (v == 0) {
+      error = "facets must be a positive integer";
+      return false;
+    }
+    opts.facets = v;
+  }
   return true;
 }
 
@@ -105,6 +145,10 @@ std::string search_knobs_key(const HttpRequest& request) {
   key += request.param("recall");
   key += '|';
   key += request.param("exact");
+  key += '|';
+  key += request.param("merge");
+  key += '|';
+  key += request.param("rrf_k");
   return key;
 }
 
@@ -577,6 +621,43 @@ HttpResponse HttpServer::handle_search(const HttpRequest& request) {
         resp.body += '}';
       }
       resp.body += ']';
+    } else if (sopts.facets > 0 ||
+               (sopts.collapse_cosine > 0.0 && sopts.collapse_cosine <= 1.0)) {
+      // Rich gather path: collapse and/or facets were requested, so answer
+      // with the full per-hit shape (fusion score, raw cosine, source shard,
+      // collapsed duplicates) plus the facet list.
+      auto gathered = snap.try_gather_batch({std::string(q)}, sopts);
+      if (!gathered.ok()) return status_response(gathered.status());
+      const auto& result = gathered.value()[0];
+      resp.body = "{\"results\":[";
+      for (std::size_t i = 0; i < result.hits.size(); ++i) {
+        const auto& hit = result.hits[i];
+        if (i) resp.body += ',';
+        resp.body += "{\"doc\":";
+        resp.body += std::to_string(hit.doc);
+        resp.body += ",\"score\":";
+        append_double(resp.body, hit.score);
+        resp.body += ",\"cosine\":";
+        append_double(resp.body, hit.cosine);
+        resp.body += ",\"shard\":";
+        resp.body += std::to_string(hit.shard);
+        resp.body += ",\"duplicates\":[";
+        for (std::size_t d = 0; d < hit.duplicates.size(); ++d) {
+          if (d) resp.body += ',';
+          resp.body += std::to_string(hit.duplicates[d]);
+        }
+        resp.body += "]}";
+      }
+      resp.body += "],\"facets\":[";
+      for (std::size_t f = 0; f < result.facets.size(); ++f) {
+        if (f) resp.body += ',';
+        resp.body += "{\"term\":\"";
+        resp.body += json_escape(result.facets[f].term);
+        resp.body += "\",\"weight\":";
+        append_double(resp.body, result.facets[f].weight);
+        resp.body += '}';
+      }
+      resp.body += ']';
     } else {
       auto ranked = snap.try_rank_batch({std::string(q)}, sopts);
       if (!ranked.ok()) return status_response(ranked.status());
@@ -890,6 +971,19 @@ HttpResponse HttpServer::handle_stats(const HttpRequest&) {
   const core::ShardedSnapshot snap = index_.snapshot();
   body += ",\"generations\":";
   body += generations_json(snap.generations());
+  // Term-statistics exchange state (docs/GATHER.md): version 0 with
+  // enabled=true means configured but never published (cannot happen after
+  // a successful build — the build pass publishes v1).
+  const auto ts = index_.term_stats_info();
+  body += ",\"gather\":{\"term_stats\":{\"enabled\":";
+  body += ts.enabled ? "true" : "false";
+  body += ",\"version\":";
+  body += std::to_string(ts.version);
+  body += ",\"docs\":";
+  body += std::to_string(ts.docs);
+  body += ",\"terms\":";
+  body += std::to_string(ts.terms);
+  body += "}}";
   body += ",\"shards\":[";
   const auto infos = index_.shard_infos(snap);
   for (std::size_t i = 0; i < infos.size(); ++i) {

@@ -118,6 +118,15 @@ lsi::la::Vector text_to_term_vector(const TermDocumentMatrix& tdm,
   return q;
 }
 
+std::map<std::string, double> document_term_counts(std::string_view body,
+                                                   const ParserOptions& opts) {
+  const std::vector<std::string> tokens = content_tokens(body, opts);
+  std::unordered_set<std::string> universe(tokens.begin(), tokens.end());
+  std::map<std::string, double> tf;
+  for (const auto& raw : tokens) tf[fold_token(raw, universe, opts)] += 1.0;
+  return tf;
+}
+
 std::vector<std::size_t> document_frequencies(
     const lsi::la::CscMatrix& counts) {
   std::vector<std::size_t> df(counts.rows(), 0);

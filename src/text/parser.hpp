@@ -3,6 +3,7 @@
 // a_ij is the raw frequency of term i in document j. Weighting (Equation 5)
 // is applied separately by src/weighting.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,18 @@ TermDocumentMatrix build_term_document_matrix(const Collection& docs,
 lsi::la::Vector text_to_term_vector(const TermDocumentMatrix& tdm,
                                     std::string_view body,
                                     const ParserOptions& opts = {});
+
+/// Tokenizes ONE document in isolation and returns its term -> raw tf map
+/// (ordered, so downstream accumulation is deterministic). Used by the
+/// gather term-statistics exchange to fold streamed documents into the
+/// cross-shard counts without rebuilding a matrix. Plural folding sees only
+/// this document's tokens as the stem universe — a per-document
+/// approximation of build_term_document_matrix's collection-wide rule, so a
+/// lone "cultures" stays whole here even if "culture" appears elsewhere in
+/// the collection. The divergence only affects fold_plurals collections and
+/// only the exchange's streamed counts, never the index itself.
+std::map<std::string, double> document_term_counts(
+    std::string_view body, const ParserOptions& opts = {});
 
 /// Document frequency of every term (number of columns with a nonzero).
 std::vector<std::size_t> document_frequencies(const lsi::la::CscMatrix& counts);

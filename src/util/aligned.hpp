@@ -1,0 +1,66 @@
+#pragma once
+// 64-byte-aligned allocation for numeric storage (docs/KERNELS.md).
+//
+// The SIMD kernels issue unaligned loads (loadu) — free on modern cores WHEN
+// the address is actually aligned, and merely slower when it straddles a
+// cache line. Default std::vector<double> storage only guarantees 16-byte
+// alignment, so a matrix base lands on a cache-line boundary by luck.
+// AlignedAllocator pins every allocation to a 64-byte base (one cache line,
+// one full AVX-512 vector, two AVX2 vectors) and rounds the allocation size
+// up to a multiple of the alignment so vectorized tails can read the last
+// partial line without touching an unmapped page.
+//
+// This aligns the allocation BASE, not every column: a column-major matrix
+// with an odd row count still has unaligned column starts. True per-column
+// alignment needs a padded leading dimension, which changes the (i, j) ->
+// offset map everywhere; the base alignment is the cheap 90% that makes the
+// common (row-count-multiple-of-8 and whole-matrix sweep) cases line up.
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace lsi::util {
+
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than the type's natural one");
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    // Round up to an alignment multiple so a vector load starting inside the
+    // last element cannot run off the allocation.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Alignment - 1) / Alignment * Alignment;
+    return static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose data() is 64-byte aligned (and whose allocation is
+/// padded to a 64-byte multiple). Drop-in for numeric buffers.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace lsi::util

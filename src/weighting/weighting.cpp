@@ -138,6 +138,17 @@ lsi::la::CscMatrix apply(const lsi::la::CscMatrix& counts, const Scheme& s) {
       });
 }
 
+lsi::la::CscMatrix apply_with_global(const lsi::la::CscMatrix& counts,
+                                     LocalWeight local,
+                                     const std::vector<double>& g) {
+  assert(g.size() == static_cast<std::size_t>(counts.rows()));
+  const auto max_tf = per_document_max_tf(counts);
+  return counts.transform_values(
+      [&](lsi::la::index_t i, lsi::la::index_t j, double tf) {
+        return local_weight(local, tf, max_tf[j]) * g[i];
+      });
+}
+
 lsi::la::Vector apply_to_vector(const lsi::la::Vector& tf,
                                 const std::vector<double>& g, LocalWeight l) {
   assert(tf.size() == g.size());

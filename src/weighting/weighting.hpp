@@ -52,6 +52,15 @@ std::vector<double> global_weights(const lsi::la::CscMatrix& counts,
 /// Applies Equation 5 to raw counts: returns [L(i,j) * G(i)].
 lsi::la::CscMatrix apply(const lsi::la::CscMatrix& counts, const Scheme& s);
 
+/// Applies Equation 5 with an externally-supplied global weight vector
+/// (one G(i) per row of `counts`) instead of deriving G from the local
+/// counts. This is the hook the cross-shard term-statistics exchange uses:
+/// each shard's local weights stay local, but G comes from the COLLECTION-
+/// wide statistics so all shards weight a term identically.
+lsi::la::CscMatrix apply_with_global(const lsi::la::CscMatrix& counts,
+                                     LocalWeight local,
+                                     const std::vector<double>& g);
+
 /// Weights a raw query/document term-frequency vector consistently with the
 /// collection weighting: element i becomes L(tf_i) * G(i) using the
 /// *collection's* global weights (queries carry no global statistics).
